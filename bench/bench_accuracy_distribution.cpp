@@ -1,0 +1,72 @@
+// E4 — Paper Section V.B: the accuracy distribution analysis. Runs both
+// cross-technology evaluations and correlates per-cell accuracy with
+// the structural-match category (identical / equivalent / new in the
+// training set) — reproducing the paper's finding that well-predicted
+// cells have an identical or Fig.6-equivalent structure in the training
+// data while poorly-predicted ones have new functions/configurations.
+#include <iostream>
+#include <map>
+
+#include "bench_support.hpp"
+#include "flow/report.hpp"
+#include "flow/structural.hpp"
+#include "util/log.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace caml;
+  bench::print_header("Section V.B — per-cell accuracy distribution and structural analysis");
+  Log::set_level(LogLevel::kInfo);
+
+  const auto& train = bench::suite().soi28;
+  const StructureIndex index(train);
+  const MlOptions options = bench::ml_options();
+
+  struct MatchStats {
+    std::size_t cells = 0;
+    double sum = 0.0;
+    std::size_t above97 = 0;
+  };
+
+  const auto analyze = [&](const std::vector<CharacterizedCell>& eval,
+                           const std::string& label) {
+    const std::vector<CellEvaluation> evals = evaluate_cross_library(train, eval, options);
+    const AccuracyDistribution dist = summarize_distribution(evals);
+    print_distribution(std::cout, dist, "\n" + label + ": accuracy distribution");
+
+    std::map<StructureMatch, MatchStats> by_match;
+    for (const CellEvaluation& e : evals) {
+      const StructureMatch m = index.classify(eval[e.cell_index].canonical);
+      MatchStats& s = by_match[m];
+      ++s.cells;
+      s.sum += e.accuracy;
+      s.above97 += e.accuracy > 0.97;
+    }
+    TextTable table;
+    table.new_row();
+    table.cell("structure vs training set");
+    table.cell("cells");
+    table.cell("avg acc (%)");
+    table.cell("> 97% (%)");
+    for (const auto& [m, s] : by_match) {
+      table.new_row();
+      table.cell(structure_match_name(m));
+      table.cell(static_cast<long long>(s.cells));
+      table.cell(100.0 * s.sum / static_cast<double>(s.cells), 2);
+      table.cell(100.0 * static_cast<double>(s.above97) / static_cast<double>(s.cells), 1);
+    }
+    std::cout << '\n' << label << ": accuracy by structural-match category\n";
+    table.print(std::cout);
+    return dist;
+  };
+
+  const AccuracyDistribution c28 = analyze(bench::suite().c28, "28SOI -> C28");
+  const AccuracyDistribution c40 = analyze(bench::suite().c40, "28SOI -> C40");
+
+  std::cout << "\nsummary: cells > 97% — C28 " << format_fixed(100.0 * c28.fraction_above_97, 1)
+            << "%, C40 " << format_fixed(100.0 * c40.fraction_above_97, 1) << "%\n";
+  std::cout << "expected shape (paper): ~68% (C28) vs ~80% (C40); identical/equivalent "
+               "structures predict well, new structures form the low tail\n";
+  return 0;
+}

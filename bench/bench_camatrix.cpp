@@ -1,0 +1,73 @@
+// E7 — CA-matrix construction microbenchmarks (paper Table I / Fig. 3):
+// canonicalization (branch equations + renaming) and matrix assembly
+// throughput across cell sizes.
+#include <benchmark/benchmark.h>
+
+#include "camatrix/matrix.hpp"
+#include "camodel/generate.hpp"
+#include "libgen/builder.hpp"
+
+namespace {
+
+using namespace caml;
+
+Cell make_cell(const std::string& function, const DriveSpec& drive) {
+  const Technology tech = technology_28soi();
+  Rng rng(42);
+  return build_cell(find_function(function), tech, drive, {"", 1.0}, function, rng);
+}
+
+void BM_Canonicalize(benchmark::State& state, const std::string& function, DriveSpec drive) {
+  const Cell cell = make_cell(function, drive);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(canonicalize(cell));
+  }
+  state.counters["transistors"] = static_cast<double>(cell.num_transistors());
+}
+
+void BM_BuildLabeledMatrix(benchmark::State& state, const std::string& function,
+                           DriveSpec drive) {
+  const Cell cell = make_cell(function, drive);
+  const CaModel model = generate_ca_model(cell);
+  const CanonicalCell canon = canonicalize(cell);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_ca_matrix(cell, model, canon));
+  }
+  state.counters["rows"] = static_cast<double>((model.defects.size() + 1) * model.stimuli.size());
+}
+
+void BM_ConventionalGeneration(benchmark::State& state, const std::string& function,
+                               DriveSpec drive) {
+  const Cell cell = make_cell(function, drive);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generate_ca_model(cell));
+  }
+  state.counters["sims"] = static_cast<double>(conventional_simulation_count(cell));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using V = StructureVariant;
+  benchmark::RegisterBenchmark("canonicalize/NAND2X1",
+                               [](benchmark::State& s) { BM_Canonicalize(s, "NAND2", {1, V::kWide}); });
+  benchmark::RegisterBenchmark("canonicalize/AOI22X2S",
+                               [](benchmark::State& s) { BM_Canonicalize(s, "AOI22", {2, V::kSplit}); });
+  benchmark::RegisterBenchmark("canonicalize/XOR2X4M",
+                               [](benchmark::State& s) { BM_Canonicalize(s, "XOR2", {4, V::kMerged}); });
+  benchmark::RegisterBenchmark("matrix/NAND2X1", [](benchmark::State& s) {
+    BM_BuildLabeledMatrix(s, "NAND2", {1, V::kWide});
+  });
+  benchmark::RegisterBenchmark("matrix/AOI22X2S", [](benchmark::State& s) {
+    BM_BuildLabeledMatrix(s, "AOI22", {2, V::kSplit});
+  });
+  benchmark::RegisterBenchmark("generate_ca_model/NAND2X1", [](benchmark::State& s) {
+    BM_ConventionalGeneration(s, "NAND2", {1, V::kWide});
+  });
+  benchmark::RegisterBenchmark("generate_ca_model/AOI21X2M", [](benchmark::State& s) {
+    BM_ConventionalGeneration(s, "AOI21", {2, V::kMerged});
+  });
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

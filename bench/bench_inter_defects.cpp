@@ -1,0 +1,85 @@
+// E11 (extension) — inter-transistor defects. The paper's Section IV
+// notes its matrix representation covers shorts between different
+// transistors even though the evaluation excludes them. This bench
+// enables bridge enumeration, regenerates ground truth for a compact
+// library slice, and runs the leave-one-out protocol over the enlarged
+// universe — demonstrating the claim end to end. Resistive variants of
+// every defect are evaluated as a second configuration.
+#include <iostream>
+
+#include "bench_support.hpp"
+#include "flow/report.hpp"
+#include "util/log.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace caml;
+
+std::vector<CharacterizedCell> characterize_slice(const UniverseOptions& universe,
+                                                  const MatrixOptions& matrix) {
+  (void)matrix;
+  LibraryComposition comp;
+  comp.functions = {"NAND2", "NOR2", "AOI21", "OAI21", "NAND3", "NOR3"};
+  comp.drives = {{1, StructureVariant::kWide}, {2, StructureVariant::kMerged}};
+  comp.flavors = {{"", 1.0}, {"LP", 0.85}, {"HP", 1.1}};
+  const Library lib = build_library(technology_28soi(), comp);
+  CharacterizeOptions options = bench::characterize_options();
+  options.universe = universe;
+  return characterize_library(lib, options);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Inter-transistor and resistive defect universes (28SOI leave-one-out)");
+  Log::set_level(LogLevel::kInfo);
+
+  TextTable table;
+  table.new_row();
+  table.cell("defect universe");
+  table.cell("defects/cell (NAND2X1)");
+  table.cell("mean acc (%)");
+  table.cell("cells > 97% (%)");
+
+  struct Config {
+    const char* label;
+    UniverseOptions universe;
+    bool needs_kind = false;
+  };
+  std::vector<Config> configs;
+  configs.push_back({"paper universe (intra opens + shorts)", {}, false});
+  {
+    UniverseOptions u;
+    u.inter_transistor_shorts = true;
+    configs.push_back({"+ inter-transistor bridges", u, false});
+  }
+  {
+    UniverseOptions u;
+    u.resistive_variants = true;
+    configs.push_back({"+ resistive variants", u, true});
+  }
+
+  for (const Config& config : configs) {
+    const MlOptions base = bench::ml_options();
+    MlOptions options = base;
+    // Resistive and hard defects share location columns: the kind
+    // feature is required to separate them.
+    options.matrix.include_defect_kind = config.needs_kind;
+    const std::vector<CharacterizedCell> cells =
+        characterize_slice(config.universe, options.matrix);
+    const std::vector<CellEvaluation> evals = evaluate_leave_one_out(cells, options);
+    const AccuracyDistribution dist = summarize_distribution(evals);
+    table.new_row();
+    table.cell(config.label);
+    table.cell(static_cast<long long>(cells.front().model.defects.size()));
+    table.cell(100.0 * dist.mean, 2);
+    table.cell(100.0 * dist.fraction_above_97, 1);
+    std::cout << "  " << config.label << " done (" << evals.size() << " cells)\n";
+  }
+  std::cout << '\n';
+  table.print(std::cout);
+  std::cout << "expected shape: the enlarged universes stay learnable — accuracy comparable "
+               "to the paper universe, validating the representation's flexibility claim\n";
+  return 0;
+}

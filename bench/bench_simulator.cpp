@@ -1,0 +1,89 @@
+// E9 — switch-level simulator throughput (backs the SPICE cost-model
+// calibration in DESIGN.md): steady-state solves per second and defect
+// simulations per second across cell sizes.
+#include <benchmark/benchmark.h>
+
+#include "defect/injector.hpp"
+#include "defect/universe.hpp"
+#include "libgen/builder.hpp"
+#include "sim/switch_sim.hpp"
+
+namespace {
+
+using namespace caml;
+
+Cell make_cell(const std::string& function, const DriveSpec& drive) {
+  const Technology tech = technology_28soi();
+  Rng rng(7);
+  return build_cell(find_function(function), tech, drive, {"", 1.0}, function, rng);
+}
+
+void BM_ApplyPattern(benchmark::State& state, const std::string& function, DriveSpec drive) {
+  const Cell cell = make_cell(function, drive);
+  SwitchSim sim(cell);
+  const InputPattern max = InputPattern{1} << cell.num_inputs();
+  InputPattern p = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.apply(p));
+    p = (p + 1) % max;
+  }
+  state.counters["transistors"] = static_cast<double>(cell.num_transistors());
+}
+
+void BM_TwoPatternRun(benchmark::State& state, const std::string& function, DriveSpec drive) {
+  const Cell cell = make_cell(function, drive);
+  SwitchSim sim(cell);
+  const auto stimuli = generate_stimuli(cell.num_inputs(), StimulusPolicy::kExhaustivePairs);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run(stimuli[i]));
+    i = (i + 1) % stimuli.size();
+  }
+}
+
+void BM_DefectSimulation(benchmark::State& state, const std::string& function,
+                         DriveSpec drive) {
+  const Cell cell = make_cell(function, drive);
+  const auto defects = enumerate_defects(cell);
+  const auto stimuli = generate_stimuli(cell.num_inputs(), StimulusPolicy::kExhaustivePairs);
+  std::size_t d = 0;
+  for (auto _ : state) {
+    const Cell faulty = inject_defect(cell, defects[d]);
+    SwitchSim sim(faulty);
+    Sig out = Sig::kX;
+    for (const Stimulus& s : stimuli) out = sim.run(s);
+    benchmark::DoNotOptimize(out);
+    d = (d + 1) % defects.size();
+  }
+  state.counters["stimuli"] = static_cast<double>(stimuli.size());
+  state.counters["defects"] = static_cast<double>(defects.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using V = StructureVariant;
+  benchmark::RegisterBenchmark("apply/INVX1",
+                               [](benchmark::State& s) { BM_ApplyPattern(s, "INV", {1, V::kWide}); });
+  benchmark::RegisterBenchmark("apply/NAND2X1",
+                               [](benchmark::State& s) { BM_ApplyPattern(s, "NAND2", {1, V::kWide}); });
+  benchmark::RegisterBenchmark("apply/AOI22X4M",
+                               [](benchmark::State& s) { BM_ApplyPattern(s, "AOI22", {4, V::kMerged}); });
+  benchmark::RegisterBenchmark("apply/XOR3X1",
+                               [](benchmark::State& s) { BM_ApplyPattern(s, "XOR3", {1, V::kWide}); });
+  benchmark::RegisterBenchmark("two_pattern/NAND3X1", [](benchmark::State& s) {
+    BM_TwoPatternRun(s, "NAND3", {1, V::kWide});
+  });
+  benchmark::RegisterBenchmark("two_pattern/MUX2IX1", [](benchmark::State& s) {
+    BM_TwoPatternRun(s, "MUX2I", {1, V::kWide});
+  });
+  benchmark::RegisterBenchmark("defect_sweep/NAND2X1", [](benchmark::State& s) {
+    BM_DefectSimulation(s, "NAND2", {1, V::kWide});
+  });
+  benchmark::RegisterBenchmark("defect_sweep/AOI21X2S", [](benchmark::State& s) {
+    BM_DefectSimulation(s, "AOI21", {2, V::kSplit});
+  });
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "flow/characterize.hpp"
+#include "flow/ml_flow.hpp"
+
+namespace caml::bench {
+
+/// Bench effort profile, selected by the CAML_BENCH_PROFILE environment
+/// variable ("smoke" | "fast" | "full"; default "fast").
+///  - smoke: reduced library composition, cheap stimuli — seconds.
+///    Sanity only.
+///  - fast:  the full three-library suite with exhaustive two-pattern
+///    stimuli up to 3 inputs — the default; minutes on one core.
+///  - full:  exhaustive stimuli up to 4 inputs, larger forests.
+enum class Profile { kSmoke, kFast, kFull };
+
+Profile profile();
+const char* profile_name(Profile p);
+
+/// The three characterized libraries (ground truth CA models), built on
+/// first use and cached under CAML_BENCH_CACHE_DIR (default
+/// "bench_cache" in the working directory) so each bench binary pays
+/// the simulation cost only once per profile.
+struct SuiteData {
+  std::vector<CharacterizedCell> soi28;
+  std::vector<CharacterizedCell> c40;
+  std::vector<CharacterizedCell> c28;
+};
+
+const SuiteData& suite();
+
+/// Default knobs matched to the active profile.
+CharacterizeOptions characterize_options();
+MlOptions ml_options();
+
+/// Prints the standard bench header (profile, library sizes).
+void print_header(const std::string& experiment);
+
+}  // namespace caml::bench

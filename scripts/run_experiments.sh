@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Regenerates every paper artefact: runs all bench binaries and records
+# their reports under results/. Profile via CAML_BENCH_PROFILE
+# (smoke | fast | full; default fast).
+set -u
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-results}"
+mkdir -p "$OUT_DIR"
+
+status=0
+for bench in "$BUILD_DIR"/bench/bench_*; do
+  [ -x "$bench" ] || continue
+  name=$(basename "$bench")
+  echo "=== $name ==="
+  if ! "$bench" 2>&1 | tee "$OUT_DIR/$name.txt"; then
+    echo "!!! $name failed" >&2
+    status=1
+  fi
+done
+echo "reports written to $OUT_DIR/"
+exit $status

@@ -1,0 +1,76 @@
+#include "camatrix/activity.hpp"
+
+#include "util/error.hpp"
+
+namespace caml {
+
+ActivityValue ActivityValue::from_pattern_bits(const std::vector<bool>& bits) {
+  ActivityValue v;
+  v.msb_first_.reserve(bits.size());
+  // Pattern 0 carries the MSB: significance decreases with increasing
+  // pattern value, so MSB-first storage is simply pattern order.
+  for (bool b : bits) v.msb_first_.push_back(static_cast<std::uint8_t>(b));
+  return v;
+}
+
+std::uint64_t ActivityValue::to_uint64() const {
+  CAML_ASSERT(msb_first_.size() <= 64);
+  std::uint64_t out = 0;
+  for (std::uint8_t b : msb_first_) out = (out << 1) | b;
+  return out;
+}
+
+std::string ActivityValue::to_string() const {
+  std::string s;
+  s.reserve(msb_first_.size());
+  for (std::uint8_t b : msb_first_) s += b ? '1' : '0';
+  return s;
+}
+
+std::strong_ordering ActivityValue::operator<=>(const ActivityValue& other) const {
+  // Shorter vectors compare as numerically smaller big integers only if
+  // equal length; activity values are always compared within one cell
+  // group where lengths match.
+  if (auto c = msb_first_.size() <=> other.msb_first_.size(); c != 0) return c;
+  for (std::size_t i = 0; i < msb_first_.size(); ++i) {
+    if (auto c = msb_first_[i] <=> other.msb_first_[i]; c != 0) return c;
+  }
+  return std::strong_ordering::equal;
+}
+
+std::vector<ActivityValue> compute_activity_values(const Cell& cell, const SimConfig& config) {
+  const std::size_t n = cell.num_inputs();
+  CAML_ASSERT(n >= 1 && n <= 20);
+  const InputPattern patterns = InputPattern{1} << n;
+  std::vector<std::vector<bool>> bits(cell.num_transistors(),
+                                      std::vector<bool>(patterns, false));
+  // The paper enumerates stimuli as (in0, in1, ...) tuples with the
+  // first input as the most significant digit; our InputPattern keeps
+  // input i in bit i. Reverse the bits so activity values match the
+  // paper's numbering (Table II).
+  const auto paper_index = [n](InputPattern p) {
+    InputPattern r = 0;
+    for (std::size_t i = 0; i < n; ++i) r |= ((p >> i) & 1u) << (n - 1 - i);
+    return r;
+  };
+  SwitchSim sim(cell, config);
+  for (InputPattern p = 0; p < patterns; ++p) {
+    sim.reset();
+    sim.apply(p);
+    for (std::size_t ti = 0; ti < cell.num_transistors(); ++ti) {
+      const Transistor& t = cell.transistor(static_cast<TransistorId>(ti));
+      const Sig g = sim.net_value(t.gate);
+      if (!sig_is_binary(g)) {
+        throw Error("cell " + cell.name() + ": gate of '" + t.name +
+                    "' is not binary while computing activity values");
+      }
+      bits[ti][paper_index(p)] = t.type == MosType::kNmos ? g == Sig::kOne : g == Sig::kZero;
+    }
+  }
+  std::vector<ActivityValue> out;
+  out.reserve(cell.num_transistors());
+  for (auto& b : bits) out.push_back(ActivityValue::from_pattern_bits(b));
+  return out;
+}
+
+}  // namespace caml

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/cell.hpp"
+#include "sim/switch_sim.hpp"
+
+namespace caml {
+
+/// The paper's per-transistor *activity value* (Section III.C): a
+/// 2^n-bit integer whose MSB is the transistor's activation (active=1 /
+/// passive=0) under the all-zero input pattern and whose LSB is the
+/// activation under the all-one pattern — bit significance decreases as
+/// the binary value of the pattern increases.
+///
+/// Stored as an explicit bit vector (MSB first) so cells with more than
+/// 6 inputs are supported; ordering is the numeric ordering of the
+/// underlying big integer.
+class ActivityValue {
+ public:
+  ActivityValue() = default;
+  /// bits[p] = activation under input pattern p (note: *pattern* order;
+  /// the MSB-first storage is handled internally).
+  static ActivityValue from_pattern_bits(const std::vector<bool>& bits);
+
+  std::size_t num_patterns() const { return msb_first_.size(); }
+
+  /// Numeric value for cells with <= 6 inputs (fits 64 bits).
+  std::uint64_t to_uint64() const;
+
+  /// "0011"-style MSB-first rendering.
+  std::string to_string() const;
+
+  std::strong_ordering operator<=>(const ActivityValue& other) const;
+  bool operator==(const ActivityValue& other) const = default;
+
+ private:
+  std::vector<std::uint8_t> msb_first_;
+};
+
+/// Computes the activity value of every transistor from a golden
+/// static-pattern sweep (an NMOS is active when its gate is 1, a PMOS
+/// when its gate is 0). Throws caml::Error if a gate fails to settle to
+/// a binary value.
+std::vector<ActivityValue> compute_activity_values(const Cell& cell,
+                                                   const SimConfig& config = {});
+
+}  // namespace caml

@@ -1,0 +1,296 @@
+#include "camatrix/branch.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/error.hpp"
+
+namespace caml {
+
+SpNode SpNode::leaf(TransistorId id) {
+  SpNode n;
+  n.kind = Kind::kDevice;
+  n.device = id;
+  return n;
+}
+
+SpNode SpNode::series(std::vector<SpNode> children) {
+  CAML_ASSERT(!children.empty());
+  if (children.size() == 1) return std::move(children.front());
+  SpNode n;
+  n.kind = Kind::kSeries;
+  // Flatten nested series to keep equations canonical.
+  for (SpNode& c : children) {
+    if (c.kind == Kind::kSeries) {
+      for (SpNode& g : c.children) n.children.push_back(std::move(g));
+    } else {
+      n.children.push_back(std::move(c));
+    }
+  }
+  return n;
+}
+
+SpNode SpNode::parallel(std::vector<SpNode> children) {
+  CAML_ASSERT(!children.empty());
+  if (children.size() == 1) return std::move(children.front());
+  SpNode n;
+  n.kind = Kind::kParallel;
+  for (SpNode& c : children) {
+    if (c.kind == Kind::kParallel) {
+      for (SpNode& g : c.children) n.children.push_back(std::move(g));
+    } else {
+      n.children.push_back(std::move(c));
+    }
+  }
+  return n;
+}
+
+void SpNode::collect_devices(std::vector<TransistorId>& out) const {
+  if (kind == Kind::kDevice) {
+    out.push_back(device);
+    return;
+  }
+  for (const SpNode& c : children) c.collect_devices(out);
+}
+
+std::size_t SpNode::num_devices() const {
+  std::vector<TransistorId> devices;
+  collect_devices(devices);
+  return devices.size();
+}
+
+std::string anonymize(const SpNode& node, const Cell& cell) {
+  switch (node.kind) {
+    case SpNode::Kind::kDevice:
+      return cell.transistor(node.device).type == MosType::kNmos ? "1n" : "1p";
+    case SpNode::Kind::kSeries: {
+      std::string out = "(";
+      for (std::size_t i = 0; i < node.children.size(); ++i) {
+        if (i) out += '&';
+        out += anonymize(node.children[i], cell);
+      }
+      return out + ")";
+    }
+    case SpNode::Kind::kParallel: {
+      std::vector<std::string> parts;
+      parts.reserve(node.children.size());
+      for (const SpNode& c : node.children) parts.push_back(anonymize(c, cell));
+      std::sort(parts.begin(), parts.end());
+      std::string out = "(";
+      for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (i) out += '|';
+        out += parts[i];
+      }
+      return out + ")";
+    }
+  }
+  throw Error("invalid SpNode kind");
+}
+
+namespace {
+
+/// Edge of the reduction multigraph: an SP subtree oriented u -> v.
+struct SpEdge {
+  int u = -1;
+  int v = -1;
+  SpNode node;
+};
+
+/// Reverses the orientation of an SP subtree (series children flip).
+SpNode reverse_node(SpNode n) {
+  if (n.kind == SpNode::Kind::kSeries) {
+    std::reverse(n.children.begin(), n.children.end());
+  }
+  for (SpNode& c : n.children) c = reverse_node(std::move(c));
+  return n;
+}
+
+/// Orients edge so that it runs from `from`; returns the node.
+SpNode oriented(SpEdge e, int from) {
+  CAML_ASSERT(e.u == from || e.v == from);
+  if (e.u == from) return std::move(e.node);
+  return reverse_node(std::move(e.node));
+}
+
+/// Series/parallel reduction of the two-terminal multigraph between
+/// vertex `source` (exit) and vertex `sink` (merged rails). Returns
+/// true on success with the final tree oriented source -> sink.
+bool reduce_sp(std::vector<SpEdge> edges, int source, int sink, SpNode& out) {
+  for (;;) {
+    if (edges.size() == 1 && ((edges[0].u == source && edges[0].v == sink) ||
+                              (edges[0].u == sink && edges[0].v == source))) {
+      out = oriented(std::move(edges[0]), source);
+      return true;
+    }
+    bool changed = false;
+
+    // Parallel reduction: merge all edges sharing an endpoint pair.
+    {
+      std::map<std::pair<int, int>, std::vector<std::size_t>> groups;
+      for (std::size_t i = 0; i < edges.size(); ++i) {
+        groups[{std::min(edges[i].u, edges[i].v), std::max(edges[i].u, edges[i].v)}]
+            .push_back(i);
+      }
+      for (auto& [key, idx] : groups) {
+        if (idx.size() < 2) continue;
+        const int a = key.first;
+        std::vector<SpNode> children;
+        children.reserve(idx.size());
+        for (std::size_t i : idx) children.push_back(oriented(std::move(edges[i]), a));
+        SpEdge merged;
+        merged.u = a;
+        merged.v = key.second;
+        merged.node = SpNode::parallel(std::move(children));
+        // Remove merged edges (descending index), add the new one.
+        std::sort(idx.rbegin(), idx.rend());
+        for (std::size_t i : idx) edges.erase(edges.begin() + static_cast<std::ptrdiff_t>(i));
+        edges.push_back(std::move(merged));
+        changed = true;
+        break;  // degrees changed; recompute groups
+      }
+    }
+    if (changed) continue;
+
+    // Series reduction: an internal vertex of degree exactly 2.
+    {
+      std::map<int, std::vector<std::size_t>> incident;
+      for (std::size_t i = 0; i < edges.size(); ++i) {
+        incident[edges[i].u].push_back(i);
+        incident[edges[i].v].push_back(i);
+      }
+      for (auto& [w, idx] : incident) {
+        if (w == source || w == sink || idx.size() != 2 || idx[0] == idx[1]) continue;
+        SpEdge e1 = std::move(edges[idx[0]]);
+        SpEdge e2 = std::move(edges[idx[1]]);
+        const int a = e1.u == w ? e1.v : e1.u;
+        const int b = e2.u == w ? e2.v : e2.u;
+        std::vector<SpNode> chain;
+        chain.push_back(oriented(std::move(e1), a));  // a -> w
+        chain.push_back(oriented(std::move(e2), w));  // w -> b
+        SpEdge merged;
+        merged.u = a;
+        merged.v = b;
+        merged.node = SpNode::series(std::move(chain));
+        std::size_t hi = std::max(idx[0], idx[1]);
+        std::size_t lo = std::min(idx[0], idx[1]);
+        edges.erase(edges.begin() + static_cast<std::ptrdiff_t>(hi));
+        edges.erase(edges.begin() + static_cast<std::ptrdiff_t>(lo));
+        edges.push_back(std::move(merged));
+        changed = true;
+        break;
+      }
+    }
+    if (!changed) return false;  // irreducible (bridge topology)
+  }
+}
+
+}  // namespace
+
+std::vector<Branch> extract_branches(const Cell& cell,
+                                     const std::vector<ActivityValue>& activity) {
+  CAML_ASSERT(activity.size() == cell.num_transistors());
+  const CellGraph graph(cell);
+  const NetId vdd = cell.vdd();
+  const NetId vss = cell.vss();
+  const NetId output = cell.output();
+
+  std::vector<Branch> branches;
+  for (const std::vector<TransistorId>& component : graph.channel_connected_components()) {
+    Branch b;
+    b.transistors = component;
+
+    // Exit: the component's non-rail channel net that feeds downstream
+    // gates or is the cell output.
+    std::vector<NetId> exits;
+    for (NetId net : graph.component_channel_nets(component)) {
+      if (net == output || !graph.gate_loads(net).empty()) exits.push_back(net);
+    }
+    const bool single_exit = exits.size() == 1;
+    if (single_exit) b.exit = exits.front();
+
+    bool reduced = false;
+    if (single_exit) {
+      // Vertices: nets, with both rails merged into one sink vertex.
+      const int kRail = -2;
+      std::vector<SpEdge> edges;
+      for (TransistorId id : component) {
+        const Transistor& t = cell.transistor(id);
+        const auto vertex = [&](NetId n) { return (n == vdd || n == vss) ? kRail : n; };
+        SpEdge e;
+        e.u = vertex(t.drain);
+        e.v = vertex(t.source);
+        e.node = SpNode::leaf(id);
+        edges.push_back(std::move(e));
+      }
+      SpNode tree;
+      if (reduce_sp(std::move(edges), b.exit, kRail, tree)) {
+        b.tree = std::move(tree);
+        b.is_sp = true;
+        reduced = true;
+      }
+    }
+    if (!reduced) {
+      // Fallback: flat parallel of all devices (stable, hash-like
+      // signature; canonical renaming degrades gracefully).
+      std::vector<SpNode> leaves;
+      for (TransistorId id : component) leaves.push_back(SpNode::leaf(id));
+      b.tree = leaves.size() == 1 ? std::move(leaves.front())
+                                  : SpNode::parallel(std::move(leaves));
+      b.is_sp = false;
+    }
+    b.anon_equation = (b.is_sp ? "" : "NONSP") + anonymize(b.tree, cell);
+    branches.push_back(std::move(b));
+  }
+
+  // Levels: BFS from the output branch through gate connections.
+  // branch_of_transistor for quick lookup.
+  std::vector<int> branch_of(cell.num_transistors(), -1);
+  for (std::size_t bi = 0; bi < branches.size(); ++bi) {
+    for (TransistorId id : branches[bi].transistors) {
+      branch_of[static_cast<std::size_t>(id)] = static_cast<int>(bi);
+    }
+  }
+  const int kUnset = 1 << 20;
+  for (Branch& b : branches) b.level = kUnset;
+  // Iterative relaxation (cells are shallow; converges in a few passes).
+  for (std::size_t pass = 0; pass < branches.size() + 2; ++pass) {
+    bool changed = false;
+    for (Branch& b : branches) {
+      int lvl = kUnset;
+      if (b.exit == output) {
+        lvl = 1;
+      } else if (b.exit != kNoNet) {
+        for (TransistorId load : graph.gate_loads(b.exit)) {
+          const int down = branches[static_cast<std::size_t>(
+                               branch_of[static_cast<std::size_t>(load)])].level;
+          if (down != kUnset) lvl = std::min(lvl, down + 1);
+        }
+      }
+      if (lvl < b.level) {
+        b.level = lvl;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+
+  // Activity signature per branch for the determinism tie-break.
+  const auto signature = [&](const Branch& b) {
+    std::vector<ActivityValue> sig;
+    for (TransistorId id : b.transistors) sig.push_back(activity[static_cast<std::size_t>(id)]);
+    std::sort(sig.begin(), sig.end());
+    return sig;
+  };
+
+  std::sort(branches.begin(), branches.end(), [&](const Branch& a, const Branch& b) {
+    if (a.level != b.level) return a.level < b.level;
+    if (a.transistors.size() != b.transistors.size()) {
+      return a.transistors.size() < b.transistors.size();
+    }
+    if (a.anon_equation != b.anon_equation) return a.anon_equation < b.anon_equation;
+    return signature(a) < signature(b);
+  });
+  return branches;
+}
+
+}  // namespace caml

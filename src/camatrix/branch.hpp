@@ -1,0 +1,63 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "camatrix/activity.hpp"
+#include "netlist/graph.hpp"
+
+namespace caml {
+
+/// Node of an oriented series/parallel decomposition of a branch: the
+/// two-terminal transistor network between the branch's exit net and the
+/// (merged) power/ground rails. Series children are ordered from the
+/// exit towards the rails.
+struct SpNode {
+  enum class Kind : std::uint8_t { kDevice, kSeries, kParallel };
+  Kind kind = Kind::kDevice;
+  TransistorId device = -1;
+  std::vector<SpNode> children;
+
+  static SpNode leaf(TransistorId id);
+  static SpNode series(std::vector<SpNode> children);
+  static SpNode parallel(std::vector<SpNode> children);
+
+  /// All device ids in DFS order.
+  void collect_devices(std::vector<TransistorId>& out) const;
+  std::size_t num_devices() const;
+};
+
+/// One branch (paper Section III.B): a group of transistors connected by
+/// their source/drain terminals, bounded by the rails. The exit is "the
+/// connection net between the NMOS and PMOS transistors" — in practice
+/// the net that drives downstream gates or the cell output.
+struct Branch {
+  std::vector<TransistorId> transistors;
+  NetId exit = kNoNet;
+  /// 1 = drives the cell output; level k+1 drives gates of level-k
+  /// branches.
+  int level = 0;
+  /// Oriented SP tree between exit and the merged rails; when the
+  /// network is not series/parallel-decomposable the tree degenerates to
+  /// a flat parallel of all devices and `is_sp` is false.
+  SpNode tree;
+  bool is_sp = true;
+  /// Anonymized equation, e.g. "((1n&1n)|1p|1p)": leaves are "1n"/"1p",
+  /// '&' is series, '|' parallel; parallel children sorted
+  /// alphabetically so the string is order-independent.
+  std::string anon_equation;
+};
+
+/// Extracts every branch of the cell and sorts them by the paper's
+/// deterministic criteria: level ascending, transistor count ascending,
+/// anonymized equation alphabetical — plus, as a determinism extension,
+/// the sorted member activity signature (the paper leaves equal-key
+/// branch order unspecified; e.g. the two input inverters of an XOR2
+/// tie on all three published criteria).
+std::vector<Branch> extract_branches(const Cell& cell,
+                                     const std::vector<ActivityValue>& activity);
+
+/// Anonymized equation of an SP tree ("1n"/"1p" leaves).
+std::string anonymize(const SpNode& node, const Cell& cell);
+
+}  // namespace caml

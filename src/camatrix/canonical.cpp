@@ -1,0 +1,129 @@
+#include "camatrix/canonical.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace caml {
+
+namespace {
+
+/// Ordering / identity key of an SP subtree: its anonymized equation and
+/// the sorted multiset of member activity values.
+struct NodeKey {
+  std::string anon;
+  std::vector<ActivityValue> activities;
+
+  bool operator<(const NodeKey& other) const {
+    if (anon != other.anon) return anon < other.anon;
+    return activities < other.activities;
+  }
+  bool operator==(const NodeKey& other) const = default;
+};
+
+NodeKey key_of(const SpNode& node, const Cell& cell,
+               const std::vector<ActivityValue>& activity) {
+  NodeKey k;
+  k.anon = anonymize(node, cell);
+  std::vector<TransistorId> devices;
+  node.collect_devices(devices);
+  for (TransistorId id : devices) k.activities.push_back(activity[static_cast<std::size_t>(id)]);
+  std::sort(k.activities.begin(), k.activities.end());
+  return k;
+}
+
+/// Sorts parallel children canonically, recursively. Series children
+/// keep their exit-to-rail order (the electrical orientation).
+SpNode canonical_order(SpNode node, const Cell& cell,
+                       const std::vector<ActivityValue>& activity) {
+  for (SpNode& c : node.children) c = canonical_order(std::move(c), cell, activity);
+  if (node.kind == SpNode::Kind::kParallel) {
+    std::stable_sort(node.children.begin(), node.children.end(),
+                     [&](const SpNode& a, const SpNode& b) {
+                       return key_of(a, cell, activity) < key_of(b, cell, activity);
+                     });
+  }
+  return node;
+}
+
+/// Collapses runs of identical parallel siblings (same anonymized
+/// structure and activity multiset) to a single representative —
+/// normalizing the paper's Fig. 6 merged/split drive variants to the X1
+/// structure. Children must already be canonically ordered.
+SpNode collapse_duplicates(SpNode node, const Cell& cell,
+                           const std::vector<ActivityValue>& activity) {
+  for (SpNode& c : node.children) c = collapse_duplicates(std::move(c), cell, activity);
+  if (node.kind == SpNode::Kind::kParallel) {
+    std::vector<SpNode> kept;
+    std::vector<NodeKey> keys;
+    for (SpNode& c : node.children) {
+      NodeKey k = key_of(c, cell, activity);
+      if (!keys.empty() && keys.back() == k) continue;  // duplicate sibling
+      keys.push_back(std::move(k));
+      kept.push_back(std::move(c));
+    }
+    if (kept.size() == 1) return std::move(kept.front());
+    node.children = std::move(kept);
+  }
+  return node;
+}
+
+}  // namespace
+
+std::size_t CanonicalCell::canonical_index(TransistorId original) const {
+  for (std::size_t i = 0; i < nmos_order.size(); ++i) {
+    if (nmos_order[i] == original) return i;
+  }
+  for (std::size_t i = 0; i < pmos_order.size(); ++i) {
+    if (pmos_order[i] == original) return nmos_order.size() + i;
+  }
+  throw Error("canonical_index: unknown transistor id");
+}
+
+CanonicalCell canonicalize(const Cell& cell, const SimConfig& config) {
+  CanonicalCell out;
+  out.activity = compute_activity_values(cell, config);
+  out.branches = extract_branches(cell, out.activity);
+
+  out.canonical_name.resize(cell.num_transistors());
+  std::vector<std::string> full_parts;
+  std::vector<std::string> reduced_parts;
+
+  for (Branch& b : out.branches) {
+    b.tree = canonical_order(std::move(b.tree), cell, out.activity);
+    b.anon_equation = (b.is_sp ? "" : "NONSP") + anonymize(b.tree, cell);
+    full_parts.push_back(std::to_string(b.level) + ":" + b.anon_equation);
+
+    const SpNode reduced = collapse_duplicates(b.tree, cell, out.activity);
+    reduced_parts.push_back(std::to_string(b.level) + ":" + (b.is_sp ? "" : "NONSP") +
+                            anonymize(reduced, cell));
+
+    // Renaming: DFS of the canonical tree, exit towards rails.
+    std::vector<TransistorId> dfs;
+    b.tree.collect_devices(dfs);
+    for (TransistorId id : dfs) {
+      if (cell.transistor(id).type == MosType::kNmos) {
+        out.canonical_name[static_cast<std::size_t>(id)] =
+            "N" + std::to_string(out.nmos_order.size());
+        out.nmos_order.push_back(id);
+      } else {
+        out.canonical_name[static_cast<std::size_t>(id)] =
+            "P" + std::to_string(out.pmos_order.size());
+        out.pmos_order.push_back(id);
+      }
+    }
+  }
+
+  // Branch parts are emitted in sorted-branch order; the signature also
+  // sorts the strings so that equal-keyed branch permutations compare
+  // equal.
+  std::sort(full_parts.begin(), full_parts.end());
+  std::sort(reduced_parts.begin(), reduced_parts.end());
+  out.structure_signature = join(full_parts, ";");
+  out.reduced_signature = join(reduced_parts, ";");
+  return out;
+}
+
+}  // namespace caml

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "camatrix/branch.hpp"
+
+namespace caml {
+
+/// Result of the paper's transistor-renaming step (Sections III.B/C):
+/// a canonical ordering of the cell's transistors that is invariant
+/// under device renaming, netlist reordering and technology sizing.
+/// Canonical names are N0..Nk-1 / P0..Pm-1, assigned while walking the
+/// sorted branches' SP trees (series children from the exit towards the
+/// rails; parallel children ordered by anonymized equation, then by
+/// activity — the paper's parallel-transistor disambiguation).
+struct CanonicalCell {
+  /// Sorted branches (level, size, equation, activity signature).
+  std::vector<Branch> branches;
+  /// Per-transistor activity values (original transistor ids).
+  std::vector<ActivityValue> activity;
+  /// nmos_order[i] = original id of canonical transistor Ni.
+  std::vector<TransistorId> nmos_order;
+  /// pmos_order[i] = original id of canonical transistor Pi.
+  std::vector<TransistorId> pmos_order;
+  /// canonical_name[original id] = "N0", "P3", ...
+  std::vector<std::string> canonical_name;
+  /// Whole-cell transistor-structure signature: the sorted anonymized
+  /// branch equations with their levels, e.g. "1:((1n&1n)|1p|1p)".
+  /// Technology-independent; identical for structurally identical cells.
+  std::string structure_signature;
+  /// Signature after collapsing duplicated parallel subtrees (identical
+  /// anonymized structure *and* identical activity multiset) — the
+  /// paper's Fig. 6 merged/split drive configurations map to the same
+  /// reduced signature as their X1 form.
+  std::string reduced_signature;
+
+  std::size_t num_transistors() const { return canonical_name.size(); }
+
+  /// Canonical index of an original transistor: Ni -> i, Pj -> nmos + j
+  /// (all NMOS columns first, then all PMOS — the CA-matrix column
+  /// order). Throws if the id is unknown.
+  std::size_t canonical_index(TransistorId original) const;
+};
+
+/// Runs the full canonicalization: golden static sweep for activity
+/// values, branch extraction and sorting, SP-tree canonical ordering,
+/// renaming and signature construction.
+CanonicalCell canonicalize(const Cell& cell, const SimConfig& config = {});
+
+}  // namespace caml

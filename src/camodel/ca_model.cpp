@@ -1,0 +1,60 @@
+#include "camodel/ca_model.hpp"
+
+#include <map>
+
+#include "util/error.hpp"
+
+namespace caml {
+
+const char* defect_class_name(DefectClass c) {
+  switch (c) {
+    case DefectClass::kStatic: return "static";
+    case DefectClass::kDynamic: return "dynamic";
+    case DefectClass::kUndetected: return "undetected";
+  }
+  throw Error("invalid DefectClass");
+}
+
+std::size_t CaModel::count_class(DefectClass c) const {
+  std::size_t n = 0;
+  for (const CaDefectEntry& d : defects) {
+    if (d.klass == c) ++n;
+  }
+  return n;
+}
+
+double CaModel::detection_density() const {
+  std::size_t set = 0, total = 0;
+  for (const CaDefectEntry& d : defects) {
+    for (std::uint8_t bit : d.detection) set += bit;
+    total += d.detection.size();
+  }
+  return total == 0 ? 0.0 : static_cast<double>(set) / static_cast<double>(total);
+}
+
+void CaModel::classify() {
+  for (CaDefectEntry& d : defects) {
+    CAML_ASSERT(d.detection.size() == stimuli.size());
+    bool static_detect = false, dynamic_detect = false;
+    for (std::size_t s = 0; s < stimuli.size(); ++s) {
+      if (!d.detection[s]) continue;
+      if (stimuli[s].is_static()) static_detect = true;
+      else dynamic_detect = true;
+    }
+    d.klass = static_detect ? DefectClass::kStatic
+              : dynamic_detect ? DefectClass::kDynamic
+                               : DefectClass::kUndetected;
+  }
+
+  // Equivalence classes: identical detection vectors collapse.
+  equivalence_classes.clear();
+  std::map<std::vector<std::uint8_t>, std::size_t> index;
+  for (std::size_t i = 0; i < defects.size(); ++i) {
+    auto [it, inserted] = index.try_emplace(defects[i].detection, equivalence_classes.size());
+    if (inserted) equivalence_classes.emplace_back();
+    defects[i].equivalence_class = it->second;
+    equivalence_classes[it->second].push_back(i);
+  }
+}
+
+}  // namespace caml

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "defect/defect.hpp"
+#include "logic/stimulus.hpp"
+#include "logic/wave.hpp"
+
+namespace caml {
+
+/// Detection class of a defect, as used by cell-aware test generation:
+/// static defects are caught by at least one single-pattern stimulus,
+/// dynamic defects (e.g. stuck-opens) only by two-pattern sequences.
+enum class DefectClass : std::uint8_t { kStatic, kDynamic, kUndetected };
+
+const char* defect_class_name(DefectClass c);
+
+/// One defect's row block in the CA model: its full detection vector
+/// over the model's stimulus list, its class, and the equivalence class
+/// it belongs to (defects with identical detection vectors).
+struct CaDefectEntry {
+  Defect defect;
+  /// detection[s] == 1 iff stimulus s definitely detects the defect
+  /// (golden and faulty outputs both binary and different).
+  std::vector<std::uint8_t> detection;
+  DefectClass klass = DefectClass::kUndetected;
+  /// Index into CaModel::equivalence_classes.
+  std::size_t equivalence_class = 0;
+};
+
+/// A cell-aware model: the per-defect detection conditions of one cell
+/// under an exhaustive stimulus set (the paper's Fig. 1 output and the
+/// raw material of the Table I training dataset).
+struct CaModel {
+  std::string cell_name;
+  std::size_t num_inputs = 0;
+  StimulusPolicy policy = StimulusPolicy::kExhaustivePairs;
+  std::vector<Stimulus> stimuli;
+  /// Golden (defect-free) response per stimulus; always binary.
+  std::vector<Sig> golden_responses;
+  std::vector<CaDefectEntry> defects;
+  /// equivalence_classes[k] = indices into `defects` sharing one
+  /// detection vector. Class 0 is reserved for undetected defects when
+  /// any exist.
+  std::vector<std::vector<std::size_t>> equivalence_classes;
+
+  std::size_t num_stimuli() const { return stimuli.size(); }
+
+  /// Detection-vector statistics.
+  std::size_t count_class(DefectClass c) const;
+
+  /// Fraction of (stimulus, defect) detection bits set.
+  double detection_density() const;
+
+  /// Recomputes klass and equivalence classes from the detection
+  /// vectors. Called by the generator; call again after editing vectors.
+  void classify();
+};
+
+}  // namespace caml

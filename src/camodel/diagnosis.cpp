@@ -1,0 +1,65 @@
+#include "camodel/diagnosis.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace caml {
+
+std::size_t TesterResponse::num_failing() const {
+  std::size_t n = 0;
+  for (std::uint8_t f : failing) n += f;
+  return n;
+}
+
+std::vector<DiagnosisCandidate> diagnose(const CaModel& model, const TesterResponse& observed,
+                                         const DiagnosisOptions& options) {
+  CAML_ASSERT(observed.failing.size() == model.stimuli.size());
+  std::vector<DiagnosisCandidate> out;
+  for (std::size_t c = 0; c < model.equivalence_classes.size(); ++c) {
+    const auto& members = model.equivalence_classes[c];
+    CAML_ASSERT(!members.empty());
+    const auto& predicted = model.defects[members.front()].detection;
+
+    DiagnosisCandidate cand;
+    cand.defect_index = members.front();
+    cand.equivalence_class = c;
+    cand.members = members;
+    for (std::size_t s = 0; s < predicted.size(); ++s) {
+      const bool p = predicted[s] != 0;
+      const bool o = observed.failing[s] != 0;
+      if (p && o) ++cand.explained;
+      if (!p && o) ++cand.unexplained;
+      if (p && !o) ++cand.mispredicted;
+    }
+    const std::size_t uni = cand.explained + cand.unexplained + cand.mispredicted;
+    cand.score = uni == 0 ? 0.0 : static_cast<double>(cand.explained) / static_cast<double>(uni);
+    cand.exact = cand.unexplained == 0 && cand.mispredicted == 0 && cand.explained > 0;
+    if (cand.score > 0.0) out.push_back(std::move(cand));
+  }
+
+  std::sort(out.begin(), out.end(), [](const DiagnosisCandidate& a, const DiagnosisCandidate& b) {
+    if (a.exact != b.exact) return a.exact;
+    if (a.score != b.score) return a.score > b.score;
+    return a.equivalence_class < b.equivalence_class;  // deterministic ties
+  });
+  if (options.top_k > 0 && out.size() > options.top_k) out.resize(options.top_k);
+  return out;
+}
+
+TesterResponse simulate_tester_response(const Cell& cell, const CaModel& model,
+                                        const Defect& defect, const InjectionConfig& injection,
+                                        const SimConfig& sim_config) {
+  const Cell faulty = inject_defect(cell, defect, injection);
+  SwitchSim sim(faulty, sim_config);
+  TesterResponse response;
+  response.failing.reserve(model.stimuli.size());
+  for (std::size_t s = 0; s < model.stimuli.size(); ++s) {
+    const Sig out = sim.run(model.stimuli[s]);
+    const bool fails = sig_is_binary(out) && out != model.golden_responses[s];
+    response.failing.push_back(static_cast<std::uint8_t>(fails));
+  }
+  return response;
+}
+
+}  // namespace caml

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <vector>
+
+#include "camodel/ca_model.hpp"
+#include "defect/injector.hpp"
+#include "sim/switch_sim.hpp"
+
+namespace caml {
+
+/// Pass/fail observation per stimulus of the CA model, as a tester (or
+/// a fault simulation of a customer return) would produce it.
+struct TesterResponse {
+  /// failing[s] == 1 iff the device failed stimulus s.
+  std::vector<std::uint8_t> failing;
+
+  std::size_t num_failing() const;
+};
+
+/// One ranked diagnosis candidate. Candidates are reported per defect
+/// equivalence class (all members explain the observation equally).
+struct DiagnosisCandidate {
+  /// Representative defect (first member of the equivalence class).
+  std::size_t defect_index = 0;
+  std::size_t equivalence_class = 0;
+  /// Members of the class (indices into CaModel::defects).
+  std::vector<std::size_t> members;
+  /// Observed fails this defect predicts / doesn't predict, and
+  /// predicted fails that actually passed.
+  std::size_t explained = 0;
+  std::size_t unexplained = 0;
+  std::size_t mispredicted = 0;
+  /// Jaccard similarity between predicted and observed fail sets.
+  double score = 0.0;
+  /// True when the prediction matches the observation exactly.
+  bool exact = false;
+};
+
+struct DiagnosisOptions {
+  /// Keep only the best-scoring candidates (0 = all with score > 0).
+  std::size_t top_k = 10;
+};
+
+/// Cell-aware cause-effect diagnosis: match the observed fail set
+/// against every defect equivalence class of the CA dictionary and rank
+/// by Jaccard similarity (exact matches first) — the diagnosis usage of
+/// CA models the paper's introduction describes.
+std::vector<DiagnosisCandidate> diagnose(const CaModel& model, const TesterResponse& observed,
+                                         const DiagnosisOptions& options = {});
+
+/// Produces the tester response a given defect would cause, by
+/// simulating the defective cell against the model's stimuli (test
+/// bench / example helper).
+TesterResponse simulate_tester_response(const Cell& cell, const CaModel& model,
+                                        const Defect& defect,
+                                        const InjectionConfig& injection = {},
+                                        const SimConfig& sim = {});
+
+}  // namespace caml

@@ -1,0 +1,43 @@
+#include "camodel/generate.hpp"
+
+#include "sim/evaluator.hpp"
+
+namespace caml {
+
+CaModel generate_ca_model(const Cell& cell, const GenerationOptions& options) {
+  CaModel model;
+  model.cell_name = cell.name();
+  model.num_inputs = cell.num_inputs();
+  model.policy = options.policy;
+  model.stimuli = generate_stimuli(cell.num_inputs(), options.policy);
+
+  const GoldenResult golden = simulate_golden(cell, model.stimuli, options.sim);
+  model.golden_responses = golden.responses;
+
+  const std::vector<Defect> universe = enumerate_defects(cell, options.universe);
+  model.defects.reserve(universe.size());
+  for (const Defect& defect : universe) {
+    const Cell faulty_cell = inject_defect(cell, defect, options.injection);
+    SwitchSim sim(faulty_cell, options.sim);
+    CaDefectEntry entry;
+    entry.defect = defect;
+    entry.detection.resize(model.stimuli.size());
+    for (std::size_t s = 0; s < model.stimuli.size(); ++s) {
+      const Sig faulty = sim.run(model.stimuli[s]);
+      const Sig good = model.golden_responses[s];
+      entry.detection[s] =
+          static_cast<std::uint8_t>(sig_is_binary(faulty) && faulty != good ? 1 : 0);
+    }
+    model.defects.push_back(std::move(entry));
+  }
+  model.classify();
+  return model;
+}
+
+std::size_t conventional_simulation_count(const Cell& cell, const GenerationOptions& options) {
+  const std::size_t stimuli = stimulus_count(cell.num_inputs(), options.policy);
+  const std::size_t defects = enumerate_defects(cell, options.universe).size();
+  return 1 + stimuli * defects;
+}
+
+}  // namespace caml

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "camodel/ca_model.hpp"
+#include "netlist/cell.hpp"
+
+namespace caml {
+
+/// Text serialization of CA models — the stand-in for the commercial CA
+/// model files the paper's flow "rewrites" into its internal form
+/// (Fig. 3, first step). Round-trips exactly.
+///
+///   CAMODEL NAND2X1 INPUTS 2 POLICY exhaustive DEFECTS 36
+///   GOLDEN 1110...
+///   DEFECT open MN0.G CLASS static
+///   DETECT 00100...
+///   ...
+///   ENDMODEL
+void write_ca_model(std::ostream& os, const CaModel& model, const Cell& cell);
+
+/// Parses one CAMODEL block. The cell provides the device-name ->
+/// transistor mapping; throws caml::ParseError on malformed input or
+/// caml::Error when a referenced device does not exist in the cell.
+CaModel read_ca_model(std::istream& in, const Cell& cell);
+
+std::string ca_model_to_string(const CaModel& model, const Cell& cell);
+CaModel ca_model_from_string(const std::string& text, const Cell& cell);
+
+}  // namespace caml

@@ -1,0 +1,67 @@
+#include "camodel/pattern_selection.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace caml {
+
+PatternSelection select_patterns(const CaModel& model, const PatternSelectionOptions& options) {
+  PatternSelection out;
+
+  // Work on equivalence classes: covering one representative covers the
+  // class (identical detection vectors).
+  std::vector<std::size_t> representatives;
+  for (const auto& eq_class : model.equivalence_classes) {
+    CAML_ASSERT(!eq_class.empty());
+    const std::size_t rep = eq_class.front();
+    if (model.defects[rep].klass == DefectClass::kUndetected) {
+      for (std::size_t d : eq_class) out.undetected.push_back(d);
+    } else {
+      representatives.push_back(rep);
+    }
+  }
+  std::sort(out.undetected.begin(), out.undetected.end());
+
+  std::vector<std::uint8_t> covered(representatives.size(), 0);
+  std::size_t remaining = representatives.size();
+  const std::size_t budget =
+      options.max_patterns == 0 ? model.stimuli.size() : options.max_patterns;
+
+  while (remaining > 0 && out.stimuli.size() < budget) {
+    std::size_t best_stimulus = 0;
+    std::size_t best_gain = 0;
+    bool best_static = false;
+    for (std::size_t s = 0; s < model.stimuli.size(); ++s) {
+      std::size_t gain = 0;
+      for (std::size_t r = 0; r < representatives.size(); ++r) {
+        if (!covered[r] && model.defects[representatives[r]].detection[s]) ++gain;
+      }
+      const bool is_static = model.stimuli[s].is_static();
+      const bool better =
+          gain > best_gain ||
+          (gain == best_gain && gain > 0 && options.prefer_static && is_static && !best_static);
+      if (better) {
+        best_stimulus = s;
+        best_gain = gain;
+        best_static = is_static;
+      }
+    }
+    if (best_gain == 0) break;  // defensive: nothing else coverable
+    out.stimuli.push_back(best_stimulus);
+    for (std::size_t r = 0; r < representatives.size(); ++r) {
+      if (!covered[r] && model.defects[representatives[r]].detection[best_stimulus]) {
+        covered[r] = 1;
+        --remaining;
+      }
+    }
+  }
+
+  out.coverage = representatives.empty()
+                     ? 1.0
+                     : static_cast<double>(representatives.size() - remaining) /
+                           static_cast<double>(representatives.size());
+  return out;
+}
+
+}  // namespace caml

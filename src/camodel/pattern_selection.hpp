@@ -1,0 +1,38 @@
+#pragma once
+
+#include <vector>
+
+#include "camodel/ca_model.hpp"
+
+namespace caml {
+
+/// Result of cell-aware test pattern selection.
+struct PatternSelection {
+  /// Indices into the CA model's stimulus list, in selection order
+  /// (each pattern detects at least one previously-uncovered defect).
+  std::vector<std::size_t> stimuli;
+  /// Defects (indices into model.defects) no stimulus detects.
+  std::vector<std::size_t> undetected;
+  /// Detected-defect coverage of the selection in [0, 1] (equals 1 by
+  /// construction; exposed for partial-budget selections).
+  double coverage = 0.0;
+};
+
+/// Options for select_patterns.
+struct PatternSelectionOptions {
+  /// Stop after this many patterns (0 = cover everything detectable).
+  std::size_t max_patterns = 0;
+  /// Prefer static stimuli when their marginal coverage ties a dynamic
+  /// stimulus (static patterns are cheaper to apply on a tester).
+  bool prefer_static = true;
+};
+
+/// Greedy set-cover over the CA model's detection matrix: repeatedly
+/// pick the stimulus detecting the most still-uncovered defect
+/// equivalence classes. This is the downstream consumption of a CA
+/// model — cell-aware test generation of the kind the paper's
+/// introduction motivates.
+PatternSelection select_patterns(const CaModel& model,
+                                 const PatternSelectionOptions& options = {});
+
+}  // namespace caml

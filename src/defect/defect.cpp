@@ -1,0 +1,33 @@
+#include "defect/defect.hpp"
+
+#include "util/error.hpp"
+
+namespace caml {
+
+const char* defect_kind_name(DefectKind k) {
+  switch (k) {
+    case DefectKind::kOpen: return "open";
+    case DefectKind::kShort: return "short";
+  }
+  throw Error("invalid DefectKind");
+}
+
+const char* defect_strength_name(DefectStrength s) {
+  switch (s) {
+    case DefectStrength::kHard: return "hard";
+    case DefectStrength::kResistive: return "resistive";
+  }
+  throw Error("invalid DefectStrength");
+}
+
+std::string Defect::describe(const Cell& cell) const {
+  const auto term = [&](const TerminalRef& r) {
+    return cell.transistor(r.transistor).name + "." + terminal_name(r.terminal);
+  };
+  const std::string prefix =
+      strength == DefectStrength::kResistive ? "resistive-" : "";
+  if (kind == DefectKind::kOpen) return prefix + "open(" + term(a) + ")";
+  return prefix + "short(" + term(a) + ", " + term(b) + ")";
+}
+
+}  // namespace caml

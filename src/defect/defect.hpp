@@ -1,0 +1,48 @@
+#pragma once
+
+#include <string>
+
+#include "netlist/graph.hpp"
+
+namespace caml {
+
+/// Physical defect class, following the paper's Section IV taxonomy.
+enum class DefectKind : std::uint8_t {
+  kOpen,   ///< open (disconnection) at one transistor terminal
+  kShort,  ///< short between two transistor terminals
+};
+
+const char* defect_kind_name(DefectKind k);
+
+/// Electrical severity of the defect. The paper notes that CA flows
+/// model shorts/opens with fixed resistance values that are "often
+/// identical for all technologies"; hard defects are the zero/infinite
+/// resistance limit, resistive ones the finite-resistance variant (a
+/// weak bridge for shorts, a weak residual path for opens).
+enum class DefectStrength : std::uint8_t {
+  kHard,       ///< 0-ohm short / fully broken open
+  kResistive,  ///< finite-resistance short / leaky open
+};
+
+const char* defect_strength_name(DefectStrength s);
+
+/// One cell-internal defect. Opens reference a single terminal
+/// (`a`, with `b == a`); shorts reference two terminals, which belong to
+/// the same transistor for intra-transistor shorts and to different
+/// transistors for inter-transistor shorts (bridges).
+struct Defect {
+  DefectKind kind = DefectKind::kOpen;
+  DefectStrength strength = DefectStrength::kHard;
+  TerminalRef a{0, Terminal::kDrain};
+  TerminalRef b{0, Terminal::kDrain};
+
+  bool is_intra_transistor() const { return a.transistor == b.transistor; }
+
+  /// Human-readable description using the cell's device names, e.g.
+  /// "open(MN0.S)" or "short(MN0.D, MN1.S)".
+  std::string describe(const Cell& cell) const;
+
+  bool operator==(const Defect&) const = default;
+};
+
+}  // namespace caml

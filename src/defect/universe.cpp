@@ -1,0 +1,72 @@
+#include "defect/universe.hpp"
+
+namespace caml {
+
+std::vector<Defect> enumerate_defects(const Cell& cell, const UniverseOptions& options) {
+  std::vector<Defect> out;
+  const auto num = static_cast<TransistorId>(cell.num_transistors());
+
+  if (options.opens) {
+    for (TransistorId ti = 0; ti < num; ++ti) {
+      for (Terminal term : {Terminal::kGate, Terminal::kSource, Terminal::kDrain}) {
+        Defect d;
+        d.kind = DefectKind::kOpen;
+        d.a = d.b = TerminalRef{ti, term};
+        out.push_back(d);
+      }
+    }
+  }
+
+  if (options.intra_transistor_shorts) {
+    static constexpr Terminal kPairs[][2] = {
+        {Terminal::kGate, Terminal::kSource}, {Terminal::kGate, Terminal::kDrain},
+        {Terminal::kSource, Terminal::kDrain}, {Terminal::kBulk, Terminal::kGate},
+        {Terminal::kBulk, Terminal::kSource}, {Terminal::kBulk, Terminal::kDrain}};
+    for (TransistorId ti = 0; ti < num; ++ti) {
+      const Transistor& t = cell.transistor(ti);
+      for (const auto& pair : kPairs) {
+        if (t.terminal(pair[0]) == t.terminal(pair[1])) continue;  // already connected
+        Defect d;
+        d.kind = DefectKind::kShort;
+        d.a = TerminalRef{ti, pair[0]};
+        d.b = TerminalRef{ti, pair[1]};
+        out.push_back(d);
+      }
+    }
+  }
+
+  if (options.inter_transistor_shorts) {
+    const CellGraph graph(cell);
+    for (const auto& component : graph.channel_connected_components()) {
+      for (std::size_t i = 0; i < component.size(); ++i) {
+        for (std::size_t j = i + 1; j < component.size(); ++j) {
+          const Transistor& ta = cell.transistor(component[i]);
+          const Transistor& tb = cell.transistor(component[j]);
+          for (Terminal terma : {Terminal::kSource, Terminal::kDrain}) {
+            for (Terminal termb : {Terminal::kSource, Terminal::kDrain}) {
+              if (ta.terminal(terma) == tb.terminal(termb)) continue;
+              Defect d;
+              d.kind = DefectKind::kShort;
+              d.a = TerminalRef{component[i], terma};
+              d.b = TerminalRef{component[j], termb};
+              out.push_back(d);
+            }
+          }
+        }
+      }
+    }
+  }
+
+  if (options.resistive_variants) {
+    const std::size_t hard_count = out.size();
+    out.reserve(hard_count * 2);
+    for (std::size_t i = 0; i < hard_count; ++i) {
+      Defect r = out[i];
+      r.strength = DefectStrength::kResistive;
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
+}  // namespace caml

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <vector>
+
+#include "defect/defect.hpp"
+
+namespace caml {
+
+/// Which defects to enumerate for a cell.
+struct UniverseOptions {
+  /// Opens on gate, source and drain of every transistor (bulk opens
+  /// have no effect in the switch-level model and are never enumerated).
+  bool opens = true;
+  /// Intra-transistor shorts between every terminal pair (G-S, G-D,
+  /// S-D, B-G, B-S, B-D), skipping pairs whose nets are already
+  /// connected in the defect-free cell (injecting them would be a
+  /// no-op).
+  bool intra_transistor_shorts = true;
+  /// Inter-transistor shorts (bridges) between source/drain terminals of
+  /// different transistors within the same channel-connected component.
+  /// The paper mentions but does not evaluate these; off by default.
+  bool inter_transistor_shorts = false;
+  /// Emit a resistive (finite-resistance) variant of every enumerated
+  /// defect in addition to the hard one. Off by default (the paper's
+  /// universe); doubles the defect count when enabled.
+  bool resistive_variants = false;
+};
+
+/// Enumerates the defect universe of a cell in a deterministic order
+/// (transistor index, then terminal order, opens before shorts). Two
+/// cells with identical transistor structure produce defect lists that
+/// correspond index-by-index after canonical renaming — the property the
+/// CA-matrix relies on.
+std::vector<Defect> enumerate_defects(const Cell& cell, const UniverseOptions& options = {});
+
+}  // namespace caml

@@ -1,0 +1,37 @@
+#include "flow/characterize.hpp"
+
+#include "util/log.hpp"
+
+namespace caml {
+
+CharacterizedCell characterize_cell(const LibraryCell& cell, const Technology& tech,
+                                    const CharacterizeOptions& options) {
+  GenerationOptions gen;
+  gen.policy = options.policy.policy_for(cell.cell.num_inputs());
+  gen.universe = options.universe;
+  gen.injection = options.injection;
+  gen.sim = options.use_technology_sim ? tech.sim : options.sim_override;
+
+  CharacterizedCell out;
+  out.source = cell;
+  out.model = generate_ca_model(cell.cell, gen);
+  out.canonical = canonicalize(cell.cell, gen.sim);
+  out.sim = gen.sim;
+  return out;
+}
+
+std::vector<CharacterizedCell> characterize_library(const Library& library,
+                                                    const CharacterizeOptions& options) {
+  std::vector<CharacterizedCell> out;
+  out.reserve(library.cells.size());
+  for (const LibraryCell& cell : library.cells) {
+    out.push_back(characterize_cell(cell, library.technology, options));
+    if (out.size() % 100 == 0) {
+      log_info() << library.name << ": characterized " << out.size() << "/"
+                 << library.cells.size() << " cells";
+    }
+  }
+  return out;
+}
+
+}  // namespace caml

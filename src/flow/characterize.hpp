@@ -1,0 +1,57 @@
+#pragma once
+
+#include <vector>
+
+#include "camatrix/canonical.hpp"
+#include "camodel/generate.hpp"
+#include "libgen/builder.hpp"
+
+namespace caml {
+
+/// Stimulus-policy schedule: cells with few inputs afford the exhaustive
+/// two-pattern set; wide cells fall back to the single-input-change set
+/// to keep single-core runtimes bounded. Training and evaluation always
+/// agree because the policy depends only on the input count.
+struct PolicyProfile {
+  std::size_t exhaustive_max_inputs = 4;
+
+  StimulusPolicy policy_for(std::size_t num_inputs) const {
+    return num_inputs <= exhaustive_max_inputs ? StimulusPolicy::kExhaustivePairs
+                                               : StimulusPolicy::kSingleInputChange;
+  }
+};
+
+/// A library cell with everything the downstream flows need: its
+/// simulated (ground-truth) CA model and its canonical form.
+struct CharacterizedCell {
+  LibraryCell source;
+  CaModel model;
+  CanonicalCell canonical;
+  /// Simulator (test-condition) parameters the model was generated
+  /// with; reused for the golden sweeps of CA-matrix construction.
+  SimConfig sim;
+
+  std::size_t num_inputs() const { return source.cell.num_inputs(); }
+  std::size_t num_transistors() const { return source.cell.num_transistors(); }
+};
+
+struct CharacterizeOptions {
+  PolicyProfile policy;
+  UniverseOptions universe;
+  InjectionConfig injection;
+  /// The simulator (test-condition) parameters default to the library's
+  /// technology profile; override only for experiments.
+  bool use_technology_sim = true;
+  SimConfig sim_override;
+};
+
+/// Runs the conventional (simulation-based) generation flow over a whole
+/// library — the source of both training data and ground truth.
+std::vector<CharacterizedCell> characterize_library(const Library& library,
+                                                    const CharacterizeOptions& options = {});
+
+/// Characterizes a single cell under a technology.
+CharacterizedCell characterize_cell(const LibraryCell& cell, const Technology& tech,
+                                    const CharacterizeOptions& options = {});
+
+}  // namespace caml

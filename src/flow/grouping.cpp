@@ -1,0 +1,13 @@
+#include "flow/grouping.hpp"
+
+namespace caml {
+
+GroupMap group_cells(const std::vector<CharacterizedCell>& cells) {
+  GroupMap groups;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    groups[GroupKey{cells[i].num_inputs(), cells[i].num_transistors()}].push_back(i);
+  }
+  return groups;
+}
+
+}  // namespace caml

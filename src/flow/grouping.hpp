@@ -1,0 +1,25 @@
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "flow/characterize.hpp"
+
+namespace caml {
+
+/// Cells are grouped by (number of inputs, number of transistors) —
+/// paper Section II.B — so every cell in a group shares the CA-matrix
+/// column layout and one classifier serves the whole group.
+struct GroupKey {
+  std::size_t num_inputs = 0;
+  std::size_t num_transistors = 0;
+
+  auto operator<=>(const GroupKey&) const = default;
+};
+
+/// Indices into the characterized-cell vector, grouped by key.
+using GroupMap = std::map<GroupKey, std::vector<std::size_t>>;
+
+GroupMap group_cells(const std::vector<CharacterizedCell>& cells);
+
+}  // namespace caml

@@ -1,0 +1,138 @@
+#include "flow/hybrid.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <map>
+
+#include "util/log.hpp"
+
+namespace caml {
+
+double CostModel::seconds_per_simulation(std::size_t num_transistors) const {
+  const double ratio = static_cast<double>(num_transistors) / reference_transistors;
+  return base_seconds * std::pow(std::max(ratio, 1e-3), size_exponent);
+}
+
+double CostModel::conventional_seconds(const CharacterizedCell& cell) const {
+  const std::size_t sims = (1 + cell.model.defects.size()) * cell.model.num_stimuli();
+  return static_cast<double>(sims) * seconds_per_simulation(cell.num_transistors());
+}
+
+std::size_t HybridReport::count_match(StructureMatch m) const {
+  std::size_t n = 0;
+  for (const HybridCellOutcome& o : outcomes) n += o.match == m;
+  return n;
+}
+
+std::size_t HybridReport::count_routed_to_ml() const {
+  std::size_t n = 0;
+  for (const HybridCellOutcome& o : outcomes) n += o.routed_to_ml;
+  return n;
+}
+
+double HybridReport::conventional_only_seconds() const {
+  double s = 0.0;
+  for (const HybridCellOutcome& o : outcomes) s += o.conventional_seconds;
+  return s;
+}
+
+double HybridReport::hybrid_seconds() const {
+  double s = 0.0;
+  for (const HybridCellOutcome& o : outcomes) {
+    s += o.routed_to_ml ? o.ml_seconds : o.conventional_seconds;
+  }
+  return s;
+}
+
+double HybridReport::ml_portion_reduction() const {
+  double conv = 0.0, ml = 0.0;
+  for (const HybridCellOutcome& o : outcomes) {
+    if (o.routed_to_ml) {
+      conv += o.conventional_seconds;
+      ml += o.ml_seconds;
+    }
+  }
+  return conv == 0.0 ? 0.0 : 1.0 - ml / conv;
+}
+
+double HybridReport::overall_reduction() const {
+  const double conv = conventional_only_seconds();
+  return conv == 0.0 ? 0.0 : 1.0 - hybrid_seconds() / conv;
+}
+
+double HybridReport::ml_accuracy_above(double threshold) const {
+  std::size_t routed = 0, above = 0;
+  for (const HybridCellOutcome& o : outcomes) {
+    if (!o.routed_to_ml) continue;
+    ++routed;
+    above += o.accuracy > threshold;
+  }
+  return routed == 0 ? 0.0 : static_cast<double>(above) / static_cast<double>(routed);
+}
+
+HybridReport run_hybrid_flow(const std::vector<CharacterizedCell>& training,
+                             const std::vector<CharacterizedCell>& targets,
+                             const HybridOptions& options) {
+  using Clock = std::chrono::steady_clock;
+
+  StructureIndex index(training);
+  // Training pool per group, extended by feedback.
+  GroupMap train_groups = group_cells(training);
+  std::map<GroupKey, std::vector<const CharacterizedCell*>> pool;
+  for (const auto& [key, members] : train_groups) {
+    for (std::size_t m : members) pool[key].push_back(&training[m]);
+  }
+  // Lazily trained classifiers, invalidated when feedback extends the
+  // pool.
+  std::map<GroupKey, std::unique_ptr<Classifier>> classifiers;
+  std::map<GroupKey, double> training_seconds;
+  std::map<GroupKey, std::size_t> cells_served;
+
+  HybridReport report;
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    const CharacterizedCell& cell = targets[i];
+    HybridCellOutcome outcome;
+    outcome.cell_index = i;
+    outcome.match = index.classify(cell.canonical);
+    outcome.conventional_seconds = options.cost.conventional_seconds(cell);
+
+    const GroupKey key{cell.num_inputs(), cell.num_transistors()};
+    const bool have_training = pool.count(key) && !pool[key].empty();
+    outcome.routed_to_ml = outcome.match != StructureMatch::kNew && have_training;
+
+    if (outcome.routed_to_ml) {
+      auto& classifier = classifiers[key];
+      if (!classifier) {
+        const auto t0 = Clock::now();
+        classifier = train_group_classifier(pool[key], options.ml);
+        training_seconds[key] += std::chrono::duration<double>(Clock::now() - t0).count();
+      }
+      const auto t0 = Clock::now();
+      const CaModel predicted = predict_ca_model(*classifier, cell, options.ml);
+      outcome.ml_seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+      outcome.accuracy = ca_model_agreement(cell.model, predicted);
+      ++cells_served[key];
+    } else {
+      // Conventional generation: the ground truth already embodies it;
+      // only cost is accounted. With feedback the simulated cell
+      // enriches both the structure index and the training pool.
+      if (options.feedback) {
+        index.add(cell.canonical);
+        pool[key].push_back(&cell);
+        classifiers.erase(key);  // stale: retrain on next use
+      }
+    }
+    report.outcomes.push_back(outcome);
+  }
+
+  // Amortize each group's training time over the cells it served.
+  for (HybridCellOutcome& o : report.outcomes) {
+    if (!o.routed_to_ml) continue;
+    const GroupKey key{targets[o.cell_index].num_inputs(),
+                       targets[o.cell_index].num_transistors()};
+    o.ml_seconds += training_seconds[key] / static_cast<double>(cells_served[key]);
+  }
+  return report;
+}
+
+}  // namespace caml

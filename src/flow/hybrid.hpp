@@ -1,0 +1,74 @@
+#pragma once
+
+#include "flow/ml_flow.hpp"
+#include "flow/structural.hpp"
+
+namespace caml {
+
+/// Analytic model of conventional (SPICE-based) CA generation cost —
+/// the stand-in for the paper's measured license-hours. Each electrical
+/// simulation of a cell costs base_seconds scaled by transistor count;
+/// a cell's conventional cost is that times its simulation count.
+struct CostModel {
+  double base_seconds = 0.8;          ///< one transient sim, 20-T cell
+  double reference_transistors = 20;  ///< size normalization point
+  double size_exponent = 0.5;         ///< sublinear growth with cell size
+
+  double seconds_per_simulation(std::size_t num_transistors) const;
+
+  /// Full conventional-flow cost for a characterized cell (its own
+  /// defect universe and stimulus policy).
+  double conventional_seconds(const CharacterizedCell& cell) const;
+};
+
+/// Per-cell outcome of the hybrid flow (paper Fig. 7).
+struct HybridCellOutcome {
+  std::size_t cell_index = 0;
+  StructureMatch match = StructureMatch::kNew;
+  bool routed_to_ml = false;
+  /// Prediction accuracy vs ground truth (1.0 for simulated cells,
+  /// whose model is exact by construction).
+  double accuracy = 1.0;
+  /// Modeled SPICE cost of this cell's conventional generation.
+  double conventional_seconds = 0.0;
+  /// Measured wall-clock of the ML path (matrix build + inference, plus
+  /// this cell's share of its group's training time).
+  double ml_seconds = 0.0;
+};
+
+struct HybridReport {
+  std::vector<HybridCellOutcome> outcomes;
+
+  std::size_t count_match(StructureMatch m) const;
+  std::size_t count_routed_to_ml() const;
+
+  /// Total cost when every cell is simulated conventionally.
+  double conventional_only_seconds() const;
+  /// Total cost of the hybrid flow: ML wall time for routed cells +
+  /// conventional cost for the rest.
+  double hybrid_seconds() const;
+  /// Reduction on the ML-covered cells only (the paper's 99.7%).
+  double ml_portion_reduction() const;
+  /// Overall reduction (the paper's ~38%).
+  double overall_reduction() const;
+  /// Fraction of ML-routed cells with accuracy above a threshold.
+  double ml_accuracy_above(double threshold) const;
+};
+
+struct HybridOptions {
+  MlOptions ml;
+  CostModel cost;
+  /// Fig. 7's feedback loop: cells routed to simulation join the
+  /// training pool and the structure index for subsequent cells.
+  bool feedback = true;
+};
+
+/// Runs the hybrid generation flow for `targets` given an existing
+/// training set: structural analysis routes each cell to ML inference
+/// or to conventional generation (already available in the
+/// CharacterizedCell ground truth — only its *cost* is accounted).
+HybridReport run_hybrid_flow(const std::vector<CharacterizedCell>& training,
+                             const std::vector<CharacterizedCell>& targets,
+                             const HybridOptions& options = {});
+
+}  // namespace caml

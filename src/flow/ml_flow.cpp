@@ -1,0 +1,196 @@
+#include "flow/ml_flow.hpp"
+
+#include "defect/universe.hpp"
+#include "sim/evaluator.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace caml {
+
+std::unique_ptr<Classifier> MlOptions::new_classifier() const {
+  if (make_classifier) return make_classifier();
+  return std::make_unique<RandomForest>(forest);
+}
+
+Dataset build_training_set(const std::vector<const CharacterizedCell*>& train_cells,
+                           const MlOptions& options) {
+  CAML_ASSERT(!train_cells.empty());
+  const CharacterizedCell& first = *train_cells.front();
+  const std::size_t features =
+      matrix_feature_count(first.num_inputs(), first.num_transistors(), options.matrix);
+  Dataset data(features);
+  Rng rng(options.seed);
+  for (const CharacterizedCell* cell : train_cells) {
+    CAML_ASSERT(cell->num_inputs() == first.num_inputs());
+    CAML_ASSERT(cell->num_transistors() == first.num_transistors());
+    const CaMatrix matrix = build_ca_matrix(cell->source.cell, cell->model, cell->canonical,
+                                            cell->sim, options.matrix);
+    Dataset cell_data(features);
+    cell_data.reserve(matrix.num_rows());
+    for (std::size_t r = 0; r < matrix.num_rows(); ++r) {
+      cell_data.add_row(matrix.row(r), matrix.labels()[r]);
+    }
+    if (options.max_train_rows_per_cell == 0) {
+      // Exact full-data training: identical rows (from structurally
+      // identical sibling cells) merge into one weighted row.
+      data.add_deduplicated(cell_data);
+    } else {
+      Dataset sampled(features);
+      sampled.add_sampled(cell_data, options.max_train_rows_per_cell, rng);
+      data.add_deduplicated(sampled);
+    }
+  }
+  return data;
+}
+
+std::unique_ptr<Classifier> train_group_classifier(
+    const std::vector<const CharacterizedCell*>& train_cells, const MlOptions& options) {
+  const Dataset data = build_training_set(train_cells, options);
+  std::unique_ptr<Classifier> classifier = options.new_classifier();
+  classifier->fit(data);
+  return classifier;
+}
+
+namespace {
+
+/// Shared inference core: classify every (stimulus, defect) row of the
+/// unlabeled CA-matrix and assemble the predicted CaModel.
+CaModel predict_from_defects(const Classifier& classifier, const Cell& cell,
+                             const CanonicalCell& canonical, StimulusPolicy policy,
+                             const SimConfig& sim, const MatrixOptions& matrix_options,
+                             std::vector<Defect> defects) {
+  const CaMatrix matrix =
+      build_unlabeled_matrix(cell, defects, policy, canonical, sim, matrix_options);
+
+  CaModel predicted;
+  predicted.cell_name = cell.name();
+  predicted.num_inputs = cell.num_inputs();
+  predicted.policy = policy;
+  predicted.stimuli = generate_stimuli(cell.num_inputs(), policy);
+  const GoldenResult golden = simulate_golden(cell, predicted.stimuli, sim);
+  predicted.golden_responses = golden.responses;
+  predicted.defects.resize(defects.size());
+  for (std::size_t d = 0; d < defects.size(); ++d) {
+    predicted.defects[d].defect = defects[d];
+    predicted.defects[d].detection.assign(predicted.stimuli.size(), 0);
+  }
+  for (std::size_t r = 0; r < matrix.num_rows(); ++r) {
+    const std::int32_t d = matrix.row_defect()[r];
+    CAML_ASSERT(d >= 0);
+    predicted.defects[static_cast<std::size_t>(d)]
+        .detection[matrix.row_stimulus()[r]] = classifier.predict(matrix.row(r));
+  }
+  predicted.classify();
+  return predicted;
+}
+
+}  // namespace
+
+CaModel predict_ca_model(const Classifier& classifier, const CharacterizedCell& cell,
+                         const MlOptions& options) {
+  // The defect list and stimulus policy come from the cell's own
+  // (ground-truth) model so the prediction is row-for-row comparable.
+  std::vector<Defect> defects;
+  defects.reserve(cell.model.defects.size());
+  for (const CaDefectEntry& e : cell.model.defects) defects.push_back(e.defect);
+  return predict_from_defects(classifier, cell.source.cell, cell.canonical, cell.model.policy,
+                              cell.sim, options.matrix, std::move(defects));
+}
+
+CaModel predict_ca_model_for_cell(const Classifier& classifier, const Cell& cell,
+                                  const CanonicalCell& canonical, StimulusPolicy policy,
+                                  const SimConfig& sim, const MlOptions& options,
+                                  const UniverseOptions& universe) {
+  return predict_from_defects(classifier, cell, canonical, policy, sim, options.matrix,
+                              enumerate_defects(cell, universe));
+}
+
+double ca_model_agreement(const CaModel& truth, const CaModel& predicted) {
+  CAML_ASSERT(truth.defects.size() == predicted.defects.size());
+  std::size_t agree = 0, total = 0;
+  for (std::size_t d = 0; d < truth.defects.size(); ++d) {
+    const auto& a = truth.defects[d].detection;
+    const auto& b = predicted.defects[d].detection;
+    CAML_ASSERT(a.size() == b.size());
+    for (std::size_t s = 0; s < a.size(); ++s) {
+      agree += a[s] == b[s];
+    }
+    total += a.size();
+  }
+  return total == 0 ? 1.0 : static_cast<double>(agree) / static_cast<double>(total);
+}
+
+std::vector<CellEvaluation> evaluate_leave_one_out(const std::vector<CharacterizedCell>& cells,
+                                                   const MlOptions& options) {
+  std::vector<CellEvaluation> out;
+  const GroupMap groups = group_cells(cells);
+  for (const auto& [key, members] : groups) {
+    if (members.size() < 2) continue;  // paper: empty boxes
+
+    // Fast path: build each cell's (sampled, per-cell) row set once,
+    // merge into a master deduplicated set, then train each held-out
+    // iteration on master-minus-that-cell — identical training data to
+    // rebuilding per iteration at a fraction of the cost.
+    const std::size_t features =
+        matrix_feature_count(key.num_inputs, key.num_transistors, options.matrix);
+    std::vector<Dataset> cell_sets;
+    cell_sets.reserve(members.size());
+    Dataset master(features);
+    Rng rng(options.seed);
+    for (std::size_t m : members) {
+      const CharacterizedCell& cell = cells[m];
+      const CaMatrix matrix = build_ca_matrix(cell.source.cell, cell.model, cell.canonical,
+                                              cell.sim, options.matrix);
+      Dataset rows(features);
+      rows.reserve(matrix.num_rows());
+      for (std::size_t r = 0; r < matrix.num_rows(); ++r) {
+        rows.add_row(matrix.row(r), matrix.labels()[r]);
+      }
+      if (options.max_train_rows_per_cell != 0) {
+        Dataset sampled(features);
+        sampled.add_sampled(rows, options.max_train_rows_per_cell, rng);
+        rows = std::move(sampled);
+      }
+      master.add_deduplicated(rows);
+      cell_sets.push_back(std::move(rows));
+    }
+
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      const std::size_t held_out = members[i];
+      const Dataset training = master.subtract_deduplicated(cell_sets[i]);
+      std::unique_ptr<Classifier> classifier = options.new_classifier();
+      classifier->fit(training);
+      const CaModel predicted = predict_ca_model(*classifier, cells[held_out], options);
+      out.push_back(CellEvaluation{held_out, key,
+                                   ca_model_agreement(cells[held_out].model, predicted)});
+    }
+    log_info() << "LOO group (" << key.num_inputs << " in, " << key.num_transistors
+               << " T): " << members.size() << " cells done";
+  }
+  return out;
+}
+
+std::vector<CellEvaluation> evaluate_cross_library(
+    const std::vector<CharacterizedCell>& train_cells,
+    const std::vector<CharacterizedCell>& eval_cells, const MlOptions& options) {
+  std::vector<CellEvaluation> out;
+  const GroupMap train_groups = group_cells(train_cells);
+  const GroupMap eval_groups = group_cells(eval_cells);
+  for (const auto& [key, members] : eval_groups) {
+    const auto it = train_groups.find(key);
+    if (it == train_groups.end()) continue;  // no counterpart group
+    std::vector<const CharacterizedCell*> train;
+    for (std::size_t m : it->second) train.push_back(&train_cells[m]);
+    const std::unique_ptr<Classifier> classifier = train_group_classifier(train, options);
+    for (std::size_t e : members) {
+      const CaModel predicted = predict_ca_model(*classifier, eval_cells[e], options);
+      out.push_back(
+          CellEvaluation{e, key, ca_model_agreement(eval_cells[e].model, predicted)});
+    }
+    log_info() << "cross group (" << key.num_inputs << " in, " << key.num_transistors
+               << " T): " << members.size() << " cells done";
+  }
+  return out;
+}
+
+}  // namespace caml

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "camatrix/matrix.hpp"
+#include "flow/grouping.hpp"
+#include "ml/classifier.hpp"
+#include "ml/forest.hpp"
+
+namespace caml {
+
+/// ML-side knobs of the learning-based generation flow.
+struct MlOptions {
+  ForestParams forest;
+  MatrixOptions matrix;
+  /// Training rows sampled per training cell before deduplication
+  /// (0 = use every row; identical rows across cells merge into one
+  /// weighted row, so full data is the affordable default).
+  std::size_t max_train_rows_per_cell = 0;
+  std::uint64_t seed = 0xCA11u;
+  /// Classifier factory; defaults to the paper's Random Forest. Used by
+  /// the algorithm-comparison bench to swap in the baselines.
+  std::function<std::unique_ptr<Classifier>()> make_classifier;
+
+  std::unique_ptr<Classifier> new_classifier() const;
+};
+
+/// Assembles the training dataset of a group from the labeled CA-matrix
+/// of each training cell (sampled per MlOptions). All cells must share
+/// the group's (inputs, transistors) shape.
+Dataset build_training_set(const std::vector<const CharacterizedCell*>& train_cells,
+                           const MlOptions& options);
+
+/// Trains the group classifier.
+std::unique_ptr<Classifier> train_group_classifier(
+    const std::vector<const CharacterizedCell*>& train_cells, const MlOptions& options);
+
+/// Predicts the CA model of a new cell with a trained group classifier:
+/// builds the unlabeled CA-matrix, classifies every (stimulus, defect)
+/// row and assembles the predicted detection vectors into a CaModel
+/// (the paper's inference step: "does this stimulus detect this defect
+/// affecting this cell?").
+CaModel predict_ca_model(const Classifier& classifier, const CharacterizedCell& cell,
+                         const MlOptions& options);
+
+/// Prediction for a genuinely new cell — no ground-truth model exists.
+/// Enumerates the defect universe from the netlist, runs only the
+/// defect-free golden sweeps (canonicalization + matrix prefix), and
+/// predicts every detection bit.
+CaModel predict_ca_model_for_cell(const Classifier& classifier, const Cell& cell,
+                                  const CanonicalCell& canonical, StimulusPolicy policy,
+                                  const SimConfig& sim, const MlOptions& options,
+                                  const UniverseOptions& universe = {});
+
+/// Fraction of (stimulus, defect) detection bits on which two CA models
+/// of the same cell agree — the paper's per-cell prediction accuracy.
+double ca_model_agreement(const CaModel& truth, const CaModel& predicted);
+
+/// Per-cell evaluation record.
+struct CellEvaluation {
+  std::size_t cell_index = 0;  ///< index into the evaluated vector
+  GroupKey group;
+  double accuracy = 0.0;
+};
+
+/// Leave-one-out evaluation inside every group of one technology
+/// (paper Table IV.a protocol). Groups with fewer than two cells are
+/// skipped, matching the paper's empty boxes.
+std::vector<CellEvaluation> evaluate_leave_one_out(const std::vector<CharacterizedCell>& cells,
+                                                   const MlOptions& options);
+
+/// Cross-technology evaluation (paper Tables IV.b/c protocol): for each
+/// group, train on every training-library cell of that group and
+/// evaluate each target-library cell. Target groups with no training
+/// counterpart are skipped.
+std::vector<CellEvaluation> evaluate_cross_library(
+    const std::vector<CharacterizedCell>& train_cells,
+    const std::vector<CharacterizedCell>& eval_cells, const MlOptions& options);
+
+}  // namespace caml

@@ -1,0 +1,88 @@
+#include "flow/model_store.hpp"
+
+#include "ml/forest_io.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace caml {
+
+GroupModelStore GroupModelStore::train(const std::vector<CharacterizedCell>& training,
+                                       const MlOptions& options) {
+  GroupModelStore store;
+  store.matrix_ = options.matrix;
+  const GroupMap groups = group_cells(training);
+  for (const auto& [key, members] : groups) {
+    std::vector<const CharacterizedCell*> cells;
+    for (std::size_t m : members) cells.push_back(&training[m]);
+    const Dataset data = build_training_set(cells, options);
+    RandomForest forest(options.forest);
+    forest.fit(data);
+    store.models_.emplace(key, std::move(forest));
+    log_info() << "trained group (" << key.num_inputs << " in, " << key.num_transistors
+               << " T) on " << cells.size() << " cells / " << data.num_rows()
+               << " distinct rows";
+  }
+  return store;
+}
+
+CaModel GroupModelStore::predict(const Cell& cell, const CanonicalCell& canonical,
+                                 StimulusPolicy policy, const SimConfig& sim,
+                                 const UniverseOptions& universe) const {
+  const GroupKey key{cell.num_inputs(), cell.num_transistors()};
+  const auto it = models_.find(key);
+  if (it == models_.end()) {
+    throw Error("no trained model for group (" + std::to_string(key.num_inputs) + " inputs, " +
+                std::to_string(key.num_transistors) + " transistors); cell " + cell.name() +
+                " needs conventional generation");
+  }
+  MlOptions options;
+  options.matrix = matrix_;
+  return predict_ca_model_for_cell(it->second, cell, canonical, policy, sim, options, universe);
+}
+
+void GroupModelStore::save(std::ostream& os) const {
+  os << "CAMLMODELS groups=" << models_.size() << " activity=" << matrix_.include_activity
+     << " response=" << matrix_.include_response
+     << " truthtable=" << matrix_.include_truth_table
+     << " kind=" << matrix_.include_defect_kind << '\n';
+  for (const auto& [key, forest] : models_) {
+    os << "GROUP " << key.num_inputs << ' ' << key.num_transistors << '\n';
+    write_forest(os, forest, forest.num_features());
+  }
+  os << "ENDMODELS\n";
+}
+
+GroupModelStore GroupModelStore::load(std::istream& in) {
+  GroupModelStore store;
+  std::string line;
+  if (!std::getline(in, line)) throw ParseError("expected CAMLMODELS header", 1);
+  const std::vector<std::string> head = split(line);
+  if (head.size() != 6 || head[0] != "CAMLMODELS") {
+    throw ParseError("bad CAMLMODELS header", 1);
+  }
+  const auto flag = [&](std::size_t i, const char* name) {
+    const std::string prefix = std::string(name) + "=";
+    if (head[i].rfind(prefix, 0) != 0) throw ParseError("bad header field " + head[i], 1);
+    return head[i].substr(prefix.size()) == "1";
+  };
+  const std::size_t groups = std::stoul(head[1].substr(7));
+  store.matrix_.include_activity = flag(2, "activity");
+  store.matrix_.include_response = flag(3, "response");
+  store.matrix_.include_truth_table = flag(4, "truthtable");
+  store.matrix_.include_defect_kind = flag(5, "kind");
+
+  for (std::size_t g = 0; g < groups; ++g) {
+    if (!std::getline(in, line)) throw ParseError("truncated model store", 0);
+    const std::vector<std::string> tok = split(line);
+    if (tok.size() != 3 || tok[0] != "GROUP") throw ParseError("expected GROUP line", 0);
+    const GroupKey key{std::stoul(tok[1]), std::stoul(tok[2])};
+    store.models_.emplace(key, read_forest(in).forest);
+  }
+  if (!std::getline(in, line) || trim(line) != "ENDMODELS") {
+    throw ParseError("missing ENDMODELS", 0);
+  }
+  return store;
+}
+
+}  // namespace caml

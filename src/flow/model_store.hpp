@@ -1,0 +1,43 @@
+#pragma once
+
+#include <istream>
+#include <map>
+#include <ostream>
+
+#include "flow/ml_flow.hpp"
+
+namespace caml {
+
+/// A trained Random Forest per (inputs, transistors) group, plus the
+/// CA-matrix options the forests were trained with — everything the
+/// predict side needs. Serializable, so the expensive training pass
+/// runs once (e.g. via the `caml train` CLI) and predictions for new
+/// cells run anywhere.
+class GroupModelStore {
+ public:
+  /// Trains one forest per group of the training corpus. Groups with a
+  /// single cell still train (one cell of training data is exactly the
+  /// paper's "identical structure available" sweet spot).
+  static GroupModelStore train(const std::vector<CharacterizedCell>& training,
+                               const MlOptions& options);
+
+  bool has_group(const GroupKey& key) const { return models_.count(key) > 0; }
+  std::size_t num_groups() const { return models_.size(); }
+  const MatrixOptions& matrix_options() const { return matrix_; }
+
+  /// Predicts the CA model of a new cell (its shape selects the group
+  /// model). Throws caml::Error if no model exists for the cell's
+  /// group — callers route such cells to conventional generation.
+  CaModel predict(const Cell& cell, const CanonicalCell& canonical, StimulusPolicy policy,
+                  const SimConfig& sim, const UniverseOptions& universe = {}) const;
+
+  /// Text serialization.
+  void save(std::ostream& os) const;
+  static GroupModelStore load(std::istream& in);
+
+ private:
+  std::map<GroupKey, RandomForest> models_;
+  MatrixOptions matrix_;
+};
+
+}  // namespace caml

@@ -1,0 +1,95 @@
+#include "flow/report.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/strings.hpp"
+
+namespace caml {
+
+AccuracyGrid aggregate_grid(const std::vector<CellEvaluation>& evaluations) {
+  AccuracyGrid grid;
+  for (const CellEvaluation& e : evaluations) {
+    GroupStats& g = grid[e.group];
+    ++g.count;
+    g.sum += e.accuracy;
+    g.max = std::max(g.max, e.accuracy);
+    g.min = std::min(g.min, e.accuracy);
+    if (e.accuracy >= 1.0 - 1e-12) ++g.perfect;
+  }
+  return grid;
+}
+
+void print_accuracy_grid(std::ostream& os, const AccuracyGrid& grid, const std::string& title) {
+  std::set<std::size_t> inputs, transistors;
+  for (const auto& [key, stats] : grid) {
+    inputs.insert(key.num_inputs);
+    transistors.insert(key.num_transistors);
+  }
+  os << title << '\n';
+  if (grid.empty()) {
+    os << "  (no evaluable groups)\n";
+    return;
+  }
+  TextTable table;
+  table.new_row();
+  table.cell("#T \\ #inputs");
+  for (std::size_t in : inputs) table.cell(static_cast<long long>(in));
+  for (std::size_t t : transistors) {
+    table.new_row();
+    table.cell(static_cast<long long>(t));
+    for (std::size_t in : inputs) {
+      const auto it = grid.find(GroupKey{in, t});
+      if (it == grid.end()) {
+        table.cell("");
+      } else {
+        std::string entry = format_fixed(100.0 * it->second.average(), 2);
+        if (it->second.any_perfect()) entry += "*";
+        table.cell(std::move(entry));
+      }
+    }
+  }
+  table.print(os);
+  os << "entries: average prediction accuracy (%) per (inputs, transistors) group; "
+        "'*' = group contains a 100%-predicted cell; blank = <2 cells or no "
+        "training counterpart\n";
+}
+
+AccuracyDistribution summarize_distribution(const std::vector<CellEvaluation>& evaluations) {
+  AccuracyDistribution d;
+  d.histogram.assign(11, 0);
+  if (evaluations.empty()) return d;
+  std::size_t above = 0;
+  for (const CellEvaluation& e : evaluations) {
+    ++d.cells;
+    d.mean += e.accuracy;
+    d.min = std::min(d.min, e.accuracy);
+    if (e.accuracy > 0.97) ++above;
+    if (e.accuracy < 0.9) {
+      ++d.histogram[0];
+    } else {
+      const auto bucket = static_cast<std::size_t>((e.accuracy - 0.9) / 0.01);
+      ++d.histogram[1 + std::min<std::size_t>(bucket, 9)];
+    }
+  }
+  d.mean /= static_cast<double>(d.cells);
+  d.fraction_above_97 = static_cast<double>(above) / static_cast<double>(d.cells);
+  return d;
+}
+
+void print_distribution(std::ostream& os, const AccuracyDistribution& dist,
+                        const std::string& title) {
+  os << title << '\n';
+  os << "  cells evaluated : " << dist.cells << '\n';
+  os << "  mean accuracy   : " << format_fixed(100.0 * dist.mean, 2) << "%\n";
+  os << "  min accuracy    : " << format_fixed(100.0 * dist.min, 2) << "%\n";
+  os << "  cells > 97%     : " << format_fixed(100.0 * dist.fraction_above_97, 1) << "%\n";
+  static const char* kBucketNames[] = {"  <90%", "90-91%", "91-92%", "92-93%", "93-94%",
+                                       "94-95%", "95-96%", "96-97%", "97-98%", "98-99%",
+                                       "99-100%"};
+  for (std::size_t b = 0; b < dist.histogram.size(); ++b) {
+    os << "  " << kBucketNames[b] << " : " << dist.histogram[b] << '\n';
+  }
+}
+
+}  // namespace caml

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <map>
+#include <ostream>
+
+#include "flow/ml_flow.hpp"
+#include "util/table.hpp"
+
+namespace caml {
+
+/// Per-group aggregation of cell evaluations, mirroring one box of the
+/// paper's Table IV.
+struct GroupStats {
+  std::size_t count = 0;
+  double sum = 0.0;
+  double max = 0.0;
+  double min = 1.0;
+  std::size_t perfect = 0;  ///< cells predicted with 100% accuracy
+
+  double average() const { return count == 0 ? 0.0 : sum / static_cast<double>(count); }
+  bool any_perfect() const { return perfect > 0; }  ///< green box in the paper
+};
+
+using AccuracyGrid = std::map<GroupKey, GroupStats>;
+
+AccuracyGrid aggregate_grid(const std::vector<CellEvaluation>& evaluations);
+
+/// Prints the paper's Table IV layout: rows are transistor counts,
+/// columns are input counts, entries are average accuracy in percent; a
+/// '*' suffix marks groups containing at least one perfectly predicted
+/// cell (the paper's green background).
+void print_accuracy_grid(std::ostream& os, const AccuracyGrid& grid, const std::string& title);
+
+/// Distribution summary used for the paper's Section V.B statistics.
+struct AccuracyDistribution {
+  std::size_t cells = 0;
+  double mean = 0.0;
+  double min = 1.0;
+  /// Fraction of cells with accuracy strictly above 0.97 (the paper's
+  /// "accurately predicted" criterion).
+  double fraction_above_97 = 0.0;
+  /// 10-bucket histogram over [0.9, 1.0] plus an underflow bucket.
+  std::vector<std::size_t> histogram;
+};
+
+AccuracyDistribution summarize_distribution(const std::vector<CellEvaluation>& evaluations);
+
+void print_distribution(std::ostream& os, const AccuracyDistribution& dist,
+                        const std::string& title);
+
+}  // namespace caml

@@ -1,0 +1,31 @@
+#include "flow/structural.hpp"
+
+#include "util/error.hpp"
+
+namespace caml {
+
+const char* structure_match_name(StructureMatch m) {
+  switch (m) {
+    case StructureMatch::kIdentical: return "identical";
+    case StructureMatch::kEquivalent: return "equivalent";
+    case StructureMatch::kNew: return "new";
+  }
+  throw Error("invalid StructureMatch");
+}
+
+StructureIndex::StructureIndex(const std::vector<CharacterizedCell>& training_cells) {
+  for (const CharacterizedCell& cell : training_cells) add(cell.canonical);
+}
+
+void StructureIndex::add(const CanonicalCell& canonical) {
+  full_.insert(canonical.structure_signature);
+  reduced_.insert(canonical.reduced_signature);
+}
+
+StructureMatch StructureIndex::classify(const CanonicalCell& canonical) const {
+  if (full_.count(canonical.structure_signature)) return StructureMatch::kIdentical;
+  if (reduced_.count(canonical.reduced_signature)) return StructureMatch::kEquivalent;
+  return StructureMatch::kNew;
+}
+
+}  // namespace caml

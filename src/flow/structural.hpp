@@ -1,0 +1,44 @@
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "flow/characterize.hpp"
+
+namespace caml {
+
+/// Outcome of the hybrid flow's structural analysis (paper Section V.C):
+/// how a new cell relates to the training dataset.
+enum class StructureMatch : std::uint8_t {
+  kIdentical,   ///< a training cell has the same transistor structure
+  kEquivalent,  ///< same structure after the Fig. 6 merged/split
+                ///< parallel-stack normalization
+  kNew,         ///< no structural counterpart; simulation required
+};
+
+const char* structure_match_name(StructureMatch m);
+
+/// Index over the structure signatures of a training set. Lookup is by
+/// the technology-independent canonical signatures, so cells from any
+/// library/technology can be matched.
+class StructureIndex {
+ public:
+  StructureIndex() = default;
+  explicit StructureIndex(const std::vector<CharacterizedCell>& training_cells);
+
+  /// Adds one training cell's signatures (the hybrid flow's feedback
+  /// loop: freshly simulated cells enrich the index).
+  void add(const CanonicalCell& canonical);
+
+  /// Classifies a new cell against the index.
+  StructureMatch classify(const CanonicalCell& canonical) const;
+
+  std::size_t num_full_signatures() const { return full_.size(); }
+  std::size_t num_reduced_signatures() const { return reduced_.size(); }
+
+ private:
+  std::set<std::string> full_;
+  std::set<std::string> reduced_;
+};
+
+}  // namespace caml

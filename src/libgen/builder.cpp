@@ -1,0 +1,295 @@
+#include "libgen/builder.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace caml {
+
+const char* variant_suffix(StructureVariant v) {
+  switch (v) {
+    case StructureVariant::kWide: return "";
+    case StructureVariant::kMerged: return "M";
+    case StructureVariant::kSplit: return "S";
+  }
+  throw Error("invalid StructureVariant");
+}
+
+namespace {
+
+std::string input_pin_name(PinNaming naming, int index) {
+  switch (naming) {
+    case PinNaming::kAlpha: {
+      std::string n(1, static_cast<char>('A' + index));
+      return n;
+    }
+    case PinNaming::kAIndex: return "A" + std::to_string(index);
+    case PinNaming::kInIndex: return "IN" + std::to_string(index + 1);
+  }
+  throw Error("invalid PinNaming");
+}
+
+std::string output_pin_name(PinNaming naming) {
+  switch (naming) {
+    case PinNaming::kAlpha: return "Z";
+    case PinNaming::kAIndex: return "Y";
+    case PinNaming::kInIndex: return "Q";
+  }
+  throw Error("invalid PinNaming");
+}
+
+/// Recursive series/parallel network construction between nets `from`
+/// and `to`. `copies` > 1 duplicates each leaf in place (kMerged).
+struct NetworkBuilder {
+  Cell& cell;
+  const std::vector<NetId>& signal_nets;
+  MosType type;
+  double width;
+  double length;
+  NetId bulk;
+  int copies;
+  int* net_counter;
+  int* dev_counter;
+
+  void build(const Expr& e, NetId from, NetId to) {
+    switch (e.op()) {
+      case Expr::Op::kLeaf: {
+        for (int c = 0; c < copies; ++c) {
+          Transistor t;
+          t.name = "DEV" + std::to_string((*dev_counter)++);
+          t.type = type;
+          t.drain = from;
+          t.gate = signal_nets.at(static_cast<std::size_t>(e.signal()));
+          t.source = to;
+          t.bulk = bulk;
+          t.width_um = width;
+          t.length_um = length;
+          cell.add_transistor(std::move(t));
+        }
+        return;
+      }
+      case Expr::Op::kSeries: {
+        NetId prev = from;
+        for (std::size_t i = 0; i < e.children().size(); ++i) {
+          const bool last = i + 1 == e.children().size();
+          NetId next = last ? to
+                            : cell.add_net("mid" + std::to_string((*net_counter)++),
+                                           NetKind::kInternal);
+          build(e.children()[i], prev, next);
+          prev = next;
+        }
+        return;
+      }
+      case Expr::Op::kParallel: {
+        for (const Expr& c : e.children()) build(c, from, to);
+        return;
+      }
+    }
+    throw Error("invalid Expr op");
+  }
+};
+
+std::string device_name(DeviceNaming naming, MosType type, int seq, int& nseq, int& pseq) {
+  switch (naming) {
+    case DeviceNaming::kMnMp:
+      return type == MosType::kNmos ? "MN" + std::to_string(nseq++)
+                                    : "MP" + std::to_string(pseq++);
+    case DeviceNaming::kMSequential: return "M" + std::to_string(seq);
+    case DeviceNaming::kMmSequential: return "MM" + std::to_string(seq + 1);
+    case DeviceNaming::kTxTy:
+      return type == MosType::kNmos ? "TN_" + std::to_string(nseq++)
+                                    : "TP_" + std::to_string(pseq++);
+  }
+  throw Error("invalid DeviceNaming");
+}
+
+}  // namespace
+
+Cell scramble_cell(const Cell& cell, const Technology& tech, Rng& rng) {
+  // Permute transistor order.
+  std::vector<TransistorId> order(cell.num_transistors());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = static_cast<TransistorId>(i);
+  rng.shuffle(order);
+
+  // Renumber internal nets in a shuffled order.
+  std::vector<NetId> internals;
+  for (std::size_t n = 0; n < cell.num_nets(); ++n) {
+    if (cell.nets()[n].kind == NetKind::kInternal) internals.push_back(static_cast<NetId>(n));
+  }
+  std::vector<int> net_numbers(internals.size());
+  for (std::size_t i = 0; i < internals.size(); ++i) net_numbers[i] = static_cast<int>(i);
+  rng.shuffle(net_numbers);
+
+  Cell out(cell.name());
+  std::vector<NetId> net_map(cell.num_nets(), kNoNet);
+  std::size_t internal_idx = 0;
+  for (std::size_t n = 0; n < cell.num_nets(); ++n) {
+    const Net& net = cell.nets()[n];
+    std::string name = net.name;
+    if (net.kind == NetKind::kInternal) {
+      name = tech.internal_net_prefix + std::to_string(net_numbers[internal_idx++]);
+    }
+    net_map[n] = out.add_net(name, net.kind);
+  }
+
+  int seq = 0, nseq = 0, pseq = 0;
+  for (TransistorId old_id : order) {
+    Transistor t = cell.transistor(old_id);
+    t.name = device_name(tech.device_naming, t.type, seq, nseq, pseq);
+    ++seq;
+    t.drain = net_map[static_cast<std::size_t>(t.drain)];
+    t.gate = net_map[static_cast<std::size_t>(t.gate)];
+    t.source = net_map[static_cast<std::size_t>(t.source)];
+    t.bulk = net_map[static_cast<std::size_t>(t.bulk)];
+    out.add_transistor(std::move(t));
+  }
+  out.validate();
+  return out;
+}
+
+Cell build_cell(const CellFunction& function, const Technology& tech, const DriveSpec& drive,
+                const FlavorSpec& flavor, const std::string& cell_name, Rng& rng) {
+  CAML_ASSERT(drive.drive >= 1);
+  Cell cell(cell_name);
+
+  // Pins first (SPICE pin order), then rails.
+  std::vector<NetId> signal_nets;
+  for (int i = 0; i < function.num_inputs; ++i) {
+    signal_nets.push_back(cell.add_net(input_pin_name(tech.pin_naming, i), NetKind::kInput));
+  }
+  const NetId out_net = cell.add_net(output_pin_name(tech.pin_naming), NetKind::kOutput);
+  const NetId vdd = cell.add_net(tech.power_net, NetKind::kPower);
+  const NetId vss = cell.add_net(tech.ground_net, NetKind::kGround);
+
+  // Stage output nets: the last stage drives the cell output.
+  for (std::size_t k = 0; k < function.stages.size(); ++k) {
+    const bool last = k + 1 == function.stages.size();
+    signal_nets.push_back(last ? out_net
+                               : cell.add_net("st" + std::to_string(k), NetKind::kInternal));
+  }
+
+  int net_counter = 0;
+  int dev_counter = 0;
+  for (std::size_t k = 0; k < function.stages.size(); ++k) {
+    const bool last = k + 1 == function.stages.size();
+    const Expr& pd = function.stages[k].pulldown;
+    const Expr pu = pd.dual();
+    const NetId stage_out = signal_nets[static_cast<std::size_t>(function.num_inputs) + k];
+
+    // Drive realization applies to the output stage; earlier stages stay
+    // at X1 (standard practice: only the output stage is strengthened).
+    const double stage_drive =
+        last && drive.variant == StructureVariant::kWide ? drive.drive : 1;
+    const int copies = last && drive.variant == StructureVariant::kMerged ? drive.drive : 1;
+    const int paths = last && drive.variant == StructureVariant::kSplit ? drive.drive : 1;
+
+    const double wn = tech.nmos_width(stage_drive, pd.max_stack_depth()) * flavor.width_scale;
+    const double wp = tech.pmos_width(stage_drive, pu.max_stack_depth()) * flavor.width_scale;
+
+    for (int path = 0; path < paths; ++path) {
+      NetworkBuilder nmos{cell, signal_nets, MosType::kNmos, wn, tech.gate_length_um,
+                          vss,  copies,      &net_counter,    &dev_counter};
+      nmos.build(pd, stage_out, vss);
+      NetworkBuilder pmos{cell, signal_nets, MosType::kPmos, wp, tech.gate_length_um,
+                          vdd,  copies,      &net_counter,    &dev_counter};
+      pmos.build(pu, stage_out, vdd);
+    }
+  }
+
+  cell.validate();
+  return scramble_cell(cell, tech, rng);
+}
+
+Library build_library(const Technology& tech, const LibraryComposition& composition) {
+  Library lib;
+  lib.name = tech.name;
+  lib.technology = tech;
+  Rng rng(tech.seed);
+  for (const std::string& fname : composition.functions) {
+    const CellFunction& function = find_function(fname);
+    for (const DriveSpec& drive : composition.drives) {
+      // Drive 1 has no merged/split distinction; emit only the wide form.
+      if (drive.drive == 1 && drive.variant != StructureVariant::kWide) continue;
+      std::vector<FlavorSpec> flavors = composition.flavors;
+      if (flavors.empty()) flavors.push_back(FlavorSpec{"", 1.0});
+      if (drive.drive >= composition.reduced_flavors_at_drive &&
+          flavors.size() > composition.high_drive_flavor_count) {
+        flavors.resize(composition.high_drive_flavor_count);
+      }
+      for (const FlavorSpec& flavor : flavors) {
+        std::string name = fname + "X" + std::to_string(drive.drive) +
+                           variant_suffix(drive.variant);
+        if (!flavor.suffix.empty()) name += "_" + flavor.suffix;
+        Rng cell_rng = rng.fork();
+        LibraryCell lc;
+        lc.cell = build_cell(function, tech, drive, flavor, name, cell_rng);
+        lc.function = fname;
+        lc.technology = tech.name;
+        lc.drive = drive.drive;
+        lc.variant = drive.variant;
+        lc.flavor = flavor.suffix;
+        lib.cells.push_back(std::move(lc));
+      }
+    }
+  }
+  return lib;
+}
+
+BenchmarkSuite build_benchmark_suite() {
+  // Functions shared by every technology (the common logic families).
+  const std::vector<std::string> shared = {
+      "INV",   "BUF",   "NAND2", "NAND3", "NAND4",  "NOR2",   "NOR3",  "NOR4",
+      "AND2",  "OR2",   "AOI21", "AOI22", "OAI21",  "OAI22",  "XOR2",  "XNOR2",
+      "MUX2I", "MIN3",  "AOI211", "OAI211"};
+  // Present in 28SOI (training) only.
+  const std::vector<std::string> soi_extra = {"AND3",  "OR3",    "AOI221", "OAI221",
+                                              "MAJ3",  "MUX2",   "AOI311", "OAI311"};
+  // Unique to C40: same logic families as shared, larger gates.
+  const std::vector<std::string> c40_extra = {"AND4", "OR4", "AOI32", "OAI32", "AOI31", "OAI31"};
+  // Unique to C28: genuinely new functions/topologies (drives the paper's
+  // low-accuracy tail in Table IV.b).
+  const std::vector<std::string> c28_extra = {"AOI222", "OAI222", "XOR3",   "AOI33",
+                                              "OAI33",  "AOI2BB1", "OAI2BB1"};
+
+  const auto concat = [](std::vector<std::string> a, const std::vector<std::string>& b) {
+    a.insert(a.end(), b.begin(), b.end());
+    return a;
+  };
+
+  BenchmarkSuite suite;
+
+  LibraryComposition soi;
+  soi.functions = concat(shared, soi_extra);
+  soi.drives = {{1, StructureVariant::kWide},
+                {2, StructureVariant::kMerged},
+                {2, StructureVariant::kSplit},
+                {4, StructureVariant::kMerged},
+                {4, StructureVariant::kSplit}};
+  soi.flavors = {{"", 1.0}, {"LP", 0.85}, {"HP", 1.1}};
+  suite.soi28 = build_library(technology_28soi(), soi);
+
+  LibraryComposition c40;
+  c40.functions = concat(shared, c40_extra);
+  // Every structural drive form also exists in 28SOI -> Table IV.c's
+  // "same structures, different sizes" scenario.
+  c40.drives = {{1, StructureVariant::kWide},
+                {2, StructureVariant::kMerged},
+                {2, StructureVariant::kSplit},
+                {4, StructureVariant::kMerged}};
+  c40.flavors = {{"", 1.0}, {"LP", 0.85}};
+  suite.c40 = build_library(technology_c40(), c40);
+
+  LibraryComposition c28;
+  c28.functions = concat(shared, c28_extra);
+  // X3 merged is a parallel multiplicity never seen in 28SOI.
+  c28.drives = {{1, StructureVariant::kWide},
+                {2, StructureVariant::kMerged},
+                {2, StructureVariant::kSplit},
+                {3, StructureVariant::kMerged}};
+  c28.flavors = {{"", 1.0}, {"HP", 1.1}};
+  suite.c28 = build_library(technology_c28(), c28);
+
+  return suite;
+}
+
+}  // namespace caml

@@ -1,0 +1,96 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "libgen/catalog.hpp"
+#include "libgen/technology.hpp"
+#include "netlist/cell.hpp"
+#include "util/rng.hpp"
+
+namespace caml {
+
+/// How a drive multiple is realized structurally. kMerged and kSplit are
+/// the paper's Fig. 6 pair: same logic function, parallel stacks with /
+/// without the shared internal ("red") net.
+enum class StructureVariant : std::uint8_t {
+  kWide,    ///< wider devices, same transistor count
+  kMerged,  ///< each output-stage transistor duplicated in place
+            ///< (parallel copies share internal nets)
+  kSplit,   ///< the whole output-stage network duplicated as independent
+            ///< parallel paths (fresh internal nets)
+};
+
+const char* variant_suffix(StructureVariant v);
+
+struct DriveSpec {
+  int drive = 1;
+  StructureVariant variant = StructureVariant::kWide;
+};
+
+/// Sizing flavor (VT/power variant): same structure, scaled widths.
+struct FlavorSpec {
+  std::string suffix;        ///< "" (std), "LP", "HP", ...
+  double width_scale = 1.0;
+};
+
+/// A generated cell plus its provenance metadata (used by benches to
+/// aggregate results by function/drive; never exposed to the ML layer).
+struct LibraryCell {
+  Cell cell;
+  std::string function;
+  std::string technology;
+  int drive = 1;
+  StructureVariant variant = StructureVariant::kWide;
+  std::string flavor;
+};
+
+struct Library {
+  std::string name;        ///< technology name
+  Technology technology;
+  std::vector<LibraryCell> cells;
+};
+
+/// Builds one cell: stage-by-stage complementary CMOS construction,
+/// drive-variant application on the output stage, technology sizing,
+/// then scrambling (random transistor order, vendor device names,
+/// renamed internal nets) driven by rng. The result carries no trace of
+/// the construction order — parsing vendor SPICE would look the same.
+Cell build_cell(const CellFunction& function, const Technology& tech, const DriveSpec& drive,
+                const FlavorSpec& flavor, const std::string& cell_name, Rng& rng);
+
+/// Randomizes transistor order and renames devices/internal nets
+/// according to the technology conventions. Pure function of (cell,
+/// tech, rng); logic behaviour is untouched. Exposed for property tests.
+Cell scramble_cell(const Cell& cell, const Technology& tech, Rng& rng);
+
+/// Which functions / drives / flavors a library contains.
+struct LibraryComposition {
+  std::vector<std::string> functions;
+  std::vector<DriveSpec> drives;
+  std::vector<FlavorSpec> flavors;
+  /// Drives at or above this multiple are emitted with a reduced
+  /// flavor set (default: X4 and up get the first two flavors) — real
+  /// libraries rarely spin the full VT/power matrix for high drives,
+  /// and this bounds the heaviest characterization groups while keeping
+  /// an identical-structure sibling in every group.
+  int reduced_flavors_at_drive = 4;
+  std::size_t high_drive_flavor_count = 2;
+};
+
+Library build_library(const Technology& tech, const LibraryComposition& composition);
+
+/// The three-library benchmark suite mirroring the paper's setup:
+/// "28SOI" is the large training library; "C40" shares all its logic
+/// families (different sizing — the paper's Table IV.c scenario); "C28"
+/// contains functions and structural variants absent from 28SOI (the
+/// Table IV.b scenario with its low-accuracy tail).
+struct BenchmarkSuite {
+  Library soi28;
+  Library c40;
+  Library c28;
+};
+
+BenchmarkSuite build_benchmark_suite();
+
+}  // namespace caml

@@ -1,0 +1,201 @@
+#include "libgen/catalog.hpp"
+
+#include <map>
+
+#include "util/error.hpp"
+
+namespace caml {
+
+std::uint64_t CellFunction::truth_table() const {
+  CAML_ASSERT(num_inputs >= 1 && num_inputs <= 6);
+  std::uint64_t tt = 0;
+  const std::size_t patterns = std::size_t{1} << num_inputs;
+  for (std::size_t pat = 0; pat < patterns; ++pat) {
+    std::vector<bool> signals(static_cast<std::size_t>(num_inputs) + stages.size());
+    for (int i = 0; i < num_inputs; ++i) signals[static_cast<std::size_t>(i)] = (pat >> i) & 1u;
+    for (std::size_t k = 0; k < stages.size(); ++k) {
+      signals[static_cast<std::size_t>(num_inputs) + k] = !stages[k].pulldown.eval(signals);
+    }
+    if (signals.back()) tt |= std::uint64_t{1} << pat;
+  }
+  return tt;
+}
+
+std::size_t CellFunction::base_transistors() const {
+  std::size_t n = 0;
+  for (const StageSpec& st : stages) n += 2 * st.pulldown.num_leaves();
+  return n;
+}
+
+namespace {
+
+/// Signal index of stage k's output for an n-input function.
+int stage_out(int n, int k) { return n + k; }
+
+std::vector<CellFunction> build_catalog() {
+  std::vector<CellFunction> cat;
+  const auto add = [&](std::string name, int n, std::vector<StageSpec> stages) {
+    cat.push_back(CellFunction{std::move(name), n, std::move(stages)});
+  };
+
+  // --- Inverters / buffers -------------------------------------------
+  add("INV", 1, {{x(0)}});
+  add("BUF", 1, {{x(0)}, {x(1)}});  // INV then INV
+
+  // --- NAND / NOR ----------------------------------------------------
+  add("NAND2", 2, {{s({x(0), x(1)})}});
+  add("NAND3", 3, {{s({x(0), x(1), x(2)})}});
+  add("NAND4", 4, {{s({x(0), x(1), x(2), x(3)})}});
+  add("NOR2", 2, {{p({x(0), x(1)})}});
+  add("NOR3", 3, {{p({x(0), x(1), x(2)})}});
+  add("NOR4", 4, {{p({x(0), x(1), x(2), x(3)})}});
+
+  // --- AND / OR (NAND/NOR + output inverter) -------------------------
+  add("AND2", 2, {{s({x(0), x(1)})}, {x(stage_out(2, 0))}});
+  add("AND3", 3, {{s({x(0), x(1), x(2)})}, {x(stage_out(3, 0))}});
+  add("AND4", 4, {{s({x(0), x(1), x(2), x(3)})}, {x(stage_out(4, 0))}});
+  add("OR2", 2, {{p({x(0), x(1)})}, {x(stage_out(2, 0))}});
+  add("OR3", 3, {{p({x(0), x(1), x(2)})}, {x(stage_out(3, 0))}});
+  add("OR4", 4, {{p({x(0), x(1), x(2), x(3)})}, {x(stage_out(4, 0))}});
+
+  // --- AOI family: Z = NOT(AND-OR) ------------------------------------
+  add("AOI21", 3, {{p({s({x(0), x(1)}), x(2)})}});
+  add("AOI22", 4, {{p({s({x(0), x(1)}), s({x(2), x(3)})})}});
+  add("AOI31", 4, {{p({s({x(0), x(1), x(2)}), x(3)})}});
+  add("AOI32", 5, {{p({s({x(0), x(1), x(2)}), s({x(3), x(4)})})}});
+  add("AOI33", 6, {{p({s({x(0), x(1), x(2)}), s({x(3), x(4), x(5)})})}});
+  add("AOI211", 4, {{p({s({x(0), x(1)}), x(2), x(3)})}});
+  add("AOI221", 5, {{p({s({x(0), x(1)}), s({x(2), x(3)}), x(4)})}});
+  add("AOI222", 6, {{p({s({x(0), x(1)}), s({x(2), x(3)}), s({x(4), x(5)})})}});
+  add("AOI311", 5, {{p({s({x(0), x(1), x(2)}), x(3), x(4)})}});
+
+  // --- OAI family: Z = NOT(OR-AND) ------------------------------------
+  add("OAI21", 3, {{s({p({x(0), x(1)}), x(2)})}});
+  add("OAI22", 4, {{s({p({x(0), x(1)}), p({x(2), x(3)})})}});
+  add("OAI31", 4, {{s({p({x(0), x(1), x(2)}), x(3)})}});
+  add("OAI32", 5, {{s({p({x(0), x(1), x(2)}), p({x(3), x(4)})})}});
+  add("OAI33", 6, {{s({p({x(0), x(1), x(2)}), p({x(3), x(4), x(5)})})}});
+  add("OAI211", 4, {{s({p({x(0), x(1)}), x(2), x(3)})}});
+  add("OAI221", 5, {{s({p({x(0), x(1)}), p({x(2), x(3)}), x(4)})}});
+  add("OAI222", 6, {{s({p({x(0), x(1)}), p({x(2), x(3)}), p({x(4), x(5)})})}});
+  add("OAI311", 5, {{s({p({x(0), x(1), x(2)}), x(3), x(4)})}});
+
+  // --- AO / OA (non-inverting complex gates) ---------------------------
+  add("AO21", 3, {{p({s({x(0), x(1)}), x(2)})}, {x(stage_out(3, 0))}});
+  add("AO22", 4, {{p({s({x(0), x(1)}), s({x(2), x(3)})})}, {x(stage_out(4, 0))}});
+  add("OA21", 3, {{s({p({x(0), x(1)}), x(2)})}, {x(stage_out(3, 0))}});
+  add("OA22", 4, {{s({p({x(0), x(1)}), p({x(2), x(3)})})}, {x(stage_out(4, 0))}});
+
+  // --- XOR / XNOR (input inverters + complex stage) --------------------
+  // Signals: 0=A, 1=B, stage0 = !A, stage1 = !B.
+  // XNOR2: Z = NOT(A&B | !A&!B)... note A&B | !A&!B = XNOR, so the complex
+  // stage alone gives XOR; adding it after swapping gives XNOR.
+  add("XOR2", 2,
+      {{x(0)},  // !A
+       {x(1)},  // !B
+       {p({s({x(0), x(1)}), s({x(stage_out(2, 0)), x(stage_out(2, 1))})})}});
+  add("XNOR2", 2,
+      {{x(0)},
+       {x(1)},
+       {p({s({x(0), x(stage_out(2, 1))}), s({x(stage_out(2, 0)), x(1)})})}});
+  // XOR3 as a cascade: T = XOR2(A,B), Z = XOR2(T,C).
+  add("XOR3", 3,
+      {{x(0)},                                                              // s0 = !A
+       {x(1)},                                                              // s1 = !B
+       {p({s({x(0), x(1)}), s({x(stage_out(3, 0)), x(stage_out(3, 1))})})},  // s2 = A^B
+       {x(stage_out(3, 2))},                                                // s3 = !(A^B)
+       {x(2)},                                                              // s4 = !C
+       {p({s({x(stage_out(3, 2)), x(2)}),
+           s({x(stage_out(3, 3)), x(stage_out(3, 4))})})}});                // Z = (A^B)^C
+
+  // --- MUX -------------------------------------------------------------
+  // MUX2I: Z = NOT(S ? B : A). Signals: 0=A, 1=B, 2=S, stage0 = !S.
+  add("MUX2I", 3, {{x(2)}, {p({s({x(0), x(stage_out(3, 0))}), s({x(1), x(2)})})}});
+  add("MUX2", 3,
+      {{x(2)},
+       {p({s({x(0), x(stage_out(3, 0))}), s({x(1), x(2)})})},
+       {x(stage_out(3, 1))}});
+
+  // --- Majority / minority (full-adder carry logic) --------------------
+  add("MIN3", 3, {{p({s({x(0), x(1)}), s({x(1), x(2)}), s({x(0), x(2)})})}});
+  add("MAJ3", 3,
+      {{p({s({x(0), x(1)}), s({x(1), x(2)}), s({x(0), x(2)})})}, {x(stage_out(3, 0))}});
+
+  // --- Wide NAND/NOR via cascades (larger multi-stage cells) -----------
+  // NAND2 of two AND2 halves: Z = NOT(A&B&C&D) built as two stages +
+  // final NOR-like recombination — a structurally different NAND4.
+  add("NAND4ALT", 4,
+      {{s({x(0), x(1)})},                                      // !(AB)
+       {s({x(2), x(3)})},                                      // !(CD)
+       {p({x(stage_out(4, 0)), x(stage_out(4, 1))})},          // AB&CD (NOR of the two)
+       {x(stage_out(4, 2))}});                                 // invert -> NAND4
+  add("NOR4ALT", 4,
+      {{p({x(0), x(1)})},
+       {p({x(2), x(3)})},
+       {s({x(stage_out(4, 0)), x(stage_out(4, 1))})},
+       {x(stage_out(4, 2))}});
+
+  // --- 2-bit decoder-ish complex gates ---------------------------------
+  add("AOI2BB1", 3,  // Z = NOT((!A & !B) | C): input bubbles on the AND
+      {{x(0)}, {x(1)}, {p({s({x(stage_out(3, 0)), x(stage_out(3, 1))}), x(2)})}});
+  add("OAI2BB1", 3,  // Z = NOT((!A | !B) & C)
+      {{x(0)}, {x(1)}, {s({p({x(stage_out(3, 0)), x(stage_out(3, 1))}), x(2)})}});
+
+  // --- Wider single-stage gates --------------------------------------
+  add("NAND5", 5, {{s({x(0), x(1), x(2), x(3), x(4)})}});
+  add("NOR5", 5, {{p({x(0), x(1), x(2), x(3), x(4)})}});
+  add("AND5", 5, {{s({x(0), x(1), x(2), x(3), x(4)})}, {x(stage_out(5, 0))}});
+  add("OR5", 5, {{p({x(0), x(1), x(2), x(3), x(4)})}, {x(stage_out(5, 0))}});
+  add("AOI41", 5, {{p({s({x(0), x(1), x(2), x(3)}), x(4)})}});
+  add("OAI41", 5, {{s({p({x(0), x(1), x(2), x(3)}), x(4)})}});
+  add("AOI321", 6, {{p({s({x(0), x(1), x(2)}), s({x(3), x(4)}), x(5)})}});
+  add("OAI321", 6, {{s({p({x(0), x(1), x(2)}), p({x(3), x(4)}), x(5)})}});
+
+  // --- AO / OA with three terms ----------------------------------------
+  add("AO211", 4, {{p({s({x(0), x(1)}), x(2), x(3)})}, {x(stage_out(4, 0))}});
+  add("OA211", 4, {{s({p({x(0), x(1)}), x(2), x(3)})}, {x(stage_out(4, 0))}});
+
+  // --- XNOR3 (cascade, complement of XOR3's final stage) ----------------
+  add("XNOR3", 3,
+      {{x(0)},                                                               // s0 = !A
+       {x(1)},                                                               // s1 = !B
+       {p({s({x(0), x(1)}), s({x(stage_out(3, 0)), x(stage_out(3, 1))})})},  // s2 = A^B
+       {x(stage_out(3, 2))},                                                 // s3 = !(A^B)
+       {x(2)},                                                               // s4 = !C
+       {p({s({x(stage_out(3, 2)), x(stage_out(3, 4))}),
+           s({x(stage_out(3, 3)), x(2)})})}});                               // Z = !(A^B^C)
+
+  // --- 4:1 multiplexer (inverting), two select lines ---------------------
+  // Inputs: D0..D3 = signals 0..3, S0 = 4, S1 = 5.
+  add("MUX4I", 6,
+      {{x(4)},  // !S0
+       {x(5)},  // !S1
+       {p({s({x(0), x(stage_out(6, 0)), x(stage_out(6, 1))}),
+           s({x(1), x(4), x(stage_out(6, 1))}),
+           s({x(2), x(stage_out(6, 0)), x(5)}),
+           s({x(3), x(4), x(5)})})}});
+
+  return cat;
+}
+
+}  // namespace
+
+const std::vector<CellFunction>& function_catalog() {
+  static const std::vector<CellFunction> cat = build_catalog();
+  return cat;
+}
+
+const CellFunction& find_function(const std::string& name) {
+  for (const CellFunction& f : function_catalog()) {
+    if (f.name == name) return f;
+  }
+  throw Error("unknown catalog function: " + name);
+}
+
+std::vector<std::string> catalog_names() {
+  std::vector<std::string> names;
+  for (const CellFunction& f : function_catalog()) names.push_back(f.name);
+  return names;
+}
+
+}  // namespace caml

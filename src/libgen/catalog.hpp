@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "libgen/expr.hpp"
+
+namespace caml {
+
+/// One static CMOS stage: a pull-down expression; the pull-up network is
+/// its dual, so the stage output is NOT(pulldown).
+struct StageSpec {
+  Expr pulldown;
+};
+
+/// A logic function from the generator catalog, described as a cascade
+/// of complementary CMOS stages. Stage k's output is signal
+/// num_inputs + k; the last stage drives the cell output.
+struct CellFunction {
+  std::string name;
+  int num_inputs = 0;
+  std::vector<StageSpec> stages;
+
+  /// Truth table (bit p = output under input pattern p), computed by
+  /// evaluating the stage cascade. num_inputs must be <= 6.
+  std::uint64_t truth_table() const;
+
+  /// Transistors of the X1 realization: 2 per expression leaf.
+  std::size_t base_transistors() const;
+};
+
+/// The full catalog of ~45 functions (INV/BUF, NAND/NOR/AND/OR 2-4,
+/// AOI/OAI families, XOR/XNOR, MUX, MAJ/MIN, cascaded XOR3, ...).
+/// Deterministic order; names unique.
+const std::vector<CellFunction>& function_catalog();
+
+/// Lookup by name; throws caml::Error if unknown.
+const CellFunction& find_function(const std::string& name);
+
+/// Names of every catalog function, in catalog order.
+std::vector<std::string> catalog_names();
+
+}  // namespace caml

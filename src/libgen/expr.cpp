@@ -1,0 +1,106 @@
+#include "libgen/expr.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace caml {
+
+Expr Expr::leaf(int signal) {
+  CAML_ASSERT(signal >= 0);
+  Expr e;
+  e.op_ = Op::kLeaf;
+  e.signal_ = signal;
+  return e;
+}
+
+Expr Expr::series(std::vector<Expr> children) {
+  CAML_ASSERT(!children.empty());
+  if (children.size() == 1) return children.front();
+  Expr e;
+  e.op_ = Op::kSeries;
+  e.children_ = std::move(children);
+  return e;
+}
+
+Expr Expr::parallel(std::vector<Expr> children) {
+  CAML_ASSERT(!children.empty());
+  if (children.size() == 1) return children.front();
+  Expr e;
+  e.op_ = Op::kParallel;
+  e.children_ = std::move(children);
+  return e;
+}
+
+std::size_t Expr::num_leaves() const {
+  if (is_leaf()) return 1;
+  std::size_t n = 0;
+  for (const Expr& c : children_) n += c.num_leaves();
+  return n;
+}
+
+std::size_t Expr::max_stack_depth() const {
+  if (is_leaf()) return 1;
+  if (op_ == Op::kSeries) {
+    std::size_t total = 0;
+    for (const Expr& c : children_) total += c.max_stack_depth();
+    return total;
+  }
+  std::size_t best = 0;
+  for (const Expr& c : children_) best = std::max(best, c.max_stack_depth());
+  return best;
+}
+
+int Expr::max_signal() const {
+  if (is_leaf()) return signal_;
+  int best = -1;
+  for (const Expr& c : children_) best = std::max(best, c.max_signal());
+  return best;
+}
+
+bool Expr::eval(const std::vector<bool>& signals) const {
+  switch (op_) {
+    case Op::kLeaf:
+      CAML_ASSERT(static_cast<std::size_t>(signal_) < signals.size());
+      return signals[static_cast<std::size_t>(signal_)];
+    case Op::kSeries:
+      for (const Expr& c : children_) {
+        if (!c.eval(signals)) return false;
+      }
+      return true;
+    case Op::kParallel:
+      for (const Expr& c : children_) {
+        if (c.eval(signals)) return true;
+      }
+      return false;
+  }
+  throw Error("invalid Expr op");
+}
+
+Expr Expr::dual() const {
+  if (is_leaf()) return *this;
+  std::vector<Expr> duals;
+  duals.reserve(children_.size());
+  for (const Expr& c : children_) duals.push_back(c.dual());
+  return op_ == Op::kSeries ? parallel(std::move(duals)) : series(std::move(duals));
+}
+
+std::string Expr::to_string() const {
+  if (is_leaf()) return std::to_string(signal_);
+  std::string sep = op_ == Op::kSeries ? "&" : "|";
+  std::string out = "(";
+  for (std::size_t i = 0; i < children_.size(); ++i) {
+    if (i) out += sep;
+    out += children_[i].to_string();
+  }
+  out += ")";
+  return out;
+}
+
+Expr s(std::initializer_list<Expr> children) { return Expr::series(std::vector<Expr>(children)); }
+
+Expr p(std::initializer_list<Expr> children) {
+  return Expr::parallel(std::vector<Expr>(children));
+}
+
+}  // namespace caml

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace caml {
+
+/// Series/parallel network expression used to describe the pull-down
+/// network of a static CMOS stage. Leaves reference *signals*: values
+/// 0..n-1 are cell inputs, n+k is the output of stage k (for multi-stage
+/// cells). The pull-up network is always the structural dual (series and
+/// parallel swapped), so a stage computes NOT(expr).
+class Expr {
+ public:
+  enum class Op : std::uint8_t { kLeaf, kSeries, kParallel };
+
+  /// Leaf over a signal index.
+  static Expr leaf(int signal);
+  /// Series composition (transistor stack). Requires >= 1 child;
+  /// single-child compositions collapse to the child.
+  static Expr series(std::vector<Expr> children);
+  /// Parallel composition. Requires >= 1 child; single child collapses.
+  static Expr parallel(std::vector<Expr> children);
+
+  Op op() const { return op_; }
+  int signal() const { return signal_; }
+  const std::vector<Expr>& children() const { return children_; }
+
+  bool is_leaf() const { return op_ == Op::kLeaf; }
+
+  /// Number of leaves (transistors the stage network will contain).
+  std::size_t num_leaves() const;
+
+  /// Largest series depth (stack height) of the network.
+  std::size_t max_stack_depth() const;
+
+  /// Highest signal index referenced, or -1 for none.
+  int max_signal() const;
+
+  /// Boolean value of the network given signal values (true = conducting
+  /// path exists): series is AND, parallel is OR.
+  bool eval(const std::vector<bool>& signals) const;
+
+  /// Structural dual: series <-> parallel, leaves unchanged. Applying it
+  /// to a pull-down expression yields the complementary pull-up network.
+  Expr dual() const;
+
+  /// "(0&(1|2))"-style rendering for debugging.
+  std::string to_string() const;
+
+ private:
+  Op op_ = Op::kLeaf;
+  int signal_ = -1;
+  std::vector<Expr> children_;
+};
+
+/// Convenience constructors for catalog definitions.
+inline Expr x(int signal) { return Expr::leaf(signal); }
+Expr s(std::initializer_list<Expr> children);
+Expr p(std::initializer_list<Expr> children);
+
+}  // namespace caml

@@ -1,0 +1,89 @@
+#include "libgen/technology.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace caml {
+
+namespace {
+
+double quantize(double w, double quantum) {
+  return std::max(quantum, std::round(w / quantum) * quantum);
+}
+
+}  // namespace
+
+double Technology::nmos_width(double drive, std::size_t stack_depth) const {
+  const double w =
+      nmos_unit_width_um * drive * (1.0 + stack_upsize * static_cast<double>(stack_depth - 1));
+  return quantize(w, width_quantum_um);
+}
+
+double Technology::pmos_width(double drive, std::size_t stack_depth) const {
+  const double w = nmos_unit_width_um * pmos_width_ratio * drive *
+                   (1.0 + stack_upsize * static_cast<double>(stack_depth - 1));
+  return quantize(w, width_quantum_um);
+}
+
+Technology technology_28soi() {
+  Technology t;
+  t.name = "28SOI";
+  t.seed = 0x5011u;
+  t.nmos_unit_width_um = 0.20;
+  t.pmos_width_ratio = 1.6;
+  t.gate_length_um = 0.030;
+  t.width_quantum_um = 0.01;
+  t.stack_upsize = 0.25;
+  t.nmos_model = "nsvt";
+  t.pmos_model = "psvt";
+  t.device_naming = DeviceNaming::kMnMp;
+  t.pin_naming = PinNaming::kAlpha;
+  t.internal_net_prefix = "net";
+  t.sim.unit_width_um = 0.20;
+  t.sim.pmos_mobility = 0.55;
+  return t;
+}
+
+Technology technology_c28() {
+  Technology t;
+  t.name = "C28";
+  t.seed = 0xC2801u;
+  t.nmos_unit_width_um = 0.24;
+  t.pmos_width_ratio = 1.9;
+  t.gate_length_um = 0.030;
+  t.width_quantum_um = 0.02;
+  t.stack_upsize = 0.35;
+  t.nmos_model = "nch";
+  t.pmos_model = "pch";
+  t.device_naming = DeviceNaming::kMSequential;
+  t.pin_naming = PinNaming::kAIndex;
+  t.internal_net_prefix = "n";
+  t.sim.unit_width_um = 0.24;
+  t.sim.pmos_mobility = 0.45;
+  return t;
+}
+
+Technology technology_c40() {
+  Technology t;
+  t.name = "C40";
+  t.seed = 0xC4001u;
+  t.nmos_unit_width_um = 0.42;  // markedly larger devices (40nm node)
+  t.pmos_width_ratio = 2.0;
+  t.gate_length_um = 0.040;
+  t.width_quantum_um = 0.02;
+  t.stack_upsize = 0.30;
+  t.nmos_model = "nfet";
+  t.pmos_model = "pfet";
+  t.device_naming = DeviceNaming::kMmSequential;
+  t.pin_naming = PinNaming::kInIndex;
+  t.internal_net_prefix = "int_";
+  t.sim.unit_width_um = 0.42;
+  t.sim.pmos_mobility = 0.50;
+  return t;
+}
+
+std::vector<Technology> default_technologies() {
+  return {technology_28soi(), technology_c28(), technology_c40()};
+}
+
+}  // namespace caml

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/switch_sim.hpp"
+
+namespace caml {
+
+/// Device naming convention of a library vendor. The generator scrambles
+/// device order and names per technology precisely because the paper's
+/// method must not rely on them (Section III.B).
+enum class DeviceNaming : std::uint8_t {
+  kMnMp,         ///< MN0, MN1, ... / MP0, MP1, ...
+  kMSequential,  ///< M0, M1, M2, ... regardless of type
+  kMmSequential, ///< MM1, MM2, ...
+  kTxTy,         ///< TN_0 / TP_0 style
+};
+
+/// Pin naming convention for inputs/output.
+enum class PinNaming : std::uint8_t {
+  kAlpha,   ///< A, B, C, ... output Z
+  kAIndex,  ///< A0, A1, A2, ... output Y
+  kInIndex, ///< IN1, IN2, ... output Q
+};
+
+/// A synthetic process technology: sizing rules, naming conventions and
+/// simulator (test-condition) parameters. Stand-in for the paper's C40 /
+/// 28SOI / C28 STMicroelectronics technologies.
+struct Technology {
+  std::string name;
+  std::uint64_t seed = 1;
+
+  // Sizing rules.
+  double nmos_unit_width_um = 0.2;  ///< X1 NMOS width
+  double pmos_width_ratio = 1.8;    ///< PMOS width = NMOS width * ratio
+  double gate_length_um = 0.03;
+  double width_quantum_um = 0.01;   ///< widths round to this grid
+  double stack_upsize = 0.25;       ///< extra width per unit of stack depth
+
+  // Netlist conventions.
+  std::string nmos_model = "nch";
+  std::string pmos_model = "pch";
+  DeviceNaming device_naming = DeviceNaming::kMnMp;
+  PinNaming pin_naming = PinNaming::kAlpha;
+  std::string internal_net_prefix = "net";
+  std::string power_net = "VDD";
+  std::string ground_net = "VSS";
+
+  /// Test-condition / PVT stand-in: the switch-level parameters used
+  /// when generating this technology's ground-truth CA models. Small
+  /// differences here make a few defects flip class across technologies,
+  /// as the paper observes.
+  SimConfig sim;
+
+  /// Quantized NMOS/PMOS width for a drive multiple and stack depth.
+  double nmos_width(double drive, std::size_t stack_depth) const;
+  double pmos_width(double drive, std::size_t stack_depth) const;
+};
+
+/// The three benchmark technologies. "28SOI" is the training technology
+/// (28nm SOI), "C28" a bulk 28nm process (different sizing and vendor
+/// conventions), "C40" a 40nm process (notably different sizes, same
+/// logic families).
+Technology technology_28soi();
+Technology technology_c28();
+Technology technology_c40();
+
+std::vector<Technology> default_technologies();
+
+}  // namespace caml

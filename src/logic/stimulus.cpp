@@ -1,0 +1,95 @@
+#include "logic/stimulus.hpp"
+
+#include "util/error.hpp"
+
+namespace caml {
+
+Stimulus Stimulus::from_pattern(InputPattern pattern, std::size_t num_inputs) {
+  return from_pair(pattern, pattern, num_inputs);
+}
+
+Stimulus Stimulus::from_pair(InputPattern initial, InputPattern final, std::size_t num_inputs) {
+  CAML_ASSERT(num_inputs <= 31);
+  std::vector<Wave> waves(num_inputs);
+  for (std::size_t i = 0; i < num_inputs; ++i) {
+    waves[i] = wave_from_pair((initial >> i) & 1u, (final >> i) & 1u);
+  }
+  return Stimulus(std::move(waves));
+}
+
+Stimulus Stimulus::parse(const std::string& text) {
+  std::vector<Wave> waves;
+  waves.reserve(text.size());
+  for (char c : text) waves.push_back(wave_from_char(c));
+  return Stimulus(std::move(waves));
+}
+
+bool Stimulus::is_static() const {
+  for (Wave w : waves_) {
+    if (!wave_is_static(w)) return false;
+  }
+  return true;
+}
+
+InputPattern Stimulus::initial_pattern() const {
+  InputPattern p = 0;
+  for (std::size_t i = 0; i < waves_.size(); ++i) {
+    if (wave_initial(waves_[i])) p |= InputPattern{1} << i;
+  }
+  return p;
+}
+
+InputPattern Stimulus::final_pattern() const {
+  InputPattern p = 0;
+  for (std::size_t i = 0; i < waves_.size(); ++i) {
+    if (wave_final(waves_[i])) p |= InputPattern{1} << i;
+  }
+  return p;
+}
+
+std::string Stimulus::to_string() const {
+  std::string s;
+  s.reserve(waves_.size());
+  for (Wave w : waves_) s += wave_char(w);
+  return s;
+}
+
+std::vector<Stimulus> generate_stimuli(std::size_t num_inputs, StimulusPolicy policy) {
+  CAML_ASSERT(num_inputs >= 1 && num_inputs <= 16);
+  const InputPattern count = InputPattern{1} << num_inputs;
+  std::vector<Stimulus> out;
+  out.reserve(stimulus_count(num_inputs, policy));
+  for (InputPattern p = 0; p < count; ++p) out.push_back(Stimulus::from_pattern(p, num_inputs));
+  switch (policy) {
+    case StimulusPolicy::kStaticOnly:
+      break;
+    case StimulusPolicy::kSingleInputChange:
+      for (InputPattern p = 0; p < count; ++p) {
+        for (std::size_t i = 0; i < num_inputs; ++i) {
+          const InputPattern q = p ^ (InputPattern{1} << i);
+          out.push_back(Stimulus::from_pair(p, q, num_inputs));
+        }
+      }
+      break;
+    case StimulusPolicy::kExhaustivePairs:
+      for (InputPattern p = 0; p < count; ++p) {
+        for (InputPattern q = 0; q < count; ++q) {
+          if (p != q) out.push_back(Stimulus::from_pair(p, q, num_inputs));
+        }
+      }
+      break;
+  }
+  return out;
+}
+
+std::size_t stimulus_count(std::size_t num_inputs, StimulusPolicy policy) {
+  const std::size_t s = std::size_t{1} << num_inputs;
+  switch (policy) {
+    case StimulusPolicy::kStaticOnly: return s;
+    case StimulusPolicy::kSingleInputChange: return s + s * num_inputs;
+    case StimulusPolicy::kExhaustivePairs: return s + s * (s - 1);
+  }
+  throw Error("invalid StimulusPolicy");
+}
+
+}  // namespace caml

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "logic/wave.hpp"
+
+namespace caml {
+
+/// Bit pattern applied to the inputs of a cell; bit i is input i.
+using InputPattern = std::uint32_t;
+
+/// One row of the "Cell inputs" part of the CA-matrix: a 4-valued value
+/// per cell input. A stimulus is *static* when no input carries a
+/// transition, *dynamic* otherwise (a two-pattern test).
+class Stimulus {
+ public:
+  Stimulus() = default;
+  explicit Stimulus(std::vector<Wave> waves) : waves_(std::move(waves)) {}
+
+  /// Static stimulus from a bit pattern over n inputs.
+  static Stimulus from_pattern(InputPattern pattern, std::size_t num_inputs);
+
+  /// Dynamic (or static, if equal) stimulus from an (initial, final) pair.
+  static Stimulus from_pair(InputPattern initial, InputPattern final, std::size_t num_inputs);
+
+  /// Parse from a string like "0F1" (input 0 first). Throws on bad chars.
+  static Stimulus parse(const std::string& text);
+
+  std::size_t num_inputs() const { return waves_.size(); }
+  Wave wave(std::size_t input) const { return waves_[input]; }
+  const std::vector<Wave>& waves() const { return waves_; }
+
+  bool is_static() const;
+
+  /// Input patterns before / after the transition (equal when static).
+  InputPattern initial_pattern() const;
+  InputPattern final_pattern() const;
+
+  /// "0F1"-style rendering, input 0 first.
+  std::string to_string() const;
+
+  bool operator==(const Stimulus& other) const = default;
+
+ private:
+  std::vector<Wave> waves_;
+};
+
+/// Which stimuli make up a CA-matrix.
+enum class StimulusPolicy {
+  /// 2^n static rows only (no sequence-dependent defect coverage).
+  kStaticOnly,
+  /// 2^n static + n * 2^(n-1) * 2 single-input-transition rows. A compact
+  /// set still able to detect stuck-open defects; used by fast profiles.
+  kSingleInputChange,
+  /// 2^n static + 2^n * (2^n - 1) ordered two-pattern rows (every ordered
+  /// pair of distinct patterns). Superset of the paper's stated
+  /// 2^n + 2^n * 2^(n-1) count; see DESIGN.md section 2.
+  kExhaustivePairs,
+};
+
+/// Generate the ordered stimulus list for n inputs under a policy.
+/// Static stimuli come first in ascending pattern order, then dynamic
+/// stimuli ordered by (initial, final) pattern. n must be in [1, 16].
+std::vector<Stimulus> generate_stimuli(std::size_t num_inputs, StimulusPolicy policy);
+
+/// Number of stimuli generate_stimuli would return.
+std::size_t stimulus_count(std::size_t num_inputs, StimulusPolicy policy);
+
+}  // namespace caml

@@ -1,0 +1,68 @@
+#include "logic/wave.hpp"
+
+#include <ostream>
+
+#include "util/error.hpp"
+
+namespace caml {
+
+bool wave_initial(Wave w) { return w == Wave::kOne || w == Wave::kFall; }
+
+bool wave_final(Wave w) { return w == Wave::kOne || w == Wave::kRise; }
+
+bool wave_is_static(Wave w) { return w == Wave::kZero || w == Wave::kOne; }
+
+Wave wave_from_pair(bool initial, bool final) {
+  if (initial == final) return final ? Wave::kOne : Wave::kZero;
+  return final ? Wave::kRise : Wave::kFall;
+}
+
+Wave wave_invert(Wave w) {
+  switch (w) {
+    case Wave::kZero: return Wave::kOne;
+    case Wave::kOne: return Wave::kZero;
+    case Wave::kRise: return Wave::kFall;
+    case Wave::kFall: return Wave::kRise;
+  }
+  throw Error("invalid Wave");
+}
+
+char wave_char(Wave w) {
+  switch (w) {
+    case Wave::kZero: return '0';
+    case Wave::kOne: return '1';
+    case Wave::kRise: return 'R';
+    case Wave::kFall: return 'F';
+  }
+  throw Error("invalid Wave");
+}
+
+Wave wave_from_char(char c) {
+  switch (c) {
+    case '0': return Wave::kZero;
+    case '1': return Wave::kOne;
+    case 'R': case 'r': return Wave::kRise;
+    case 'F': case 'f': return Wave::kFall;
+    default: throw Error(std::string("invalid wave character '") + c + "'");
+  }
+}
+
+std::ostream& operator<<(std::ostream& os, Wave w) { return os << wave_char(w); }
+
+bool sig_is_binary(Sig s) { return s == Sig::kZero || s == Sig::kOne; }
+
+char sig_char(Sig s) {
+  switch (s) {
+    case Sig::kZero: return '0';
+    case Sig::kOne: return '1';
+    case Sig::kX: return 'X';
+    case Sig::kZ: return 'Z';
+  }
+  throw Error("invalid Sig");
+}
+
+Sig sig_from_bool(bool b) { return b ? Sig::kOne : Sig::kZero; }
+
+std::ostream& operator<<(std::ostream& os, Sig s) { return os << sig_char(s); }
+
+}  // namespace caml

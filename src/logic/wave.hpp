@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+namespace caml {
+
+/// Four-valued stimulus/activity algebra from the paper's Table I:
+/// a static 0, a static 1, a Rising transition (0 -> 1) and a Falling
+/// transition (1 -> 0). Used both for cell input stimuli and for the
+/// per-transistor switching-activity columns of the CA-matrix.
+enum class Wave : std::uint8_t { kZero = 0, kOne = 1, kRise = 2, kFall = 3 };
+
+/// Value during the first (initialization) pattern of a two-pattern test.
+bool wave_initial(Wave w);
+
+/// Value during the second (final) pattern; equals wave_initial for
+/// static values.
+bool wave_final(Wave w);
+
+/// True for kZero / kOne.
+bool wave_is_static(Wave w);
+
+/// Build a Wave from an (initial, final) value pair.
+Wave wave_from_pair(bool initial, bool final);
+
+/// The opposite transition / complement value.
+Wave wave_invert(Wave w);
+
+/// '0', '1', 'R' or 'F'.
+char wave_char(Wave w);
+
+/// Parse '0'/'1'/'R'/'F' (case-insensitive). Throws caml::Error otherwise.
+Wave wave_from_char(char c);
+
+std::ostream& operator<<(std::ostream& os, Wave w);
+
+/// Signal value used by the switch-level simulator: strong logic values,
+/// unknown (X) and floating / high-impedance (Z).
+enum class Sig : std::uint8_t { kZero = 0, kOne = 1, kX = 2, kZ = 3 };
+
+bool sig_is_binary(Sig s);
+char sig_char(Sig s);
+Sig sig_from_bool(bool b);
+std::ostream& operator<<(std::ostream& os, Sig s);
+
+}  // namespace caml

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace caml {
+
+/// Common interface of all binary classifiers in this library. fit()
+/// must be called before predict(); rows passed to predict() must have
+/// the same feature count as the training data.
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  virtual void fit(const Dataset& data) = 0;
+  virtual std::uint8_t predict(const std::int8_t* row) const = 0;
+  virtual std::string name() const = 0;
+
+  /// Predicted label for every row of a dataset.
+  std::vector<std::uint8_t> predict_all(const Dataset& data) const;
+};
+
+}  // namespace caml

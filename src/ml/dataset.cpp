@@ -1,0 +1,98 @@
+#include "ml/dataset.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace caml {
+
+void Dataset::add_row(const std::int8_t* row, std::uint8_t label, std::uint32_t weight) {
+  features_.insert(features_.end(), row, row + num_features_);
+  labels_.push_back(label);
+  weights_.push_back(weight);
+}
+
+void Dataset::add_sampled(const Dataset& other, std::size_t max_rows, Rng& rng) {
+  CAML_ASSERT(other.num_features() == num_features_);
+  if (max_rows == 0 || other.num_rows() <= max_rows) {
+    for (std::size_t r = 0; r < other.num_rows(); ++r) {
+      add_row(other.row(r), other.label(r), other.weight(r));
+    }
+    return;
+  }
+  // Stratified: sample each class proportionally, at least one row of a
+  // class that exists (rare detections must not vanish).
+  std::vector<std::size_t> pos, neg;
+  for (std::size_t r = 0; r < other.num_rows(); ++r) {
+    (other.label(r) ? pos : neg).push_back(r);
+  }
+  const double ratio = static_cast<double>(max_rows) / static_cast<double>(other.num_rows());
+  const auto take = [&](std::vector<std::size_t>& idx) {
+    if (idx.empty()) return;
+    std::size_t k = static_cast<std::size_t>(static_cast<double>(idx.size()) * ratio);
+    k = std::clamp<std::size_t>(k, 1, idx.size());
+    for (std::size_t i : rng.sample_indices(idx.size(), k)) {
+      add_row(other.row(idx[i]), other.label(idx[i]), other.weight(idx[i]));
+    }
+  };
+  take(pos);
+  take(neg);
+}
+
+void Dataset::add_deduplicated(const Dataset& other) {
+  CAML_ASSERT(other.num_features() == num_features_);
+  std::string key;
+  key.reserve(num_features_ + 1);
+  for (std::size_t r = 0; r < other.num_rows(); ++r) {
+    key.assign(reinterpret_cast<const char*>(other.row(r)), num_features_);
+    key.push_back(static_cast<char>(other.label(r)));
+    const auto [it, inserted] = dedup_index_.try_emplace(key, num_rows());
+    if (inserted) {
+      add_row(other.row(r), other.label(r), other.weight(r));
+    } else {
+      weights_[it->second] += other.weight(r);
+    }
+  }
+}
+
+Dataset Dataset::subtract_deduplicated(const Dataset& other) const {
+  CAML_ASSERT(other.num_features() == num_features_);
+  std::vector<std::uint32_t> remaining = weights_;
+  std::string key;
+  key.reserve(num_features_ + 1);
+  for (std::size_t r = 0; r < other.num_rows(); ++r) {
+    key.assign(reinterpret_cast<const char*>(other.row(r)), num_features_);
+    key.push_back(static_cast<char>(other.label(r)));
+    const auto it = dedup_index_.find(key);
+    if (it == dedup_index_.end() || remaining[it->second] < other.weight(r)) {
+      throw Error("subtract_deduplicated: row not present with sufficient weight");
+    }
+    remaining[it->second] -= other.weight(r);
+  }
+  Dataset out(num_features_);
+  out.reserve(num_rows());
+  for (std::size_t r = 0; r < num_rows(); ++r) {
+    if (remaining[r] > 0) out.add_row(row(r), labels_[r], remaining[r]);
+  }
+  return out;
+}
+
+std::uint64_t Dataset::total_weight() const {
+  std::uint64_t w = 0;
+  for (std::uint32_t x : weights_) w += x;
+  return w;
+}
+
+std::size_t Dataset::num_positive() const {
+  std::size_t n = 0;
+  for (std::uint8_t l : labels_) n += l;
+  return n;
+}
+
+std::pair<std::int8_t, std::int8_t> Dataset::feature_range() const {
+  if (features_.empty()) return {0, 0};
+  const auto [lo, hi] = std::minmax_element(features_.begin(), features_.end());
+  return {*lo, *hi};
+}
+
+}  // namespace caml

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace caml {
+
+/// Dense binary-classification dataset with small-integer features —
+/// the shape of CA-matrix data. Row-major, int8 features, {0,1} labels.
+///
+/// Rows carry an integer weight (default 1). CA-matrix training sets
+/// contain many exactly repeated rows (structurally identical sibling
+/// cells produce identical matrices), so the flow deduplicates them
+/// into weighted rows — the tree learner then trains on the *full*
+/// information at a fraction of the cost. Weight-blind consumers (k-NN,
+/// the linear baselines) treat each distinct row once.
+class Dataset {
+ public:
+  explicit Dataset(std::size_t num_features) : num_features_(num_features) {}
+
+  std::size_t num_features() const { return num_features_; }
+  std::size_t num_rows() const { return labels_.size(); }
+  bool empty() const { return labels_.empty(); }
+
+  void reserve(std::size_t rows) {
+    features_.reserve(rows * num_features_);
+    labels_.reserve(rows);
+    weights_.reserve(rows);
+  }
+
+  /// Appends one row; `row` must hold num_features() values.
+  void add_row(const std::int8_t* row, std::uint8_t label, std::uint32_t weight = 1);
+
+  /// Appends up to max_rows rows of `other` chosen by a stratified
+  /// sample that preserves the positive/negative label ratio
+  /// (max_rows == 0 appends everything). Weights are carried over;
+  /// the sample is uniform over rows, not over weight.
+  void add_sampled(const Dataset& other, std::size_t max_rows, Rng& rng);
+
+  /// Appends every row of `other`, merging rows whose (features, label)
+  /// already exist in this dataset by adding their weights. `this` must
+  /// have been built exclusively through add_deduplicated (it maintains
+  /// the lookup index).
+  void add_deduplicated(const Dataset& other);
+
+  /// Returns a copy of this dataset with `other`'s row weights
+  /// subtracted (matched by (features, label)); rows whose weight drops
+  /// to zero are omitted. `this` must have been built through
+  /// add_deduplicated, and every row of `other` must be present with at
+  /// least its weight (throws caml::Error otherwise). This is the
+  /// leave-one-out fast path: master-minus-one instead of rebuilding
+  /// the training set per held-out cell.
+  Dataset subtract_deduplicated(const Dataset& other) const;
+
+  const std::int8_t* row(std::size_t r) const { return features_.data() + r * num_features_; }
+  std::span<const std::int8_t> row_span(std::size_t r) const {
+    return {row(r), num_features_};
+  }
+  std::uint8_t label(std::size_t r) const { return labels_[r]; }
+  const std::vector<std::uint8_t>& labels() const { return labels_; }
+  std::uint32_t weight(std::size_t r) const { return weights_[r]; }
+
+  /// Sum of all row weights (the "virtual" row count before dedup).
+  std::uint64_t total_weight() const;
+
+  /// Count of rows with label 1.
+  std::size_t num_positive() const;
+
+  /// Smallest / largest feature value present (used to size histogram
+  /// buckets in the tree learner). Returns {0, 0} when empty.
+  std::pair<std::int8_t, std::int8_t> feature_range() const;
+
+ private:
+  std::size_t num_features_;
+  std::vector<std::int8_t> features_;
+  std::vector<std::uint8_t> labels_;
+  std::vector<std::uint32_t> weights_;
+  /// Lazily maintained by add_deduplicated: (row bytes + label) -> index.
+  std::unordered_map<std::string, std::size_t> dedup_index_;
+};
+
+}  // namespace caml

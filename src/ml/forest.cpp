@@ -1,0 +1,80 @@
+#include "ml/forest.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace caml {
+
+void RandomForest::fit(const Dataset& data) {
+  CAML_ASSERT(data.num_rows() > 0);
+  trees_.clear();
+  num_features_ = data.num_features();
+  Rng rng(params_.seed);
+
+  TreeParams tp = params_.tree;
+  if (tp.max_features == 0) {
+    tp.max_features = static_cast<std::size_t>(
+        std::lround(std::sqrt(static_cast<double>(data.num_features()))));
+    tp.max_features = std::max<std::size_t>(tp.max_features, 1);
+  }
+  std::size_t sample = data.num_rows();
+  if (params_.max_samples_per_tree > 0) {
+    sample = std::min(sample, params_.max_samples_per_tree);
+  }
+
+  trees_.reserve(params_.num_trees);
+  for (std::size_t t = 0; t < params_.num_trees; ++t) {
+    std::vector<std::uint32_t> indices;
+    if (params_.bootstrap) {
+      indices.resize(sample);
+      for (std::uint32_t& i : indices) {
+        i = static_cast<std::uint32_t>(rng.below(data.num_rows()));
+      }
+    } else if (sample < data.num_rows()) {
+      // Capped: random subset without replacement, fresh per tree.
+      for (std::size_t i : rng.sample_indices(data.num_rows(), sample)) {
+        indices.push_back(static_cast<std::uint32_t>(i));
+      }
+    } else {
+      indices.resize(data.num_rows());
+      for (std::size_t i = 0; i < indices.size(); ++i) {
+        indices[i] = static_cast<std::uint32_t>(i);
+      }
+    }
+    DecisionTree tree(tp, rng.next());
+    tree.fit_indices(data, std::move(indices));
+    trees_.push_back(std::move(tree));
+  }
+}
+
+double RandomForest::predict_proba(const std::int8_t* row) const {
+  CAML_ASSERT(!trees_.empty());
+  double sum = 0.0;
+  for (const DecisionTree& tree : trees_) {
+    const auto [c0, c1] = tree.leaf_votes(row);
+    sum += static_cast<double>(c1) / static_cast<double>(c0 + c1);
+  }
+  return sum / static_cast<double>(trees_.size());
+}
+
+std::uint8_t RandomForest::predict(const std::int8_t* row) const {
+  return predict_proba(row) >= 0.5 ? 1 : 0;
+}
+
+std::vector<double> RandomForest::feature_importance() const {
+  std::vector<double> out(num_features_, 0.0);
+  std::size_t contributing = 0;
+  for (const DecisionTree& tree : trees_) {
+    const std::vector<double>& imp = tree.feature_importance();
+    if (imp.size() != out.size()) continue;  // e.g. loaded trees
+    ++contributing;
+    for (std::size_t f = 0; f < out.size(); ++f) out[f] += imp[f];
+  }
+  if (contributing > 0) {
+    for (double& v : out) v /= static_cast<double>(contributing);
+  }
+  return out;
+}
+
+}  // namespace caml

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <iosfwd>
+
+#include "ml/tree.hpp"
+
+namespace caml {
+
+struct LoadedForest;
+
+struct ForestParams {
+  std::size_t num_trees = 20;
+  TreeParams tree;
+  /// Per-tree sample cap over distinct (deduplicated) rows; 0 = no cap.
+  /// With weighted dedup the full data is usually affordable, so the
+  /// default is uncapped.
+  std::size_t max_samples_per_tree = 0;
+  /// true: classic bagging (sampling with replacement). false (default):
+  /// every tree sees the whole (capped) training set and diversity comes
+  /// from per-split feature subsampling only — on the small per-group
+  /// corpora of this reproduction, bootstrap dropout of singleton rows
+  /// measurably hurts accuracy.
+  bool bootstrap = false;
+  /// max_features of 0 means sqrt(num_features), resolved at fit time.
+  std::uint64_t seed = 0xF0535Dull;
+};
+
+/// Random Forest: bagged CART trees with per-split feature subsampling
+/// and soft-vote aggregation (summed leaf class frequencies) — the
+/// paper's classifier of choice.
+class RandomForest : public Classifier {
+ public:
+  explicit RandomForest(ForestParams params = {}) : params_(params) {}
+
+  void fit(const Dataset& data) override;
+  std::uint8_t predict(const std::int8_t* row) const override;
+  std::string name() const override { return "RandomForest"; }
+
+  /// Probability of class 1 (fraction of soft votes).
+  double predict_proba(const std::int8_t* row) const;
+
+  const std::vector<DecisionTree>& trees() const { return trees_; }
+
+  /// Feature count seen at fit time (0 before fit / after load without
+  /// metadata).
+  std::size_t num_features() const { return num_features_; }
+
+  /// Mean Gini importance per feature across the trees (normalized to
+  /// sum 1; empty before fit or after load).
+  std::vector<double> feature_importance() const;
+
+ private:
+  friend LoadedForest read_forest(std::istream& in);
+  ForestParams params_;
+  std::vector<DecisionTree> trees_;
+  std::size_t num_features_ = 0;
+};
+
+}  // namespace caml

@@ -1,0 +1,81 @@
+#include "ml/forest_io.hpp"
+
+#include <istream>
+#include <ostream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace caml {
+
+void DecisionTree::save(std::ostream& os) const {
+  os << "TREE nodes=" << nodes_.size() << '\n';
+  for (const Node& n : nodes_) {
+    os << n.left << ' ' << n.right << ' ' << n.feature << ' ' << static_cast<int>(n.threshold)
+       << ' ' << n.count0 << ' ' << n.count1 << '\n';
+  }
+}
+
+DecisionTree DecisionTree::load(std::istream& in, std::size_t& line_no) {
+  std::string line;
+  if (!std::getline(in, line)) throw ParseError("expected TREE header", line_no);
+  ++line_no;
+  const std::vector<std::string> head = split(line);
+  if (head.size() != 2 || head[0] != "TREE" || head[1].rfind("nodes=", 0) != 0) {
+    throw ParseError("bad TREE header '" + line + "'", line_no);
+  }
+  const std::size_t count = std::stoul(head[1].substr(6));
+  DecisionTree tree;
+  tree.nodes_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!std::getline(in, line)) throw ParseError("truncated tree", line_no);
+    ++line_no;
+    const std::vector<std::string> tok = split(line);
+    if (tok.size() != 6) throw ParseError("bad tree node line '" + line + "'", line_no);
+    Node n;
+    n.left = std::stoi(tok[0]);
+    n.right = std::stoi(tok[1]);
+    n.feature = static_cast<std::uint16_t>(std::stoul(tok[2]));
+    n.threshold = static_cast<std::int8_t>(std::stoi(tok[3]));
+    n.count0 = std::stoull(tok[4]);
+    n.count1 = std::stoull(tok[5]);
+    const auto max = static_cast<std::int32_t>(count);
+    if (n.left >= max || n.right >= max) {
+      throw ParseError("tree node child out of range", line_no);
+    }
+    tree.nodes_.push_back(n);
+  }
+  if (tree.nodes_.empty()) throw ParseError("empty tree", line_no);
+  return tree;
+}
+
+void write_forest(std::ostream& os, const RandomForest& forest, std::size_t num_features) {
+  os << "FOREST trees=" << forest.trees().size() << " features=" << num_features << '\n';
+  for (const DecisionTree& tree : forest.trees()) tree.save(os);
+  os << "ENDFOREST\n";
+}
+
+LoadedForest read_forest(std::istream& in) {
+  std::size_t line_no = 0;
+  std::string line;
+  if (!std::getline(in, line)) throw ParseError("expected FOREST header", line_no);
+  ++line_no;
+  const std::vector<std::string> head = split(line);
+  if (head.size() != 3 || head[0] != "FOREST" || head[1].rfind("trees=", 0) != 0 ||
+      head[2].rfind("features=", 0) != 0) {
+    throw ParseError("bad FOREST header '" + line + "'", line_no);
+  }
+  LoadedForest out;
+  const std::size_t trees = std::stoul(head[1].substr(6));
+  out.num_features = std::stoul(head[2].substr(9));
+  out.forest.num_features_ = out.num_features;
+  for (std::size_t t = 0; t < trees; ++t) {
+    out.forest.trees_.push_back(DecisionTree::load(in, line_no));
+  }
+  if (!std::getline(in, line) || trim(line) != "ENDFOREST") {
+    throw ParseError("missing ENDFOREST", line_no);
+  }
+  return out;
+}
+
+}  // namespace caml

@@ -1,0 +1,59 @@
+#include "ml/knn.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace caml {
+
+void KnnClassifier::fit(const Dataset& data) {
+  CAML_ASSERT(data.num_rows() > 0);
+  num_features_ = data.num_features();
+  reference_.clear();
+  reference_labels_.clear();
+
+  std::vector<std::size_t> keep;
+  if (params_.max_reference_rows > 0 && data.num_rows() > params_.max_reference_rows) {
+    Rng rng(params_.seed);
+    keep = rng.sample_indices(data.num_rows(), params_.max_reference_rows);
+  } else {
+    keep.resize(data.num_rows());
+    for (std::size_t i = 0; i < keep.size(); ++i) keep[i] = i;
+  }
+  reference_.reserve(keep.size() * num_features_);
+  reference_labels_.reserve(keep.size());
+  for (std::size_t r : keep) {
+    const std::int8_t* row = data.row(r);
+    reference_.insert(reference_.end(), row, row + num_features_);
+    reference_labels_.push_back(data.label(r));
+  }
+}
+
+std::uint8_t KnnClassifier::predict(const std::int8_t* row) const {
+  CAML_ASSERT(!reference_labels_.empty());
+  const std::size_t k = std::min(params_.k, reference_labels_.size());
+  // Bounded max-heap of the k smallest distances, as (distance, label).
+  std::vector<std::pair<std::uint32_t, std::uint8_t>> heap;
+  heap.reserve(k + 1);
+  for (std::size_t r = 0; r < reference_labels_.size(); ++r) {
+    const std::int8_t* ref = reference_.data() + r * num_features_;
+    std::uint32_t dist = 0;
+    for (std::size_t f = 0; f < num_features_; ++f) {
+      dist += static_cast<std::uint32_t>(std::abs(static_cast<int>(row[f]) - ref[f]));
+    }
+    if (heap.size() < k) {
+      heap.emplace_back(dist, reference_labels_[r]);
+      std::push_heap(heap.begin(), heap.end());
+    } else if (dist < heap.front().first) {
+      std::pop_heap(heap.begin(), heap.end());
+      heap.back() = {dist, reference_labels_[r]};
+      std::push_heap(heap.begin(), heap.end());
+    }
+  }
+  std::size_t ones = 0;
+  for (const auto& [d, l] : heap) ones += l;
+  return 2 * ones >= heap.size() ? 1 : 0;
+}
+
+}  // namespace caml

@@ -1,0 +1,34 @@
+#pragma once
+
+#include "ml/classifier.hpp"
+#include "util/rng.hpp"
+
+namespace caml {
+
+struct KnnParams {
+  std::size_t k = 5;
+  /// Stored reference rows are capped (uniform subsample) to bound the
+  /// O(stored) query cost; 0 = keep everything.
+  std::size_t max_reference_rows = 20000;
+  std::uint64_t seed = 0x6B4E4Eull;
+};
+
+/// k-nearest-neighbours with L1 distance over the integer features. One
+/// of the baseline algorithms the paper evaluated before choosing the
+/// Random Forest.
+class KnnClassifier : public Classifier {
+ public:
+  explicit KnnClassifier(KnnParams params = {}) : params_(params) {}
+
+  void fit(const Dataset& data) override;
+  std::uint8_t predict(const std::int8_t* row) const override;
+  std::string name() const override { return "kNN"; }
+
+ private:
+  KnnParams params_;
+  std::size_t num_features_ = 0;
+  std::vector<std::int8_t> reference_;
+  std::vector<std::uint8_t> reference_labels_;
+};
+
+}  // namespace caml

@@ -1,0 +1,139 @@
+#include "ml/linear.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace caml {
+
+namespace {
+
+double dot_plus_bias(const std::vector<double>& w, const std::int8_t* row) {
+  double acc = w.back();
+  for (std::size_t f = 0; f + 1 < w.size(); ++f) acc += w[f] * row[f];
+  return acc;
+}
+
+}  // namespace
+
+double LogisticClassifier::decision(const std::int8_t* row) const {
+  CAML_ASSERT(!weights_.empty());
+  return dot_plus_bias(weights_, row);
+}
+
+std::uint8_t LogisticClassifier::predict(const std::int8_t* row) const {
+  return decision(row) >= 0.0 ? 1 : 0;
+}
+
+void LogisticClassifier::fit(const Dataset& data) {
+  CAML_ASSERT(data.num_rows() > 0);
+  weights_.assign(data.num_features() + 1, 0.0);
+  Rng rng(params_.seed);
+  const std::size_t per_epoch =
+      params_.max_rows_per_epoch == 0
+          ? data.num_rows()
+          : std::min(data.num_rows(), params_.max_rows_per_epoch);
+  for (std::size_t e = 0; e < params_.epochs; ++e) {
+    const double lr = params_.learning_rate / (1.0 + static_cast<double>(e));
+    for (std::size_t i = 0; i < per_epoch; ++i) {
+      const std::size_t r = static_cast<std::size_t>(rng.below(data.num_rows()));
+      const std::int8_t* row = data.row(r);
+      const double y = data.label(r) ? 1.0 : 0.0;
+      const double z = dot_plus_bias(weights_, row);
+      const double p = 1.0 / (1.0 + std::exp(-z));
+      const double g = p - y;
+      for (std::size_t f = 0; f + 1 < weights_.size(); ++f) {
+        weights_[f] -= lr * (g * row[f] + params_.l2 * weights_[f]);
+      }
+      weights_.back() -= lr * g;
+    }
+  }
+}
+
+void LinearSvmClassifier::fit(const Dataset& data) {
+  CAML_ASSERT(data.num_rows() > 0);
+  weights_.assign(data.num_features() + 1, 0.0);
+  Rng rng(params_.seed);
+  const double lambda = std::max(params_.l2, 1e-8);
+  const std::size_t per_epoch =
+      params_.max_rows_per_epoch == 0
+          ? data.num_rows()
+          : std::min(data.num_rows(), params_.max_rows_per_epoch);
+  std::size_t step = 0;
+  for (std::size_t e = 0; e < params_.epochs; ++e) {
+    for (std::size_t i = 0; i < per_epoch; ++i) {
+      ++step;
+      const double lr = 1.0 / (lambda * static_cast<double>(step));
+      const std::size_t r = static_cast<std::size_t>(rng.below(data.num_rows()));
+      const std::int8_t* row = data.row(r);
+      const double y = data.label(r) ? 1.0 : -1.0;
+      const double margin = y * dot_plus_bias(weights_, row);
+      for (std::size_t f = 0; f + 1 < weights_.size(); ++f) {
+        weights_[f] *= 1.0 - lr * lambda;
+      }
+      if (margin < 1.0) {
+        for (std::size_t f = 0; f + 1 < weights_.size(); ++f) {
+          weights_[f] += lr * y * row[f];
+        }
+        weights_.back() += lr * y;
+      }
+    }
+  }
+}
+
+void RidgeClassifier::fit(const Dataset& data) {
+  CAML_ASSERT(data.num_rows() > 0);
+  const std::size_t d = data.num_features() + 1;  // + bias
+  // Normal equations: (X^T X + l2 I) w = X^T y, with y in {-1, +1}.
+  std::vector<double> a(d * d, 0.0);
+  std::vector<double> b(d, 0.0);
+  std::vector<double> x(d, 1.0);
+  for (std::size_t r = 0; r < data.num_rows(); ++r) {
+    const std::int8_t* row = data.row(r);
+    for (std::size_t f = 0; f + 1 < d; ++f) x[f] = row[f];
+    x[d - 1] = 1.0;
+    const double y = data.label(r) ? 1.0 : -1.0;
+    for (std::size_t i = 0; i < d; ++i) {
+      b[i] += x[i] * y;
+      for (std::size_t j = i; j < d; ++j) a[i * d + j] += x[i] * x[j];
+    }
+  }
+  for (std::size_t i = 0; i < d; ++i) {
+    a[i * d + i] += l2_;
+    for (std::size_t j = 0; j < i; ++j) a[i * d + j] = a[j * d + i];
+  }
+  // Gaussian elimination with partial pivoting.
+  for (std::size_t col = 0; col < d; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < d; ++r) {
+      if (std::abs(a[r * d + col]) > std::abs(a[pivot * d + col])) pivot = r;
+    }
+    if (std::abs(a[pivot * d + col]) < 1e-12) continue;  // singular direction
+    if (pivot != col) {
+      for (std::size_t j = 0; j < d; ++j) std::swap(a[pivot * d + j], a[col * d + j]);
+      std::swap(b[pivot], b[col]);
+    }
+    const double inv = 1.0 / a[col * d + col];
+    for (std::size_t r = 0; r < d; ++r) {
+      if (r == col) continue;
+      const double factor = a[r * d + col] * inv;
+      if (factor == 0.0) continue;
+      for (std::size_t j = col; j < d; ++j) a[r * d + j] -= factor * a[col * d + j];
+      b[r] -= factor * b[col];
+    }
+  }
+  weights_.assign(d, 0.0);
+  for (std::size_t i = 0; i < d; ++i) {
+    weights_[i] = std::abs(a[i * d + i]) < 1e-12 ? 0.0 : b[i] / a[i * d + i];
+  }
+}
+
+std::uint8_t RidgeClassifier::predict(const std::int8_t* row) const {
+  CAML_ASSERT(!weights_.empty());
+  double acc = weights_.back();
+  for (std::size_t f = 0; f + 1 < weights_.size(); ++f) acc += weights_[f] * row[f];
+  return acc >= 0.0 ? 1 : 0;
+}
+
+}  // namespace caml

@@ -1,0 +1,56 @@
+#pragma once
+
+#include "ml/classifier.hpp"
+
+namespace caml {
+
+struct SgdParams {
+  std::size_t epochs = 8;
+  double learning_rate = 0.05;
+  double l2 = 1e-4;
+  std::uint64_t seed = 0x11EA12ull;
+  /// Rows visited per epoch are capped for very large sets (0 = all).
+  std::size_t max_rows_per_epoch = 200000;
+};
+
+/// Logistic regression trained by SGD — the "Linear" baseline.
+class LogisticClassifier : public Classifier {
+ public:
+  explicit LogisticClassifier(SgdParams params = {}) : params_(params) {}
+
+  void fit(const Dataset& data) override;
+  std::uint8_t predict(const std::int8_t* row) const override;
+  std::string name() const override { return "Logistic"; }
+
+  double decision(const std::int8_t* row) const;
+
+ protected:
+  SgdParams params_;
+  std::vector<double> weights_;  // + bias at the back
+};
+
+/// Linear SVM (hinge loss, Pegasos-style SGD) — the "SVM" baseline.
+class LinearSvmClassifier : public LogisticClassifier {
+ public:
+  explicit LinearSvmClassifier(SgdParams params = {}) : LogisticClassifier(params) {}
+
+  void fit(const Dataset& data) override;
+  std::string name() const override { return "LinearSVM"; }
+};
+
+/// Ridge regression on +/-1 targets, solved in closed form (normal
+/// equations, Gaussian elimination) — the "Ridge" baseline.
+class RidgeClassifier : public Classifier {
+ public:
+  explicit RidgeClassifier(double l2 = 1.0) : l2_(l2) {}
+
+  void fit(const Dataset& data) override;
+  std::uint8_t predict(const std::int8_t* row) const override;
+  std::string name() const override { return "Ridge"; }
+
+ private:
+  double l2_;
+  std::vector<double> weights_;  // + bias at the back
+};
+
+}  // namespace caml

@@ -1,0 +1,57 @@
+#include "ml/metrics.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace caml {
+
+double ConfusionMatrix::accuracy() const {
+  const std::uint64_t t = total();
+  if (t == 0) return 0.0;
+  return static_cast<double>(true_positive + true_negative) / static_cast<double>(t);
+}
+
+double ConfusionMatrix::precision() const {
+  const std::uint64_t denom = true_positive + false_positive;
+  return denom == 0 ? 0.0 : static_cast<double>(true_positive) / static_cast<double>(denom);
+}
+
+double ConfusionMatrix::recall() const {
+  const std::uint64_t denom = true_positive + false_negative;
+  return denom == 0 ? 0.0 : static_cast<double>(true_positive) / static_cast<double>(denom);
+}
+
+double ConfusionMatrix::f1() const {
+  const double p = precision();
+  const double r = recall();
+  return p + r == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+std::string ConfusionMatrix::to_string() const {
+  return "tn=" + std::to_string(true_negative) + " fp=" + std::to_string(false_positive) +
+         " fn=" + std::to_string(false_negative) + " tp=" + std::to_string(true_positive) +
+         " acc=" + format_fixed(100.0 * accuracy(), 2) + "%";
+}
+
+ConfusionMatrix confusion(const std::vector<std::uint8_t>& truth,
+                          const std::vector<std::uint8_t>& predicted) {
+  CAML_ASSERT(truth.size() == predicted.size());
+  ConfusionMatrix cm;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i]) {
+      if (predicted[i]) ++cm.true_positive;
+      else ++cm.false_negative;
+    } else {
+      if (predicted[i]) ++cm.false_positive;
+      else ++cm.true_negative;
+    }
+  }
+  return cm;
+}
+
+double accuracy(const std::vector<std::uint8_t>& truth,
+                const std::vector<std::uint8_t>& predicted) {
+  return confusion(truth, predicted).accuracy();
+}
+
+}  // namespace caml

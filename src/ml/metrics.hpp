@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace caml {
+
+/// Binary confusion matrix and the derived scores used in the paper's
+/// evaluation (prediction accuracy per cell).
+struct ConfusionMatrix {
+  std::uint64_t true_negative = 0;
+  std::uint64_t false_positive = 0;
+  std::uint64_t false_negative = 0;
+  std::uint64_t true_positive = 0;
+
+  std::uint64_t total() const {
+    return true_negative + false_positive + false_negative + true_positive;
+  }
+  double accuracy() const;
+  double precision() const;
+  double recall() const;
+  double f1() const;
+
+  std::string to_string() const;
+};
+
+/// Builds the confusion matrix of predictions vs truth (equal lengths).
+ConfusionMatrix confusion(const std::vector<std::uint8_t>& truth,
+                          const std::vector<std::uint8_t>& predicted);
+
+/// Plain accuracy in [0, 1].
+double accuracy(const std::vector<std::uint8_t>& truth,
+                const std::vector<std::uint8_t>& predicted);
+
+}  // namespace caml

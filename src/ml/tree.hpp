@@ -1,0 +1,81 @@
+#pragma once
+
+#include <iosfwd>
+
+#include "ml/classifier.hpp"
+#include "util/rng.hpp"
+
+namespace caml {
+
+/// CART decision-tree hyperparameters shared with the forest.
+struct TreeParams {
+  std::size_t max_depth = 64;
+  /// Weighted-sample thresholds (duplicated rows count with their
+  /// dedup weight, matching scikit-learn sample_weight semantics).
+  std::size_t min_samples_split = 2;
+  std::size_t min_samples_leaf = 1;
+  /// Features examined per split: 0 = all, otherwise a random subset of
+  /// this size (set by the forest to sqrt(F)).
+  std::size_t max_features = 0;
+};
+
+/// CART decision tree with Gini impurity, specialized for small-integer
+/// features: split search uses per-value counting (O(rows + values))
+/// instead of sorting.
+class DecisionTree : public Classifier {
+ public:
+  explicit DecisionTree(TreeParams params = {}, std::uint64_t seed = 1)
+      : params_(params), rng_(seed) {}
+
+  void fit(const Dataset& data) override;
+
+  /// Fit on a subset of rows (bootstrap sample from the forest).
+  void fit_indices(const Dataset& data, std::vector<std::uint32_t> indices);
+
+  std::uint8_t predict(const std::int8_t* row) const override;
+  std::string name() const override { return "DecisionTree"; }
+
+  /// Weighted votes of the leaf the row lands in: {count0, count1}.
+  std::pair<std::uint64_t, std::uint64_t> leaf_votes(const std::int8_t* row) const;
+
+  std::size_t num_nodes() const { return nodes_.size(); }
+  std::size_t depth() const;
+
+  /// Flat-node serialization used by the forest I/O (ml/forest_io.hpp).
+  void save(std::ostream& os) const;
+  static DecisionTree load(std::istream& in, std::size_t& line_no);
+
+  /// Gini importance per feature (weighted impurity decrease summed over
+  /// this tree's splits, normalized to sum 1; all-zero when the tree is
+  /// a single leaf or was loaded from disk).
+  const std::vector<double>& feature_importance() const { return importance_; }
+
+ private:
+  struct Node {
+    // Internal node: feature/threshold with children; leaf: children -1.
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+    std::uint16_t feature = 0;
+    std::int8_t threshold = 0;  // go left iff value <= threshold
+    std::uint64_t count0 = 0;
+    std::uint64_t count1 = 0;
+    bool is_leaf() const { return left < 0; }
+  };
+
+  std::int32_t build(const Dataset& data, std::vector<std::uint32_t>& indices,
+                     std::size_t begin, std::size_t end, std::size_t depth);
+
+  TreeParams params_;
+  Rng rng_;
+  std::vector<Node> nodes_;
+  std::vector<double> importance_;
+  // Scratch buffers reused across build() nodes (hot path).
+  std::vector<std::uint16_t> feature_order_;
+  std::vector<std::uint64_t> hist0_;
+  std::vector<std::uint64_t> hist1_;
+  std::size_t num_features_ = 0;
+  std::int8_t min_value_ = 0;
+  std::int8_t max_value_ = 0;
+};
+
+}  // namespace caml

@@ -1,0 +1,145 @@
+#include "netlist/cell.hpp"
+
+#include <unordered_set>
+
+#include "util/error.hpp"
+
+namespace caml {
+
+char mos_char(MosType t) { return t == MosType::kNmos ? 'N' : 'P'; }
+
+const char* terminal_name(Terminal t) {
+  switch (t) {
+    case Terminal::kDrain: return "D";
+    case Terminal::kGate: return "G";
+    case Terminal::kSource: return "S";
+    case Terminal::kBulk: return "B";
+  }
+  throw Error("invalid Terminal");
+}
+
+NetId Transistor::terminal(Terminal t) const {
+  switch (t) {
+    case Terminal::kDrain: return drain;
+    case Terminal::kGate: return gate;
+    case Terminal::kSource: return source;
+    case Terminal::kBulk: return bulk;
+  }
+  throw Error("invalid Terminal");
+}
+
+void Transistor::set_terminal(Terminal t, NetId net) {
+  switch (t) {
+    case Terminal::kDrain: drain = net; return;
+    case Terminal::kGate: gate = net; return;
+    case Terminal::kSource: source = net; return;
+    case Terminal::kBulk: bulk = net; return;
+  }
+  throw Error("invalid Terminal");
+}
+
+NetId Cell::add_net(const std::string& name, NetKind kind) {
+  if (find_net(name)) throw Error("cell " + name_ + ": duplicate net name '" + name + "'");
+  nets_.push_back(Net{name, kind});
+  const NetId id = static_cast<NetId>(nets_.size() - 1);
+  switch (kind) {
+    case NetKind::kInput: inputs_.push_back(id); break;
+    case NetKind::kOutput:
+      if (output_ != kNoNet) throw Error("cell " + name_ + ": multiple output pins");
+      output_ = id;
+      break;
+    case NetKind::kPower:
+      if (vdd_ != kNoNet) throw Error("cell " + name_ + ": multiple power nets");
+      vdd_ = id;
+      break;
+    case NetKind::kGround:
+      if (vss_ != kNoNet) throw Error("cell " + name_ + ": multiple ground nets");
+      vss_ = id;
+      break;
+    case NetKind::kInternal: break;
+  }
+  return id;
+}
+
+std::optional<NetId> Cell::find_net(const std::string& name) const {
+  for (std::size_t i = 0; i < nets_.size(); ++i) {
+    if (nets_[i].name == name) return static_cast<NetId>(i);
+  }
+  return std::nullopt;
+}
+
+TransistorId Cell::add_transistor(Transistor t) {
+  const NetId max = static_cast<NetId>(nets_.size());
+  for (int i = 0; i < kNumTerminals; ++i) {
+    const NetId n = t.terminal(static_cast<Terminal>(i));
+    if (n < 0 || n >= max) {
+      throw Error("cell " + name_ + ": transistor '" + t.name + "' has invalid terminal net");
+    }
+  }
+  transistors_.push_back(std::move(t));
+  return static_cast<TransistorId>(transistors_.size() - 1);
+}
+
+NetId Cell::output() const {
+  if (output_ == kNoNet) throw Error("cell " + name_ + ": no output pin");
+  return output_;
+}
+
+NetId Cell::vdd() const {
+  if (vdd_ == kNoNet) throw Error("cell " + name_ + ": no power net");
+  return vdd_;
+}
+
+NetId Cell::vss() const {
+  if (vss_ == kNoNet) throw Error("cell " + name_ + ": no ground net");
+  return vss_;
+}
+
+void Cell::refresh_pin_cache() {
+  inputs_.clear();
+  output_ = vdd_ = vss_ = kNoNet;
+  for (std::size_t i = 0; i < nets_.size(); ++i) {
+    const NetId id = static_cast<NetId>(i);
+    switch (nets_[i].kind) {
+      case NetKind::kInput: inputs_.push_back(id); break;
+      case NetKind::kOutput:
+        if (output_ != kNoNet) throw Error("cell " + name_ + ": multiple output pins");
+        output_ = id;
+        break;
+      case NetKind::kPower:
+        if (vdd_ != kNoNet) throw Error("cell " + name_ + ": multiple power nets");
+        vdd_ = id;
+        break;
+      case NetKind::kGround:
+        if (vss_ != kNoNet) throw Error("cell " + name_ + ": multiple ground nets");
+        vss_ = id;
+        break;
+      case NetKind::kInternal: break;
+    }
+  }
+}
+
+void Cell::validate() const {
+  if (name_.empty()) throw Error("cell has no name");
+  if (inputs_.empty()) throw Error("cell " + name_ + ": no input pins");
+  if (output_ == kNoNet) throw Error("cell " + name_ + ": no output pin");
+  if (vdd_ == kNoNet) throw Error("cell " + name_ + ": no power net");
+  if (vss_ == kNoNet) throw Error("cell " + name_ + ": no ground net");
+  if (transistors_.empty()) throw Error("cell " + name_ + ": no transistors");
+
+  std::unordered_set<std::string> device_names;
+  for (const Transistor& t : transistors_) {
+    if (t.name.empty()) throw Error("cell " + name_ + ": unnamed transistor");
+    if (!device_names.insert(t.name).second) {
+      throw Error("cell " + name_ + ": duplicate device name '" + t.name + "'");
+    }
+    if (t.width_um <= 0 || t.length_um <= 0) {
+      throw Error("cell " + name_ + ": device '" + t.name + "' has non-positive size");
+    }
+    if (t.drain == t.source) {
+      throw Error("cell " + name_ + ": device '" + t.name + "' has drain tied to source");
+    }
+  }
+}
+
+}  // namespace caml

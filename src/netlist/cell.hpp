@@ -1,0 +1,126 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace caml {
+
+/// Index of a net inside a Cell. Nets are value-indexed; -1 is invalid.
+using NetId = std::int32_t;
+/// Index of a transistor inside a Cell.
+using TransistorId = std::int32_t;
+
+inline constexpr NetId kNoNet = -1;
+
+enum class MosType : std::uint8_t { kNmos, kPmos };
+
+char mos_char(MosType t);
+
+/// Role of a net in a standard cell.
+enum class NetKind : std::uint8_t {
+  kInput,     ///< cell input pin
+  kOutput,    ///< cell output pin
+  kInternal,  ///< internal node
+  kPower,     ///< VDD
+  kGround,    ///< VSS
+};
+
+struct Net {
+  std::string name;
+  NetKind kind = NetKind::kInternal;
+};
+
+/// MOS transistor terminals, in the order SPICE M-cards list them.
+enum class Terminal : std::uint8_t { kDrain = 0, kGate = 1, kSource = 2, kBulk = 3 };
+
+inline constexpr int kNumTerminals = 4;
+
+/// "D" / "G" / "S" / "B".
+const char* terminal_name(Terminal t);
+
+struct Transistor {
+  std::string name;       ///< device name from the source netlist (e.g. "MN0")
+  MosType type = MosType::kNmos;
+  NetId drain = kNoNet;
+  NetId gate = kNoNet;
+  NetId source = kNoNet;
+  NetId bulk = kNoNet;
+  double width_um = 1.0;
+  double length_um = 0.03;
+
+  NetId terminal(Terminal t) const;
+  void set_terminal(Terminal t, NetId net);
+};
+
+/// A single-output combinational standard cell at transistor level.
+///
+/// The cell owns its nets and transistors by value; NetId/TransistorId
+/// are stable indices. This is the unit every other module operates on:
+/// the simulator evaluates it, the defect module perturbs copies of it,
+/// and the CA-matrix module canonicalizes it.
+class Cell {
+ public:
+  Cell() = default;
+  explicit Cell(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Adds a net; returns its id. Throws caml::Error on duplicate name.
+  NetId add_net(const std::string& name, NetKind kind);
+
+  /// Id of the named net, or nullopt.
+  std::optional<NetId> find_net(const std::string& name) const;
+
+  /// Adds a transistor; returns its id. Terminals must reference existing
+  /// nets.
+  TransistorId add_transistor(Transistor t);
+
+  const std::vector<Net>& nets() const { return nets_; }
+  const std::vector<Transistor>& transistors() const { return transistors_; }
+  Net& net(NetId id) { return nets_.at(static_cast<std::size_t>(id)); }
+  const Net& net(NetId id) const { return nets_.at(static_cast<std::size_t>(id)); }
+  Transistor& transistor(TransistorId id) { return transistors_.at(static_cast<std::size_t>(id)); }
+  const Transistor& transistor(TransistorId id) const {
+    return transistors_.at(static_cast<std::size_t>(id));
+  }
+
+  std::size_t num_nets() const { return nets_.size(); }
+  std::size_t num_transistors() const { return transistors_.size(); }
+
+  /// Input pin net ids in pin order (stimulus bit i drives inputs()[i]).
+  const std::vector<NetId>& inputs() const { return inputs_; }
+  std::size_t num_inputs() const { return inputs_.size(); }
+
+  /// The single output pin. Throws if the cell has none.
+  NetId output() const;
+  bool has_output() const { return output_ != kNoNet; }
+
+  /// Power / ground nets. Throws if absent.
+  NetId vdd() const;
+  NetId vss() const;
+  bool has_rails() const { return vdd_ != kNoNet && vss_ != kNoNet; }
+
+  /// Recomputes the cached input/output/rail indices from net kinds.
+  /// Called automatically by add_net; call after mutating net kinds.
+  void refresh_pin_cache();
+
+  /// Checks structural sanity: exactly one output, both rails present,
+  /// >= 1 input, every transistor terminal valid, no transistor gate tied
+  /// to its own drain-source short circuit of rails, names unique.
+  /// Throws caml::Error describing the first problem found.
+  void validate() const;
+
+ private:
+  std::string name_;
+  std::vector<Net> nets_;
+  std::vector<Transistor> transistors_;
+  std::vector<NetId> inputs_;
+  NetId output_ = kNoNet;
+  NetId vdd_ = kNoNet;
+  NetId vss_ = kNoNet;
+};
+
+}  // namespace caml

@@ -1,0 +1,88 @@
+#include "netlist/graph.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace caml {
+
+CellGraph::CellGraph(const Cell& cell) : cell_(&cell) {
+  incidence_.resize(cell.num_nets());
+  channel_.resize(cell.num_nets());
+  gate_loads_.resize(cell.num_nets());
+  for (std::size_t ti = 0; ti < cell.num_transistors(); ++ti) {
+    const auto id = static_cast<TransistorId>(ti);
+    const Transistor& t = cell.transistor(id);
+    for (int k = 0; k < kNumTerminals; ++k) {
+      const auto term = static_cast<Terminal>(k);
+      incidence_[static_cast<std::size_t>(t.terminal(term))].push_back(TerminalRef{id, term});
+    }
+    channel_[static_cast<std::size_t>(t.drain)].push_back(id);
+    channel_[static_cast<std::size_t>(t.source)].push_back(id);
+    gate_loads_[static_cast<std::size_t>(t.gate)].push_back(id);
+  }
+}
+
+const std::vector<TerminalRef>& CellGraph::incidence(NetId net) const {
+  return incidence_.at(static_cast<std::size_t>(net));
+}
+
+const std::vector<TransistorId>& CellGraph::channel_transistors(NetId net) const {
+  return channel_.at(static_cast<std::size_t>(net));
+}
+
+const std::vector<TransistorId>& CellGraph::gate_loads(NetId net) const {
+  return gate_loads_.at(static_cast<std::size_t>(net));
+}
+
+std::vector<std::vector<TransistorId>> CellGraph::channel_connected_components() const {
+  const Cell& cell = *cell_;
+  const NetId vdd = cell.has_rails() ? cell.vdd() : kNoNet;
+  const NetId vss = cell.has_rails() ? cell.vss() : kNoNet;
+  std::vector<int> comp(cell.num_transistors(), -1);
+  std::vector<std::vector<TransistorId>> out;
+  for (std::size_t seed = 0; seed < cell.num_transistors(); ++seed) {
+    if (comp[seed] != -1) continue;
+    const int c = static_cast<int>(out.size());
+    out.emplace_back();
+    std::vector<TransistorId> stack{static_cast<TransistorId>(seed)};
+    comp[seed] = c;
+    while (!stack.empty()) {
+      const TransistorId id = stack.back();
+      stack.pop_back();
+      out.back().push_back(id);
+      const Transistor& t = cell.transistor(id);
+      for (NetId net : {t.drain, t.source}) {
+        if (net == vdd || net == vss) continue;  // rails are boundaries
+        for (TransistorId other : channel_[static_cast<std::size_t>(net)]) {
+          if (comp[static_cast<std::size_t>(other)] == -1) {
+            comp[static_cast<std::size_t>(other)] = c;
+            stack.push_back(other);
+          }
+        }
+      }
+    }
+    std::sort(out.back().begin(), out.back().end());
+  }
+  return out;
+}
+
+std::vector<NetId> CellGraph::component_channel_nets(
+    const std::vector<TransistorId>& component) const {
+  const Cell& cell = *cell_;
+  const NetId vdd = cell.has_rails() ? cell.vdd() : kNoNet;
+  const NetId vss = cell.has_rails() ? cell.vss() : kNoNet;
+  std::vector<NetId> nets;
+  for (TransistorId id : component) {
+    const Transistor& t = cell.transistor(id);
+    nets.push_back(t.drain);
+    nets.push_back(t.source);
+  }
+  std::sort(nets.begin(), nets.end());
+  nets.erase(std::unique(nets.begin(), nets.end()), nets.end());
+  // Rails excluded: callers want the stage's logical nets.
+  std::erase_if(nets, [&](NetId n) { return n == vdd || n == vss; });
+  return nets;
+}
+
+}  // namespace caml

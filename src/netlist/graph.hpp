@@ -1,0 +1,52 @@
+#pragma once
+
+#include <vector>
+
+#include "netlist/cell.hpp"
+
+namespace caml {
+
+/// A (transistor, terminal) incidence on a net.
+struct TerminalRef {
+  TransistorId transistor;
+  Terminal terminal;
+
+  bool operator==(const TerminalRef&) const = default;
+};
+
+/// Immutable connectivity view over a Cell: per-net terminal incidence
+/// and the channel (source/drain) graph. Built once, then shared by the
+/// simulator and the CA-matrix canonicalizer.
+class CellGraph {
+ public:
+  explicit CellGraph(const Cell& cell);
+
+  const Cell& cell() const { return *cell_; }
+
+  /// Every terminal touching the net (including gates and bulks).
+  const std::vector<TerminalRef>& incidence(NetId net) const;
+
+  /// Transistors whose source or drain touches the net.
+  const std::vector<TransistorId>& channel_transistors(NetId net) const;
+
+  /// Transistors whose gate is driven by the net.
+  const std::vector<TransistorId>& gate_loads(NetId net) const;
+
+  /// Channel-connected components: groups of transistors connected
+  /// through source/drain nets. Power and ground nets act as component
+  /// boundaries (they do not merge components). Each component is the
+  /// transistor set of one "stage" of the cell.
+  std::vector<std::vector<TransistorId>> channel_connected_components() const;
+
+  /// For each component from channel_connected_components(), the set of
+  /// non-rail nets it touches through source/drain terminals.
+  std::vector<NetId> component_channel_nets(const std::vector<TransistorId>& component) const;
+
+ private:
+  const Cell* cell_;
+  std::vector<std::vector<TerminalRef>> incidence_;
+  std::vector<std::vector<TransistorId>> channel_;
+  std::vector<std::vector<TransistorId>> gate_loads_;
+};
+
+}  // namespace caml

@@ -1,0 +1,248 @@
+#include "netlist/spice_parser.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace caml {
+
+namespace {
+
+/// Logical line after continuation joining, with its source line number.
+struct LogicalLine {
+  std::string text;
+  std::size_t line_no;
+};
+
+std::vector<LogicalLine> read_logical_lines(std::istream& in) {
+  std::vector<LogicalLine> out;
+  std::string raw;
+  std::size_t line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    // Strip trailing '$' comment.
+    if (std::size_t dollar = raw.find('$'); dollar != std::string::npos) {
+      raw.resize(dollar);
+    }
+    std::string_view t = trim(raw);
+    if (t.empty()) continue;
+    if (t[0] == '+') {
+      if (out.empty()) throw ParseError("continuation line with no preceding card", line_no);
+      out.back().text += ' ';
+      out.back().text += std::string(t.substr(1));
+      continue;
+    }
+    // '*' comment lines are dropped, except the *.PININFO annotation
+    // which carries pin directions.
+    if (t[0] == '*' && !starts_with_ci(t, "*.PININFO")) continue;
+    out.push_back(LogicalLine{std::string(t), line_no});
+  }
+  return out;
+}
+
+/// Parse a SPICE dimension like "0.4U", "400N", "4E-7" into microns.
+double parse_size_um(const std::string& token, std::size_t line_no) {
+  char* end = nullptr;
+  const double v = std::strtod(token.c_str(), &end);
+  if (end == token.c_str()) throw ParseError("bad numeric value '" + token + "'", line_no);
+  std::string suffix = to_lower(std::string(end));
+  if (suffix.empty()) {
+    // Bare value: meters when it looks like an SI value, microns when it
+    // is a plain small number such as "0.4".
+    return v < 1e-3 ? v * 1e6 : v;
+  }
+  if (suffix == "u" || suffix == "um") return v;
+  if (suffix == "n" || suffix == "nm") return v * 1e-3;
+  if (suffix == "m") return v * 1e3;
+  throw ParseError("unsupported unit suffix '" + suffix + "'", line_no);
+}
+
+bool model_matches(const std::string& model, const std::vector<std::string>& patterns) {
+  const std::string m = to_lower(model);
+  for (const auto& p : patterns) {
+    if (m.find(p) != std::string::npos) return true;
+  }
+  return false;
+}
+
+bool is_power_name(const std::string& name) {
+  const std::string n = to_lower(name);
+  return n == "vdd" || n == "vcc" || n == "vpwr" || n == "vddd" || n.rfind("vdd", 0) == 0;
+}
+
+bool is_ground_name(const std::string& name) {
+  const std::string n = to_lower(name);
+  return n == "vss" || n == "gnd" || n == "vgnd" || n == "vsss" || n.rfind("vss", 0) == 0;
+}
+
+struct RawDevice {
+  std::string name;
+  std::string drain, gate, source, bulk;
+  std::string model;
+  double w_um = 1.0;
+  double l_um = 0.03;
+};
+
+}  // namespace
+
+std::vector<Cell> SpiceParser::parse(std::istream& in) const {
+  const std::vector<LogicalLine> lines = read_logical_lines(in);
+  std::vector<Cell> cells;
+
+  std::size_t i = 0;
+  while (i < lines.size()) {
+    const LogicalLine& header = lines[i];
+    if (!starts_with_ci(header.text, ".SUBCKT")) {
+      if (starts_with_ci(header.text, ".END") || starts_with_ci(header.text, ".GLOBAL") ||
+          starts_with_ci(header.text, ".PARAM") || starts_with_ci(header.text, ".INCLUDE")) {
+        ++i;
+        continue;
+      }
+      throw ParseError("expected .SUBCKT, got '" + header.text + "'", header.line_no);
+    }
+    const std::vector<std::string> head = split(header.text);
+    if (head.size() < 3) throw ParseError("subcircuit needs a name and pins", header.line_no);
+    const std::string cell_name = head[1];
+    std::vector<std::string> pins(head.begin() + 2, head.end());
+
+    // Gather body lines until .ENDS.
+    std::map<std::string, char> pininfo;  // pin -> I/O/P/G
+    std::vector<RawDevice> devices;
+    ++i;
+    bool closed = false;
+    for (; i < lines.size(); ++i) {
+      const LogicalLine& l = lines[i];
+      if (starts_with_ci(l.text, ".ENDS")) {
+        ++i;
+        closed = true;
+        break;
+      }
+      if (starts_with_ci(l.text, "*.PININFO")) {
+        for (const std::string& tok : split(l.text.substr(9))) {
+          const std::vector<std::string> kv = split_keep_empty(tok, ':');
+          if (kv.size() != 2 || kv[1].size() != 1) {
+            throw ParseError("bad PININFO entry '" + tok + "'", l.line_no);
+          }
+          pininfo[kv[0]] = static_cast<char>(std::toupper(static_cast<unsigned char>(kv[1][0])));
+        }
+        continue;
+      }
+      if (l.text[0] == 'M' || l.text[0] == 'm') {
+        const std::vector<std::string> tok = split(l.text);
+        if (tok.size() < 6) throw ParseError("M-card needs 4 nets and a model", l.line_no);
+        RawDevice d;
+        d.name = tok[0];
+        d.drain = tok[1];
+        d.gate = tok[2];
+        d.source = tok[3];
+        d.bulk = tok[4];
+        d.model = tok[5];
+        for (std::size_t k = 6; k < tok.size(); ++k) {
+          const std::vector<std::string> kv = split_keep_empty(tok[k], '=');
+          if (kv.size() != 2) continue;  // ignore e.g. "m=1"-less params
+          if (iequals(kv[0], "W")) d.w_um = parse_size_um(kv[1], l.line_no);
+          if (iequals(kv[0], "L")) d.l_um = parse_size_um(kv[1], l.line_no);
+        }
+        devices.push_back(std::move(d));
+        continue;
+      }
+      if (l.text[0] == '.') {
+        throw ParseError("unsupported card inside subcircuit: '" + l.text + "'", l.line_no);
+      }
+      // Other device kinds (R/C/X...) are not part of the supported cell
+      // modeling; reject loudly rather than mis-characterize the cell.
+      throw ParseError("unsupported device card '" + l.text + "'", l.line_no);
+    }
+    if (!closed) throw ParseError("missing .ENDS for subcircuit " + cell_name, header.line_no);
+
+    // Decide pin directions.
+    std::map<std::string, NetKind> pin_kind;
+    if (!pininfo.empty()) {
+      for (const std::string& p : pins) {
+        auto it = pininfo.find(p);
+        if (it == pininfo.end()) {
+          throw ParseError("pin '" + p + "' missing from PININFO in " + cell_name,
+                           header.line_no);
+        }
+        switch (it->second) {
+          case 'I': pin_kind[p] = NetKind::kInput; break;
+          case 'O': pin_kind[p] = NetKind::kOutput; break;
+          case 'P': pin_kind[p] = NetKind::kPower; break;
+          case 'G': pin_kind[p] = NetKind::kGround; break;
+          case 'B': pin_kind[p] = NetKind::kInternal; break;  // bidi unsupported -> internal
+          default:
+            throw ParseError(std::string("bad PININFO direction '") + it->second + "'",
+                             header.line_no);
+        }
+      }
+    } else {
+      // Heuristic inference.
+      std::map<std::string, bool> drives_gate, touches_sd;
+      for (const RawDevice& d : devices) {
+        drives_gate[d.gate] = true;
+        touches_sd[d.drain] = true;
+        touches_sd[d.source] = true;
+      }
+      for (const std::string& p : pins) {
+        if (is_power_name(p)) {
+          pin_kind[p] = NetKind::kPower;
+        } else if (is_ground_name(p)) {
+          pin_kind[p] = NetKind::kGround;
+        } else if (drives_gate.count(p)) {
+          pin_kind[p] = NetKind::kInput;
+        } else if (touches_sd.count(p)) {
+          pin_kind[p] = NetKind::kOutput;
+        } else {
+          throw ParseError("cannot infer direction of unconnected pin '" + p + "' in " +
+                               cell_name,
+                           header.line_no);
+        }
+      }
+    }
+
+    Cell cell(cell_name);
+    for (const std::string& p : pins) cell.add_net(p, pin_kind.at(p));
+    auto net_of = [&](const std::string& name) -> NetId {
+      if (auto id = cell.find_net(name)) return *id;
+      return cell.add_net(name, NetKind::kInternal);
+    };
+    for (const RawDevice& d : devices) {
+      Transistor t;
+      t.name = d.name;
+      if (model_matches(d.model, options_.nmos_models)) {
+        t.type = MosType::kNmos;
+      } else if (model_matches(d.model, options_.pmos_models)) {
+        t.type = MosType::kPmos;
+      } else {
+        throw ParseError("unknown MOS model '" + d.model + "' in " + cell_name, header.line_no);
+      }
+      t.drain = net_of(d.drain);
+      t.gate = net_of(d.gate);
+      t.source = net_of(d.source);
+      t.bulk = net_of(d.bulk);
+      t.width_um = d.w_um;
+      t.length_um = d.l_um;
+      cell.add_transistor(std::move(t));
+    }
+    cell.validate();
+    cells.push_back(std::move(cell));
+  }
+  return cells;
+}
+
+std::vector<Cell> SpiceParser::parse_string(const std::string& text) const {
+  std::istringstream in(text);
+  return parse(in);
+}
+
+std::vector<Cell> SpiceParser::parse_file(const std::string& path) const {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open netlist file: " + path);
+  return parse(in);
+}
+
+}  // namespace caml

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <istream>
+#include <string>
+#include <vector>
+
+#include "netlist/cell.hpp"
+
+namespace caml {
+
+/// Parses CDL-style SPICE standard-cell netlists:
+///
+///   .SUBCKT NAND2X1 A B Z VDD VSS
+///   *.PININFO A:I B:I Z:O VDD:P VSS:G
+///   MN0 net0 A VSS VSS nch W=0.4U L=0.03U
+///   MP0 Z A VDD VDD pch W=0.6U L=0.03U
+///   .ENDS
+///
+/// Supported syntax: '*' comment lines, '$' trailing comments, '+'
+/// continuation lines, case-insensitive keywords, M-cards with the
+/// standard D G S B terminal order, W=/L= parameters with optional
+/// U/N/M suffixes (micro/nano/milli; bare values are meters when >= 1e-3
+/// is implausible, so bare values <= 1 are treated as microns — the
+/// convention used by the library generator).
+///
+/// Pin directions come from the CDL *.PININFO annotation when present
+/// (I=input, O=output, P=power, G=ground); otherwise they are inferred:
+/// nets named like VDD/VCC/VPWR are power, VSS/GND/VGND ground, pins
+/// driving at least one transistor gate are inputs, remaining pins
+/// touching a source/drain are outputs.
+class SpiceParser {
+ public:
+  /// NMOS/PMOS model-name classification: a model containing one of
+  /// these (case-insensitive) substrings is NMOS resp. PMOS. Defaults
+  /// cover nch/pch, nfet/pfet, nmos/pmos, nlvt/plvt, nsvt/psvt.
+  struct Options {
+    std::vector<std::string> nmos_models = {"nch", "nfet", "nmos", "nlvt", "nsvt", "n18"};
+    std::vector<std::string> pmos_models = {"pch", "pfet", "pmos", "plvt", "psvt", "p18"};
+  };
+
+  SpiceParser() = default;
+  explicit SpiceParser(Options options) : options_(std::move(options)) {}
+
+  /// Parses every .SUBCKT in the stream. Throws caml::ParseError on
+  /// malformed input.
+  std::vector<Cell> parse(std::istream& in) const;
+
+  /// Convenience: parse from a string.
+  std::vector<Cell> parse_string(const std::string& text) const;
+
+  /// Parse a file on disk. Throws caml::Error if unreadable.
+  std::vector<Cell> parse_file(const std::string& path) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace caml

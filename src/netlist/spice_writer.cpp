@@ -1,0 +1,55 @@
+#include "netlist/spice_writer.hpp"
+
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace caml {
+
+void SpiceWriter::write(std::ostream& os, const Cell& cell) const {
+  os << ".SUBCKT " << cell.name();
+  for (const Net& n : cell.nets()) {
+    if (n.kind != NetKind::kInternal) os << ' ' << n.name;
+  }
+  os << '\n';
+  if (options_.emit_pininfo) {
+    os << "*.PININFO";
+    for (const Net& n : cell.nets()) {
+      switch (n.kind) {
+        case NetKind::kInput: os << ' ' << n.name << ":I"; break;
+        case NetKind::kOutput: os << ' ' << n.name << ":O"; break;
+        case NetKind::kPower: os << ' ' << n.name << ":P"; break;
+        case NetKind::kGround: os << ' ' << n.name << ":G"; break;
+        case NetKind::kInternal: break;
+      }
+    }
+    os << '\n';
+  }
+  for (const Transistor& t : cell.transistors()) {
+    // SPICE device type is the card's first letter: MOS cards must start
+    // with 'M'.
+    if (t.name.empty() || (t.name[0] != 'M' && t.name[0] != 'm')) os << 'M';
+    os << t.name << ' ' << cell.net(t.drain).name << ' ' << cell.net(t.gate).name << ' '
+       << cell.net(t.source).name << ' ' << cell.net(t.bulk).name << ' '
+       << (t.type == MosType::kNmos ? options_.nmos_model : options_.pmos_model)
+       << " W=" << format_fixed(t.width_um, options_.size_decimals) << "U"
+       << " L=" << format_fixed(t.length_um, options_.size_decimals) << "U\n";
+  }
+  os << ".ENDS\n";
+}
+
+void SpiceWriter::write_library(std::ostream& os, const std::vector<Cell>& cells) const {
+  os << "* caml generated standard-cell library (" << cells.size() << " cells)\n";
+  for (const Cell& c : cells) {
+    os << '\n';
+    write(os, c);
+  }
+}
+
+std::string SpiceWriter::to_string(const Cell& cell) const {
+  std::ostringstream os;
+  write(os, cell);
+  return os.str();
+}
+
+}  // namespace caml

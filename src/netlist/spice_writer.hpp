@@ -1,0 +1,34 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "netlist/cell.hpp"
+
+namespace caml {
+
+/// Emits CDL-style SPICE for cells produced by this library (inverse of
+/// SpiceParser; round-trips exactly up to whitespace).
+class SpiceWriter {
+ public:
+  struct Options {
+    std::string nmos_model = "nch";
+    std::string pmos_model = "pch";
+    bool emit_pininfo = true;
+    /// Number of decimals for W/L in microns.
+    int size_decimals = 3;
+  };
+
+  SpiceWriter() = default;
+  explicit SpiceWriter(Options options) : options_(std::move(options)) {}
+
+  void write(std::ostream& os, const Cell& cell) const;
+  void write_library(std::ostream& os, const std::vector<Cell>& cells) const;
+  std::string to_string(const Cell& cell) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace caml

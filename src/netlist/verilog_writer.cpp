@@ -1,0 +1,63 @@
+#include "netlist/verilog_writer.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace caml {
+
+namespace {
+
+/// Verilog identifiers cannot contain arbitrary characters; escape
+/// anything suspicious with the standard backslash form.
+std::string vlog_name(const std::string& name) {
+  bool plain = !name.empty() && (std::isalpha(static_cast<unsigned char>(name[0])) ||
+                                 name[0] == '_');
+  for (char c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' && c != '$') plain = false;
+  }
+  return plain ? name : "\\" + name + " ";
+}
+
+}  // namespace
+
+void VerilogWriter::write(std::ostream& os, const Cell& cell) const {
+  os << "module " << vlog_name(cell.name()) << " (";
+  bool first = true;
+  for (const Net& n : cell.nets()) {
+    if (n.kind == NetKind::kInput || n.kind == NetKind::kOutput) {
+      if (!first) os << ", ";
+      os << (n.kind == NetKind::kInput ? "input " : "output ") << vlog_name(n.name);
+      first = false;
+    }
+  }
+  os << ");\n";
+  os << "  supply1 " << vlog_name(cell.net(cell.vdd()).name) << ";\n";
+  os << "  supply0 " << vlog_name(cell.net(cell.vss()).name) << ";\n";
+  for (const Net& n : cell.nets()) {
+    if (n.kind == NetKind::kInternal) os << "  wire " << vlog_name(n.name) << ";\n";
+  }
+  for (const Transistor& t : cell.transistors()) {
+    // Verilog primitive port order: (drain, source, gate).
+    os << "  " << (t.type == MosType::kNmos ? "nmos" : "pmos") << ' ' << vlog_name(t.name)
+       << " (" << vlog_name(cell.net(t.drain).name) << ", " << vlog_name(cell.net(t.source).name)
+       << ", " << vlog_name(cell.net(t.gate).name) << ");\n";
+  }
+  os << "endmodule\n";
+}
+
+void VerilogWriter::write_library(std::ostream& os, const std::vector<Cell>& cells) const {
+  os << "// caml generated switch-level library (" << cells.size() << " cells)\n";
+  for (const Cell& c : cells) {
+    os << '\n';
+    write(os, c);
+  }
+}
+
+std::string VerilogWriter::to_string(const Cell& cell) const {
+  std::ostringstream os;
+  write(os, cell);
+  return os.str();
+}
+
+}  // namespace caml

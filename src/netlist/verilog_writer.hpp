@@ -1,0 +1,31 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "netlist/cell.hpp"
+
+namespace caml {
+
+/// Emits a cell as a Verilog switch-level module using the `nmos` /
+/// `pmos` primitives — the representation the paper's Section III.A
+/// mentions as the alternative to the defect-free electrical
+/// simulation ("a Verilog simulation, with a CDL netlist that should be
+/// written using NMOS and PMOS primitives").
+///
+///   module NAND2X1 (input A, input B, output Z);
+///     supply1 VDD;
+///     supply0 VSS;
+///     wire net0;
+///     nmos MN10 (Z, net0, A);    // drain, source, gate
+///     ...
+///   endmodule
+class VerilogWriter {
+ public:
+  void write(std::ostream& os, const Cell& cell) const;
+  void write_library(std::ostream& os, const std::vector<Cell>& cells) const;
+  std::string to_string(const Cell& cell) const;
+};
+
+}  // namespace caml

@@ -1,0 +1,88 @@
+#include "sim/evaluator.hpp"
+
+#include "util/error.hpp"
+
+namespace caml {
+
+namespace {
+
+bool transistor_active(const Transistor& t, Sig gate_value) {
+  if (t.type == MosType::kNmos) return gate_value == Sig::kOne;
+  return gate_value == Sig::kZero;
+}
+
+}  // namespace
+
+GoldenResult simulate_golden(const Cell& cell, const std::vector<Stimulus>& stimuli,
+                             const SimConfig& config) {
+  GoldenResult result;
+  result.responses.reserve(stimuli.size());
+  result.initial_responses.reserve(stimuli.size());
+  result.activity.reserve(stimuli.size());
+  SwitchSim sim(cell, config);
+
+  const auto gate_states = [&]() {
+    std::vector<bool> active(cell.num_transistors());
+    for (std::size_t ti = 0; ti < cell.num_transistors(); ++ti) {
+      const Transistor& t = cell.transistor(static_cast<TransistorId>(ti));
+      const Sig g = sim.net_value(t.gate);
+      if (!sig_is_binary(g)) {
+        throw Error("cell " + cell.name() + ": gate of device '" + t.name +
+                    "' does not settle to a binary value in the golden simulation");
+      }
+      active[ti] = transistor_active(t, g);
+    }
+    return active;
+  };
+
+  for (const Stimulus& s : stimuli) {
+    sim.reset();
+    const Sig initial_out = sim.apply(s.initial_pattern());
+    Sig out = initial_out;
+    const std::vector<bool> initial_active = gate_states();
+    std::vector<bool> final_active = initial_active;
+    if (!s.is_static()) {
+      out = sim.apply(s.final_pattern());
+      final_active = gate_states();
+    }
+    if (!sig_is_binary(initial_out) || !sig_is_binary(out)) {
+      throw Error("cell " + cell.name() + ": output does not settle to a binary value under '" +
+                  s.to_string() + "' in the golden simulation");
+    }
+    result.responses.push_back(out);
+    result.initial_responses.push_back(initial_out);
+    std::vector<Wave> act(cell.num_transistors());
+    for (std::size_t ti = 0; ti < cell.num_transistors(); ++ti) {
+      act[ti] = wave_from_pair(initial_active[ti], final_active[ti]);
+    }
+    result.activity.push_back(std::move(act));
+  }
+  return result;
+}
+
+std::uint64_t truth_table(const Cell& cell, const SimConfig& config) {
+  const std::size_t n = cell.num_inputs();
+  CAML_ASSERT(n >= 1 && n <= 6);  // 2^6 = 64 rows fit the uint64 encoding
+  std::uint64_t tt = 0;
+  SwitchSim sim(cell, config);
+  for (InputPattern p = 0; p < (InputPattern{1} << n); ++p) {
+    sim.reset();
+    const Sig out = sim.apply(p);
+    if (!sig_is_binary(out)) {
+      throw Error("cell " + cell.name() + ": non-binary output in truth_table()");
+    }
+    if (out == Sig::kOne) tt |= std::uint64_t{1} << p;
+  }
+  return tt;
+}
+
+std::vector<Sig> simulate_responses(const Cell& cell, const std::vector<Stimulus>& stimuli,
+                                    const SimConfig& config) {
+  std::vector<Sig> out;
+  out.reserve(stimuli.size());
+  SwitchSim sim(cell, config);
+  for (const Stimulus& s : stimuli) out.push_back(sim.run(s));
+  return out;
+}
+
+}  // namespace caml

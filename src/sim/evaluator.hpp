@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "logic/stimulus.hpp"
+#include "logic/wave.hpp"
+#include "netlist/cell.hpp"
+#include "sim/switch_sim.hpp"
+
+namespace caml {
+
+/// Result of the single defect-free ("golden") simulation of a cell: the
+/// cell response and the per-transistor switching activity for every
+/// stimulus — exactly the information the paper's CA-matrix needs
+/// (Section III.A).
+struct GoldenResult {
+  /// responses[s] = output value under stimuli[s] (after the final
+  /// pattern for dynamic stimuli). Always binary for a valid cell.
+  std::vector<Sig> responses;
+  /// Output value after the *initial* pattern of stimulus s (equals
+  /// responses[s] for static stimuli). Combined with responses[s] this
+  /// yields the 4-valued response column of the CA-matrix.
+  std::vector<Sig> initial_responses;
+  /// activity[s][t] = switching activity of transistor t under stimulus
+  /// s: kZero (passive), kOne (active), kRise (passive -> active),
+  /// kFall (active -> passive). "Active" follows the paper's definition:
+  /// logic-1 on an NMOS gate, logic-0 on a PMOS gate.
+  std::vector<std::vector<Wave>> activity;
+};
+
+/// Runs the golden simulation over a stimulus list. Throws caml::Error
+/// if the defect-free cell fails to settle to a binary value on its
+/// output or on any transistor gate (such a netlist is not a valid
+/// combinational standard cell).
+GoldenResult simulate_golden(const Cell& cell, const std::vector<Stimulus>& stimuli,
+                             const SimConfig& config = {});
+
+/// Truth table of the cell over its 2^n static patterns, encoded with
+/// bit p = response to input pattern p. Computed from the golden
+/// simulation; throws like simulate_golden. At most 16 inputs.
+std::uint64_t truth_table(const Cell& cell, const SimConfig& config = {});
+
+/// Response of a (possibly defect-injected) cell to every stimulus.
+/// Unlike the golden simulation, X / Z responses are allowed and
+/// reported as-is.
+std::vector<Sig> simulate_responses(const Cell& cell, const std::vector<Stimulus>& stimuli,
+                                    const SimConfig& config = {});
+
+}  // namespace caml

@@ -1,0 +1,113 @@
+#pragma once
+
+#include <vector>
+
+#include "logic/stimulus.hpp"
+#include "logic/wave.hpp"
+#include "netlist/cell.hpp"
+
+namespace caml {
+
+/// Tuning knobs of the switch-level engine.
+///
+/// Strengths form a small integer lattice: rail/input drivers are
+/// strongest, transistor paths attenuate to the device's strength class,
+/// stored charge on a floating net is weakest. A net's value is the join
+/// of the strongest contributions reaching it; equal-strength conflicts
+/// resolve to X. Transistor strength classes derive from W/L so that
+/// technology sizing rules influence which short-induced fights win —
+/// the mechanism by which CA models become (slightly) technology
+/// dependent, as the paper observes for test-condition changes.
+struct SimConfig {
+  /// Strength of primary inputs and of the VDD/VSS rails.
+  int drive_strength = 100;
+  /// Strength of retained charge on a floating net.
+  int charge_strength = 1;
+  /// Strength class of a device with width == unit_width_um.
+  int base_strength = 5;
+  /// Width that maps to base_strength (before mobility correction).
+  double unit_width_um = 0.2;
+  /// Clamp range of device strength classes.
+  int min_strength = 2;
+  int max_strength = 9;
+  /// PMOS mobility penalty: effective width is width * pmos_mobility.
+  double pmos_mobility = 0.5;
+
+  /// Strength class of a transistor under this configuration.
+  int device_strength(const Transistor& t) const;
+};
+
+/// Event-free switch-level simulator for one Cell.
+///
+/// Usage: construct once per (possibly defect-injected) cell, then for
+/// each stimulus call run(); or drive pattern-by-pattern with reset() /
+/// apply(). The engine models:
+///  - bidirectional conduction through MOS channels,
+///  - discrete drive-strength resolution (fights resolve to the stronger
+///    side, ties to X),
+///  - charge retention on floating nets (Z until first driven, then the
+///    last steady value at charge strength) — which is what makes
+///    stuck-open defects require two-pattern tests,
+///  - pessimistic X propagation: an X on a gate makes the channel
+///    conduction unknown, which conveys X at path strength; a Z gate
+///    (truly floating, e.g. after a gate-open defect) leaves the channel
+///    non-conducting,
+///  - oscillation containment: nets still changing at the sweep cap are
+///    pinned to X and the solve is repeated once.
+class SwitchSim {
+ public:
+  explicit SwitchSim(const Cell& cell, SimConfig config = {});
+
+  const Cell& cell() const { return *cell_; }
+  const SimConfig& config() const { return config_; }
+
+  /// Forget all stored charge (all non-driven nets return to Z).
+  void reset();
+
+  /// Apply an input pattern and settle to steady state. Returns the cell
+  /// output value. Stored charge from the previous steady state is kept.
+  Sig apply(InputPattern pattern);
+
+  /// Full stimulus from a cold start: reset, apply the initial pattern,
+  /// then (for dynamic stimuli) the final pattern. Returns the final
+  /// output value.
+  Sig run(const Stimulus& stimulus);
+
+  /// Steady-state value of any net after the last apply().
+  Sig net_value(NetId net) const;
+
+  /// True if the last apply() hit the sweep cap (oscillation detected and
+  /// contained by pinning to X).
+  bool last_solve_oscillated() const { return oscillated_; }
+
+ private:
+  enum class Conduction : std::uint8_t { kOff, kOn, kUnknown };
+
+  Conduction conduction_of(TransistorId id) const;
+
+  /// One full net resolution for the current conduction states: a
+  /// monotone lattice propagation (strength only increases, values only
+  /// degrade towards X at equal strength), so it always reaches a
+  /// fixpoint regardless of pass-transistor cycles.
+  void propagate();
+
+  /// Outer loop: alternate conduction evaluation and propagation until
+  /// net values stabilize. Returns false if the conduction states never
+  /// stabilize (genuine feedback, e.g. a gate-drain short).
+  bool solve(std::size_t cap);
+
+  const Cell* cell_;
+  SimConfig config_;
+  std::vector<int> device_strength_;
+  /// channel_adj_[net] = transistors whose source or drain touches net.
+  std::vector<std::vector<TransistorId>> channel_adj_;
+
+  std::vector<Sig> value_;       ///< current net values
+  std::vector<int> strength_;    ///< strength backing each value
+  std::vector<Sig> retained_;    ///< steady value of previous pattern (charge)
+  std::vector<bool> driven_;     ///< fixed by input/rail this pattern
+  std::vector<bool> pinned_x_;   ///< oscillation containment
+  bool oscillated_ = false;
+};
+
+}  // namespace caml

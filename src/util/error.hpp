@@ -1,0 +1,40 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace caml {
+
+/// Base exception for all errors raised by this library. Every throwing
+/// API documents the condition; internal invariant violations use
+/// CAML_ASSERT instead.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when an input file (SPICE netlist, CA model) is malformed.
+class ParseError : public Error {
+ public:
+  ParseError(const std::string& what, std::size_t line)
+      : Error("line " + std::to_string(line) + ": " + what), line_(line) {}
+
+  std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+namespace detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line) {
+  throw Error(std::string("internal invariant violated: ") + expr + " at " + file + ":" +
+              std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace caml
+
+/// Always-on invariant check; throws caml::Error (never aborts) so that
+/// library users can recover and tests can assert on failure.
+#define CAML_ASSERT(expr) \
+  ((expr) ? static_cast<void>(0) : ::caml::detail::assert_fail(#expr, __FILE__, __LINE__))

@@ -1,0 +1,32 @@
+#include "util/log.hpp"
+
+#include <iostream>
+
+namespace caml {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+void Log::set_level(LogLevel level) { g_level = level; }
+
+LogLevel Log::level() { return g_level; }
+
+void Log::write(LogLevel level, const std::string& message) {
+  if (level < g_level) return;
+  std::ostream& os = level >= LogLevel::kWarn ? std::cerr : std::clog;
+  os << "[caml " << level_name(level) << "] " << message << '\n';
+}
+
+}  // namespace caml

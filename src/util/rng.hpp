@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace caml {
+
+/// Deterministic 64-bit RNG (xoshiro256** seeded via SplitMix64).
+///
+/// The whole library — library generation, technology scrambling, forest
+/// bagging, sampling — draws randomness only through this class so every
+/// experiment is reproducible from a single seed.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Bernoulli draw with probability p of true.
+  bool chance(double p);
+
+  /// Derive an independent child generator (useful for per-cell or
+  /// per-tree streams that do not perturb each other).
+  Rng fork();
+
+  /// Fisher-Yates shuffle of any random-access container.
+  template <typename Container>
+  void shuffle(Container& c) {
+    if (c.size() < 2) return;
+    for (std::size_t i = c.size() - 1; i > 0; --i) {
+      std::size_t j = static_cast<std::size_t>(below(i + 1));
+      using std::swap;
+      swap(c[i], c[j]);
+    }
+  }
+
+  /// k distinct indices drawn uniformly from [0, n). k must be <= n.
+  std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace caml

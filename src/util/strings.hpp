@@ -1,0 +1,33 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace caml {
+
+/// Strip ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+/// Split on any of the given delimiter characters; empty tokens dropped.
+std::vector<std::string> split(std::string_view s, std::string_view delims = " \t");
+
+/// Split on a single delimiter, keeping empty tokens.
+std::vector<std::string> split_keep_empty(std::string_view s, char delim);
+
+/// ASCII lower/upper-case copies.
+std::string to_lower(std::string_view s);
+std::string to_upper(std::string_view s);
+
+/// Case-insensitive ASCII equality.
+bool iequals(std::string_view a, std::string_view b);
+
+bool starts_with_ci(std::string_view s, std::string_view prefix);
+
+/// Join tokens with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// printf-free fixed-precision formatting of a double (e.g. "99.97").
+std::string format_fixed(double value, int decimals);
+
+}  // namespace caml

@@ -1,0 +1,65 @@
+#include "util/table.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace caml {
+
+void TextTable::new_row() { rows_.emplace_back(); }
+
+void TextTable::cell(std::string text) {
+  CAML_ASSERT(!rows_.empty());
+  rows_.back().push_back(std::move(text));
+}
+
+void TextTable::cell(double value, int decimals) { cell(format_fixed(value, decimals)); }
+
+void TextTable::cell(long long value) { cell(std::to_string(value)); }
+
+void TextTable::print(std::ostream& os, std::size_t header_rows) const {
+  std::size_t cols = 0;
+  for (const auto& r : rows_) cols = std::max(cols, r.size());
+  std::vector<std::size_t> width(cols, 0);
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) width[c] = std::max(width[c], r[c].size());
+  }
+  auto print_row = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::string& s = c < r.size() ? r[c] : std::string();
+      os << "| " << s << std::string(width[c] - s.size() + 1, ' ');
+    }
+    os << "|\n";
+  };
+  auto print_rule = [&] {
+    for (std::size_t c = 0; c < cols; ++c) os << "+" << std::string(width[c] + 2, '-');
+    os << "+\n";
+  };
+  print_rule();
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    print_row(rows_[i]);
+    if (i + 1 == header_rows) print_rule();
+  }
+  print_rule();
+}
+
+void TextTable::print_csv(std::ostream& os) const {
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      if (c) os << ',';
+      bool needs_quote = r[c].find_first_of(",\"\n") != std::string::npos;
+      if (!needs_quote) {
+        os << r[c];
+      } else {
+        os << '"';
+        for (char ch : r[c]) {
+          if (ch == '"') os << '"';
+          os << ch;
+        }
+        os << '"';
+      }
+    }
+    os << '\n';
+  }
+}
+
+}  // namespace caml

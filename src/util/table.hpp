@@ -1,0 +1,35 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace caml {
+
+/// Fixed-width ASCII table writer used by the bench report generators to
+/// print paper-style grids (e.g. Table IV accuracy matrices).
+class TextTable {
+ public:
+  /// Start a new row; subsequent cell() calls append to it.
+  void new_row();
+
+  /// Append a cell to the current row.
+  void cell(std::string text);
+  void cell(double value, int decimals);
+  void cell(long long value);
+
+  /// Number of rows so far.
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Render with column alignment; header_rows rows are separated from the
+  /// body with a rule line.
+  void print(std::ostream& os, std::size_t header_rows = 1) const;
+
+  /// Render as CSV (no alignment, comma-separated, minimal quoting).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace caml

@@ -1,0 +1,133 @@
+// Reproductions of the paper's worked examples: Fig. 4 (NAND2 cell and
+// partial CA-matrix), Table II (activity values and renaming), Fig. 5
+// (branch equations), Table I (training dataset shape), Table III
+// (defect columns).
+#include <gtest/gtest.h>
+
+#include "camatrix/canonical.hpp"
+#include "camatrix/matrix.hpp"
+#include "sim/evaluator.hpp"
+#include "util/error.hpp"
+#include "camodel/generate.hpp"
+#include "test_support.hpp"
+
+namespace caml {
+namespace {
+
+using testing::make_fig5_cell;
+using testing::make_nand2;
+
+// Fig. 4.b: the partial CA-matrix of NAND2. "AB=00 leads to two active
+// PMOS transistors and two passive NMOS transistors."
+TEST(PaperExamples, Fig4PartialMatrix) {
+  const Cell cell = make_nand2();
+  const auto stimuli = generate_stimuli(2, StimulusPolicy::kExhaustivePairs);
+  const GoldenResult golden = simulate_golden(cell, stimuli);
+
+  // Stimulus 00 (index 0).
+  EXPECT_EQ(golden.activity[0][0], Wave::kZero);  // NMOS passive
+  EXPECT_EQ(golden.activity[0][1], Wave::kZero);
+  EXPECT_EQ(golden.activity[0][2], Wave::kOne);   // PMOS active
+  EXPECT_EQ(golden.activity[0][3], Wave::kOne);
+  EXPECT_EQ(golden.responses[0], Sig::kOne);
+
+  // Row "0 F 1" from Table I: A=0, B falls, Z stays 1; transistor N11
+  // (gate B) shows a falling activity, Py (gate B, PMOS) a rising one.
+  for (std::size_t s = 0; s < stimuli.size(); ++s) {
+    if (stimuli[s].to_string() != "0F") continue;
+    EXPECT_EQ(golden.responses[s], Sig::kOne);
+    EXPECT_EQ(golden.initial_responses[s], Sig::kOne);
+    EXPECT_EQ(golden.activity[s][1], Wave::kFall);  // N11 active -> passive
+    EXPECT_EQ(golden.activity[s][3], Wave::kRise);  // Py passive -> active
+  }
+}
+
+// Table II: activity values 3/5/12/10 and the renaming N10->N0,
+// N11->N1, Px->P1, Py->P0.
+TEST(PaperExamples, TableIIRenaming) {
+  const Cell cell = make_nand2();
+  const CanonicalCell canon = canonicalize(cell);
+  EXPECT_EQ(canon.activity[0].to_uint64(), 3u);
+  EXPECT_EQ(canon.activity[1].to_uint64(), 5u);
+  EXPECT_EQ(canon.activity[2].to_uint64(), 12u);
+  EXPECT_EQ(canon.activity[3].to_uint64(), 10u);
+  EXPECT_EQ(canon.canonical_name[0], "N0");
+  EXPECT_EQ(canon.canonical_name[1], "N1");
+  EXPECT_EQ(canon.canonical_name[2], "P1");
+  EXPECT_EQ(canon.canonical_name[3], "P0");
+}
+
+// Fig. 5: "the inverter ... branch equation is (Ninv|Pinv)"; "the
+// equation of the second branch (NMOS branch driving net Y) is
+// ((N0&(N1|N2))|N3)", anonymized ((1n&(1n|1n))|1n).
+TEST(PaperExamples, Fig5BranchEquations) {
+  const Cell cell = make_fig5_cell();
+  const CanonicalCell canon = canonicalize(cell);
+  ASSERT_EQ(canon.branches.size(), 2u);
+  EXPECT_EQ(canon.branches[0].anon_equation, "(1n|1p)");
+  // The complex branch's complementary equation contains the paper's
+  // anonymized NMOS half verbatim.
+  EXPECT_NE(canon.branches[1].anon_equation.find("(1n&(1n|1n))"), std::string::npos);
+}
+
+// Table I shape: the training dataset has one row per (stimulus,
+// defect) pair including the defect-free rows, four-valued inputs, the
+// response, per-transistor activity and defect-location columns, and
+// the detection class as label.
+TEST(PaperExamples, TableIShape) {
+  const Cell cell = make_nand2();
+  const CaModel model = generate_ca_model(cell);
+  const CanonicalCell canon = canonicalize(cell);
+  const CaMatrix matrix = build_ca_matrix(cell, model, canon);
+  EXPECT_EQ(matrix.num_rows(), (model.defects.size() + 1) * model.stimuli.size());
+  // Columns: A, B | Z | truth table (a documented extension, see
+  // DESIGN.md) | N0 N1 P0 P1 | 4 terminals x 4 transistors.
+  EXPECT_EQ(matrix.num_features(), 2u + 1u + 4u + 4u + 16u);
+  EXPECT_TRUE(matrix.has_labels());
+}
+
+// Table III: a source-drain short on P1 (formerly Px) marks exactly the
+// P1_S and P1_D columns.
+TEST(PaperExamples, TableIIIDefectColumns) {
+  const Cell cell = make_nand2();
+  const CaModel model = generate_ca_model(cell);
+  const CanonicalCell canon = canonicalize(cell);
+  const CaMatrix matrix = build_ca_matrix(cell, model, canon);
+
+  // Find the defect "short(Px.S, Px.D)" (device index 2).
+  std::int32_t wanted = -1;
+  for (std::size_t d = 0; d < model.defects.size(); ++d) {
+    const Defect& def = model.defects[d].defect;
+    if (def.kind == DefectKind::kShort && def.a.transistor == 2 && def.b.transistor == 2 &&
+        ((def.a.terminal == Terminal::kSource && def.b.terminal == Terminal::kDrain) ||
+         (def.a.terminal == Terminal::kDrain && def.b.terminal == Terminal::kSource))) {
+      wanted = static_cast<std::int32_t>(d);
+    }
+  }
+  ASSERT_GE(wanted, 0);
+
+  const auto& names = matrix.column_names();
+  std::size_t defect_start = 0;
+  while (names[defect_start] != "N0_D") ++defect_start;
+  for (std::size_t r = 0; r < matrix.num_rows(); ++r) {
+    if (matrix.row_defect()[r] != wanted) continue;
+    for (std::size_t c = defect_start; c < matrix.num_features(); ++c) {
+      const bool marked = matrix.at(r, c) != 0;
+      const bool expected = names[c] == "P1_S" || names[c] == "P1_D";
+      EXPECT_EQ(marked, expected) << names[c];
+    }
+    break;
+  }
+}
+
+// Section III.A: the CA-matrix length formula. The paper counts
+// 2^n + 2^n * 2^(n-1) rows; this reproduction uses the exhaustive
+// ordered-pair superset 2^n + 2^n * (2^n - 1) (see DESIGN.md) — for the
+// NAND2 example that is 16 stimuli per defect.
+TEST(PaperExamples, MatrixLengthFormula) {
+  EXPECT_EQ(stimulus_count(2, StimulusPolicy::kExhaustivePairs), 16u);
+  EXPECT_EQ(stimulus_count(3, StimulusPolicy::kExhaustivePairs), 8u + 8u * 7u);
+}
+
+}  // namespace
+}  // namespace caml

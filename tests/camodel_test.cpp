@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "camodel/generate.hpp"
+#include "camodel/model_io.hpp"
+#include "camodel/pattern_selection.hpp"
+#include "test_support.hpp"
+#include "util/error.hpp"
+
+namespace caml {
+namespace {
+
+using testing::make_nand2;
+using testing::make_nor2;
+
+TEST(CaModel, ClassifyStaticDynamicUndetected) {
+  CaModel model;
+  model.num_inputs = 1;
+  model.policy = StimulusPolicy::kExhaustivePairs;
+  model.stimuli = generate_stimuli(1, StimulusPolicy::kExhaustivePairs);  // 0,1,R,F
+  model.golden_responses = {Sig::kOne, Sig::kZero, Sig::kZero, Sig::kOne};
+  model.defects.resize(3);
+  model.defects[0].detection = {1, 0, 0, 0};  // detected by a static stimulus
+  model.defects[1].detection = {0, 0, 1, 0};  // only by a transition
+  model.defects[2].detection = {0, 0, 0, 0};  // never
+  model.classify();
+  EXPECT_EQ(model.defects[0].klass, DefectClass::kStatic);
+  EXPECT_EQ(model.defects[1].klass, DefectClass::kDynamic);
+  EXPECT_EQ(model.defects[2].klass, DefectClass::kUndetected);
+  EXPECT_EQ(model.count_class(DefectClass::kStatic), 1u);
+  EXPECT_EQ(model.count_class(DefectClass::kDynamic), 1u);
+  EXPECT_EQ(model.count_class(DefectClass::kUndetected), 1u);
+}
+
+TEST(CaModel, EquivalenceClassesGroupIdenticalVectors) {
+  CaModel model;
+  model.num_inputs = 1;
+  model.stimuli = generate_stimuli(1, StimulusPolicy::kStaticOnly);
+  model.golden_responses = {Sig::kOne, Sig::kZero};
+  model.defects.resize(4);
+  model.defects[0].detection = {1, 0};
+  model.defects[1].detection = {0, 1};
+  model.defects[2].detection = {1, 0};  // same as defect 0
+  model.defects[3].detection = {1, 1};
+  model.classify();
+  EXPECT_EQ(model.equivalence_classes.size(), 3u);
+  EXPECT_EQ(model.defects[0].equivalence_class, model.defects[2].equivalence_class);
+  EXPECT_NE(model.defects[0].equivalence_class, model.defects[1].equivalence_class);
+}
+
+TEST(Generate, DetectionRequiresBinaryDifference) {
+  // Every detection bit set by the generator corresponds to a stimulus
+  // where the faulty output is binary and differs from golden.
+  const Cell cell = make_nand2();
+  const GenerationOptions options;
+  const CaModel model = generate_ca_model(cell, options);
+  for (const CaDefectEntry& e : model.defects) {
+    const Cell faulty = inject_defect(cell, e.defect, options.injection);
+    SwitchSim sim(faulty, options.sim);
+    for (std::size_t s = 0; s < model.stimuli.size(); ++s) {
+      if (!e.detection[s]) continue;
+      const Sig out = sim.run(model.stimuli[s]);
+      EXPECT_TRUE(sig_is_binary(out));
+      EXPECT_NE(out, model.golden_responses[s]);
+    }
+  }
+}
+
+TEST(Generate, StuckOpenDefectsAreDynamicOnNand2) {
+  const Cell cell = make_nand2();
+  const CaModel model = generate_ca_model(cell);
+  // The source open of the NMOS stack-top transistor (N10, index 0) is a
+  // classic stuck-open: no static detection, detected by two-pattern
+  // tests.
+  bool found = false;
+  for (const CaDefectEntry& e : model.defects) {
+    if (e.defect.kind == DefectKind::kOpen && e.defect.a.transistor == 0 &&
+        e.defect.a.terminal == Terminal::kSource) {
+      EXPECT_EQ(e.klass, DefectClass::kDynamic) << e.defect.describe(cell);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Generate, StaticOnlyPolicyFindsNoDynamicDefects) {
+  const Cell cell = make_nand2();
+  GenerationOptions options;
+  options.policy = StimulusPolicy::kStaticOnly;
+  const CaModel model = generate_ca_model(cell, options);
+  EXPECT_EQ(model.count_class(DefectClass::kDynamic), 0u);
+  // And the dynamic-capable policy detects strictly more defects.
+  const CaModel full = generate_ca_model(cell);
+  EXPECT_GT(full.count_class(DefectClass::kStatic) + full.count_class(DefectClass::kDynamic),
+            model.count_class(DefectClass::kStatic));
+}
+
+TEST(Generate, SingleInputChangePolicyIsSubsetOfExhaustive) {
+  const Cell cell = make_nor2();
+  GenerationOptions reduced;
+  reduced.policy = StimulusPolicy::kSingleInputChange;
+  const CaModel small = generate_ca_model(cell, reduced);
+  const CaModel full = generate_ca_model(cell);
+  ASSERT_EQ(small.defects.size(), full.defects.size());
+  // A defect undetected by the exhaustive set must be undetected by the
+  // reduced one.
+  for (std::size_t d = 0; d < full.defects.size(); ++d) {
+    if (full.defects[d].klass == DefectClass::kUndetected) {
+      EXPECT_EQ(small.defects[d].klass, DefectClass::kUndetected);
+    }
+  }
+}
+
+TEST(Generate, SimulationCountFormula) {
+  const Cell cell = make_nand2();
+  const GenerationOptions options;
+  const CaModel model = generate_ca_model(cell, options);
+  EXPECT_EQ(conventional_simulation_count(cell, options),
+            1 + model.defects.size() * model.stimuli.size());
+}
+
+TEST(Generate, TechnologyChangesDetectionOfSomeDefects) {
+  // The same cell characterized under two test-condition profiles
+  // (different strength normalization) flips the class of at least one
+  // defect — the paper's observation about PVT/test-condition
+  // sensitivity of CA models.
+  const Cell cell = make_nand2();
+  GenerationOptions a;
+  a.sim.unit_width_um = 0.2;
+  a.sim.pmos_mobility = 0.55;
+  GenerationOptions b;
+  b.sim.unit_width_um = 0.42;
+  b.sim.pmos_mobility = 0.45;
+  const CaModel ma = generate_ca_model(cell, a);
+  const CaModel mb = generate_ca_model(cell, b);
+  ASSERT_EQ(ma.defects.size(), mb.defects.size());
+  std::size_t differing = 0;
+  for (std::size_t d = 0; d < ma.defects.size(); ++d) {
+    differing += ma.defects[d].detection != mb.defects[d].detection;
+  }
+  EXPECT_GT(differing, 0u);
+  // But the models stay mostly identical ("slight differences").
+  EXPECT_LT(differing, ma.defects.size() / 2);
+}
+
+TEST(ModelIo, RejectsMalformedText) {
+  const Cell cell = make_nand2();
+  EXPECT_THROW(ca_model_from_string("JUNK\n", cell), ParseError);
+  EXPECT_THROW(ca_model_from_string("CAMODEL X INPUTS 2 POLICY exhaustive DEFECTS 0\n", cell),
+               ParseError);  // missing GOLDEN
+  const std::string bad_golden =
+      "CAMODEL X INPUTS 2 POLICY exhaustive DEFECTS 0\nGOLDEN 01\nENDMODEL\n";
+  EXPECT_THROW(ca_model_from_string(bad_golden, cell), ParseError);  // wrong length
+}
+
+TEST(ModelIo, RejectsUnknownDevice) {
+  const Cell cell = make_nand2();
+  const CaModel model = generate_ca_model(cell);
+  std::string text = ca_model_to_string(model, cell);
+  const std::size_t pos = text.find("N10.");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 4, "XXX.");
+  EXPECT_THROW(ca_model_from_string(text, cell), Error);
+}
+
+TEST(ModelIo, ClassRecomputedOnRead) {
+  const Cell cell = make_nand2();
+  CaModel model = generate_ca_model(cell);
+  std::string text = ca_model_to_string(model, cell);
+  const CaModel back = ca_model_from_string(text, cell);
+  for (std::size_t d = 0; d < model.defects.size(); ++d) {
+    EXPECT_EQ(back.defects[d].klass, model.defects[d].klass);
+  }
+  EXPECT_EQ(back.equivalence_classes.size(), model.equivalence_classes.size());
+}
+
+
+TEST(PatternSelection, CoversEveryDetectableEquivalenceClass) {
+  const Cell cell = make_nand2();
+  const CaModel model = generate_ca_model(cell);
+  const PatternSelection sel = select_patterns(model);
+  EXPECT_DOUBLE_EQ(sel.coverage, 1.0);
+  EXPECT_FALSE(sel.stimuli.empty());
+  EXPECT_LT(sel.stimuli.size(), model.stimuli.size());  // far fewer than exhaustive
+
+  // Verify the cover directly.
+  for (const CaDefectEntry& d : model.defects) {
+    if (d.klass == DefectClass::kUndetected) continue;
+    bool covered = false;
+    for (std::size_t s : sel.stimuli) covered |= d.detection[s] != 0;
+    EXPECT_TRUE(covered) << d.defect.describe(cell);
+  }
+  // Undetected list matches the model classes.
+  EXPECT_EQ(sel.undetected.size(), model.count_class(DefectClass::kUndetected));
+}
+
+TEST(PatternSelection, GreedyOrderIsMonotone) {
+  const Cell cell = make_nor2();
+  const CaModel model = generate_ca_model(cell);
+  const PatternSelection sel = select_patterns(model);
+  // Each selected stimulus must contribute at least one new class; a
+  // duplicate selection would violate the greedy invariant.
+  std::set<std::size_t> unique(sel.stimuli.begin(), sel.stimuli.end());
+  EXPECT_EQ(unique.size(), sel.stimuli.size());
+}
+
+TEST(PatternSelection, BudgetLimitsSelection) {
+  const Cell cell = make_nand2();
+  const CaModel model = generate_ca_model(cell);
+  PatternSelectionOptions options;
+  options.max_patterns = 2;
+  const PatternSelection sel = select_patterns(model, options);
+  EXPECT_LE(sel.stimuli.size(), 2u);
+  EXPECT_LT(sel.coverage, 1.0);
+  EXPECT_GT(sel.coverage, 0.0);
+}
+
+TEST(PatternSelection, DynamicDefectsNeedDynamicPatterns) {
+  // A NAND2 has stuck-open (dynamic-only) defects, so any full cover
+  // must include at least one two-pattern stimulus.
+  const Cell cell = make_nand2();
+  const CaModel model = generate_ca_model(cell);
+  const PatternSelection sel = select_patterns(model);
+  bool any_dynamic = false;
+  for (std::size_t s : sel.stimuli) any_dynamic |= !model.stimuli[s].is_static();
+  EXPECT_TRUE(any_dynamic);
+}
+
+}  // namespace
+}  // namespace caml

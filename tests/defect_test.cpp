@@ -1,0 +1,254 @@
+#include <gtest/gtest.h>
+
+#include "defect/injector.hpp"
+#include "defect/universe.hpp"
+#include "camodel/generate.hpp"
+#include "camodel/model_io.hpp"
+#include "sim/switch_sim.hpp"
+#include "test_support.hpp"
+#include "util/error.hpp"
+
+namespace caml {
+namespace {
+
+using testing::make_nand2;
+
+TEST(Universe, OpensEnumeratedPerTerminal) {
+  const Cell cell = make_nand2();
+  UniverseOptions options;
+  options.intra_transistor_shorts = false;
+  const auto defects = enumerate_defects(cell, options);
+  EXPECT_EQ(defects.size(), 4u * 3u);  // G, S, D per transistor
+  for (const Defect& d : defects) {
+    EXPECT_EQ(d.kind, DefectKind::kOpen);
+    EXPECT_EQ(d.a, d.b);
+    EXPECT_NE(d.a.terminal, Terminal::kBulk);  // bulk opens never modeled
+  }
+}
+
+TEST(Universe, ShortsSkipAlreadyConnectedPairs) {
+  const Cell cell = make_nand2();
+  UniverseOptions options;
+  options.opens = false;
+  const auto defects = enumerate_defects(cell, options);
+  // N10: 6 pairs; N11, Px, Py each have bulk tied to source -> 5 each.
+  EXPECT_EQ(defects.size(), 6u + 5u + 5u + 5u);
+  for (const Defect& d : defects) {
+    EXPECT_EQ(d.kind, DefectKind::kShort);
+    EXPECT_TRUE(d.is_intra_transistor());
+    const Transistor& t = cell.transistor(d.a.transistor);
+    EXPECT_NE(t.terminal(d.a.terminal), t.terminal(d.b.terminal));
+  }
+}
+
+TEST(Universe, DeterministicOrder) {
+  const Cell cell = make_nand2();
+  const auto a = enumerate_defects(cell);
+  const auto b = enumerate_defects(cell);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Universe, InterTransistorShortsWithinComponent) {
+  const Cell cell = make_nand2();
+  UniverseOptions options;
+  options.opens = false;
+  options.intra_transistor_shorts = false;
+  options.inter_transistor_shorts = true;
+  const auto defects = enumerate_defects(cell, options);
+  EXPECT_GT(defects.size(), 0u);
+  for (const Defect& d : defects) {
+    EXPECT_EQ(d.kind, DefectKind::kShort);
+    EXPECT_FALSE(d.is_intra_transistor());
+  }
+}
+
+TEST(Defect, Describe) {
+  const Cell cell = make_nand2();
+  Defect open;
+  open.kind = DefectKind::kOpen;
+  open.a = open.b = TerminalRef{0, Terminal::kSource};
+  EXPECT_EQ(open.describe(cell), "open(N10.S)");
+  Defect bridge;
+  bridge.kind = DefectKind::kShort;
+  bridge.a = TerminalRef{2, Terminal::kDrain};
+  bridge.b = TerminalRef{3, Terminal::kGate};
+  EXPECT_EQ(bridge.describe(cell), "short(Px.D, Py.G)");
+}
+
+TEST(Injector, OpenDetachesTerminalToFloatingNet) {
+  const Cell cell = make_nand2();
+  Defect d;
+  d.kind = DefectKind::kOpen;
+  d.a = d.b = TerminalRef{0, Terminal::kSource};  // N10 source open
+  const Cell faulty = inject_defect(cell, d);
+  EXPECT_EQ(faulty.num_nets(), cell.num_nets() + 1);
+  EXPECT_EQ(faulty.num_transistors(), cell.num_transistors());
+  EXPECT_NE(faulty.transistor(0).source, cell.transistor(0).source);
+}
+
+TEST(Injector, ShortAddsAlwaysOnBridge) {
+  const Cell cell = make_nand2();
+  Defect d;
+  d.kind = DefectKind::kShort;
+  d.a = TerminalRef{0, Terminal::kDrain};   // N10.D = Z
+  d.b = TerminalRef{0, Terminal::kSource};  // N10.S = net0
+  const Cell faulty = inject_defect(cell, d);
+  EXPECT_EQ(faulty.num_transistors(), cell.num_transistors() + 1);
+  const Transistor& bridge = faulty.transistors().back();
+  EXPECT_EQ(bridge.gate, faulty.vdd());  // always conducting
+}
+
+TEST(Injector, RejectsNoOpShort) {
+  const Cell cell = make_nand2();
+  Defect d;
+  d.kind = DefectKind::kShort;
+  d.a = TerminalRef{1, Terminal::kSource};  // N11.S = VSS
+  d.b = TerminalRef{1, Terminal::kBulk};    // N11.B = VSS, same net
+  EXPECT_THROW(inject_defect(cell, d), Error);
+}
+
+TEST(Injector, RejectsOutOfRangeTransistor) {
+  const Cell cell = make_nand2();
+  Defect d;
+  d.kind = DefectKind::kOpen;
+  d.a = d.b = TerminalRef{99, Terminal::kGate};
+  EXPECT_THROW(inject_defect(cell, d), Error);
+}
+
+// Behavioural checks of the canonical defect mechanisms on NAND2.
+TEST(DefectBehaviour, SourceDrainShortOnPmosPullsOutputHigh) {
+  const Cell cell = make_nand2();
+  Defect d;
+  d.kind = DefectKind::kShort;
+  d.a = TerminalRef{2, Terminal::kSource};  // Px: VDD
+  d.b = TerminalRef{2, Terminal::kDrain};   // Px: Z
+  const Cell faulty = inject_defect(cell, d);
+  SwitchSim sim(faulty);
+  sim.reset();
+  // A=B=1 should give 0, but the short fights the NMOS stack. With the
+  // default bridge strength the output is degraded away from a clean 0.
+  const Sig out = sim.apply(0b11);
+  EXPECT_NE(out, Sig::kZero);
+}
+
+TEST(DefectBehaviour, GateOpenBehavesStuckOff) {
+  const Cell cell = make_nand2();
+  Defect d;
+  d.kind = DefectKind::kOpen;
+  d.a = d.b = TerminalRef{0, Terminal::kGate};  // N10 gate open
+  const Cell faulty = inject_defect(cell, d);
+  SwitchSim sim(faulty);
+  sim.reset();
+  // Pull-down path broken: Z cannot go low; first 11 pattern gives a
+  // floating (retained Z from cold start) output rather than 0.
+  EXPECT_NE(sim.apply(0b11), Sig::kZero);
+}
+
+TEST(DefectBehaviour, StuckOpenNeedsTwoPatternTest) {
+  const Cell cell = make_nand2();
+  Defect d;
+  d.kind = DefectKind::kOpen;
+  d.a = d.b = TerminalRef{0, Terminal::kSource};  // N10 source open
+  const Cell faulty = inject_defect(cell, d);
+  SwitchSim sim(faulty);
+
+  // Static 11 from cold start: output floats (Z) -> no definite detect.
+  sim.reset();
+  EXPECT_EQ(sim.apply(0b11), Sig::kZ);
+
+  // Two-pattern 01 -> 11: the first pattern charges Z high, the broken
+  // pull-down cannot discharge it -> faulty 1 vs golden 0: detected.
+  const Sig out = sim.run(Stimulus::parse("R1"));
+  EXPECT_EQ(out, Sig::kOne);
+}
+
+
+TEST(ResistiveDefects, UniverseDoublesWithVariants) {
+  const Cell cell = make_nand2();
+  UniverseOptions options;
+  options.resistive_variants = true;
+  const auto defects = enumerate_defects(cell, options);
+  const auto hard_only = enumerate_defects(cell);
+  EXPECT_EQ(defects.size(), 2 * hard_only.size());
+  std::size_t resistive = 0;
+  for (const Defect& d : defects) resistive += d.strength == DefectStrength::kResistive;
+  EXPECT_EQ(resistive, hard_only.size());
+}
+
+TEST(ResistiveDefects, ResistiveShortLosesStrengthFight) {
+  // Hard S-D short on the pull-up wins/X-es the fight at AB=11, but the
+  // resistive variant is too weak to corrupt the strong pull-down.
+  const Cell cell = make_nand2();
+  Defect d;
+  d.kind = DefectKind::kShort;
+  d.a = TerminalRef{2, Terminal::kSource};
+  d.b = TerminalRef{2, Terminal::kDrain};
+
+  const Cell hard = inject_defect(cell, d);
+  d.strength = DefectStrength::kResistive;
+  const Cell soft = inject_defect(cell, d);
+
+  SwitchSim hard_sim(hard), soft_sim(soft);
+  hard_sim.reset();
+  soft_sim.reset();
+  EXPECT_NE(hard_sim.apply(0b11), Sig::kZero);   // corrupted
+  EXPECT_EQ(soft_sim.apply(0b11), Sig::kZero);   // survives the weak short
+}
+
+TEST(ResistiveDefects, ResistiveOpenKeepsWeakPath) {
+  // A resistive source open still pulls the output low (through the
+  // residual bridge) when nothing fights it.
+  const Cell cell = make_nand2();
+  Defect d;
+  d.kind = DefectKind::kOpen;
+  d.strength = DefectStrength::kResistive;
+  d.a = d.b = TerminalRef{0, Terminal::kSource};
+  const Cell faulty = inject_defect(cell, d);
+  SwitchSim sim(faulty);
+  sim.reset();
+  EXPECT_EQ(sim.apply(0b11), Sig::kZero);  // weak path still discharges Z
+}
+
+TEST(ResistiveDefects, DescribeIncludesStrength) {
+  const Cell cell = make_nand2();
+  Defect d;
+  d.kind = DefectKind::kOpen;
+  d.strength = DefectStrength::kResistive;
+  d.a = d.b = TerminalRef{0, Terminal::kGate};
+  EXPECT_EQ(d.describe(cell), "resistive-open(N10.G)");
+}
+
+TEST(ResistiveDefects, ModelTextRoundTripKeepsStrength) {
+  const Cell cell = make_nand2();
+  GenerationOptions options;
+  options.universe.resistive_variants = true;
+  const CaModel model = generate_ca_model(cell, options);
+  const std::string text = ca_model_to_string(model, cell);
+  const CaModel back = ca_model_from_string(text, cell);
+  ASSERT_EQ(back.defects.size(), model.defects.size());
+  for (std::size_t i = 0; i < model.defects.size(); ++i) {
+    EXPECT_EQ(back.defects[i].defect.strength, model.defects[i].defect.strength);
+    EXPECT_EQ(back.defects[i].detection, model.defects[i].detection);
+  }
+}
+
+TEST(ResistiveDefects, SomeVariantsBehaveDifferently) {
+  // At least one defect location must change its detection vector
+  // between the hard and the resistive variant — otherwise the
+  // resistance model would be inert.
+  const Cell cell = make_nand2();
+  GenerationOptions options;
+  options.universe.resistive_variants = true;
+  const CaModel model = generate_ca_model(cell, options);
+  const std::size_t half = model.defects.size() / 2;
+  std::size_t differing = 0;
+  for (std::size_t i = 0; i < half; ++i) {
+    // Enumeration appends resistive copies after the hard block.
+    differing += model.defects[i].detection != model.defects[i + half].detection;
+  }
+  EXPECT_GT(differing, 0u);
+  EXPECT_LT(differing, half);  // most behave identically
+}
+
+}  // namespace
+}  // namespace caml

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "camodel/diagnosis.hpp"
+#include "camodel/generate.hpp"
+#include "test_support.hpp"
+#include "util/rng.hpp"
+
+namespace caml {
+namespace {
+
+using testing::make_nand2;
+using testing::make_nor2;
+
+TEST(Diagnosis, InjectedDefectIsTopCandidate) {
+  // Inject every detectable defect, observe the tester response, and
+  // check the diagnosis ranks the defect's own equivalence class first
+  // with an exact match.
+  const Cell cell = make_nand2();
+  const CaModel model = generate_ca_model(cell);
+  for (std::size_t d = 0; d < model.defects.size(); ++d) {
+    if (model.defects[d].klass == DefectClass::kUndetected) continue;
+    const TesterResponse observed =
+        simulate_tester_response(cell, model, model.defects[d].defect);
+    const auto candidates = diagnose(model, observed);
+    ASSERT_FALSE(candidates.empty()) << model.defects[d].defect.describe(cell);
+    EXPECT_TRUE(candidates.front().exact) << model.defects[d].defect.describe(cell);
+    EXPECT_EQ(candidates.front().equivalence_class, model.defects[d].equivalence_class)
+        << model.defects[d].defect.describe(cell);
+  }
+}
+
+TEST(Diagnosis, ResponseMatchesDetectionVector) {
+  // The simulated tester response of defect d is exactly its detection
+  // vector (by construction of the conventional flow).
+  const Cell cell = make_nor2();
+  const CaModel model = generate_ca_model(cell);
+  for (std::size_t d = 0; d < model.defects.size(); d += 5) {
+    const TesterResponse observed =
+        simulate_tester_response(cell, model, model.defects[d].defect);
+    EXPECT_EQ(observed.failing, model.defects[d].detection);
+  }
+}
+
+TEST(Diagnosis, NoisyResponseStillRanksCulpritHighly) {
+  // Flip one observation bit: the culprit should stay among the top
+  // candidates even without an exact match.
+  const Cell cell = make_nand2();
+  const CaModel model = generate_ca_model(cell);
+  Rng rng(11);
+  std::size_t checked = 0;
+  for (std::size_t d = 0; d < model.defects.size() && checked < 8; ++d) {
+    if (model.defects[d].klass == DefectClass::kUndetected) continue;
+    if (model.defects[d].detection.size() < 2) continue;
+    TesterResponse observed = simulate_tester_response(cell, model, model.defects[d].defect);
+    if (observed.num_failing() < 3) continue;  // too little signal to be noise-robust
+    const std::size_t flip = static_cast<std::size_t>(rng.below(observed.failing.size()));
+    observed.failing[flip] ^= 1;
+    const auto candidates = diagnose(model, observed);
+    ASSERT_FALSE(candidates.empty());
+    bool found = false;
+    for (std::size_t i = 0; i < candidates.size() && i < 3; ++i) {
+      found |= candidates[i].equivalence_class == model.defects[d].equivalence_class;
+    }
+    EXPECT_TRUE(found) << model.defects[d].defect.describe(cell);
+    ++checked;
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST(Diagnosis, AllPassingResponseYieldsNoCandidates) {
+  const Cell cell = make_nand2();
+  const CaModel model = generate_ca_model(cell);
+  TesterResponse clean;
+  clean.failing.assign(model.stimuli.size(), 0);
+  EXPECT_TRUE(diagnose(model, clean).empty());
+}
+
+TEST(Diagnosis, TopKLimitsOutput) {
+  const Cell cell = make_nand2();
+  const CaModel model = generate_ca_model(cell);
+  TesterResponse observed;
+  observed.failing.assign(model.stimuli.size(), 1);  // everything fails
+  DiagnosisOptions options;
+  options.top_k = 3;
+  EXPECT_LE(diagnose(model, observed, options).size(), 3u);
+}
+
+}  // namespace
+}  // namespace caml

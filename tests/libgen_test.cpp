@@ -1,0 +1,259 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "libgen/builder.hpp"
+#include "libgen/catalog.hpp"
+#include "libgen/expr.hpp"
+#include "netlist/spice_writer.hpp"
+#include "util/error.hpp"
+
+namespace caml {
+namespace {
+
+TEST(Expr, EvalSeriesParallel) {
+  const Expr e = p({s({x(0), x(1)}), x(2)});  // (0&1)|2
+  EXPECT_FALSE(e.eval({false, true, false}));
+  EXPECT_TRUE(e.eval({true, true, false}));
+  EXPECT_TRUE(e.eval({false, false, true}));
+}
+
+TEST(Expr, DualSwapsOperators) {
+  const Expr e = p({s({x(0), x(1)}), x(2)});
+  const Expr d = e.dual();
+  // dual((0&1)|2) = (0|1)&2
+  EXPECT_EQ(d.to_string(), "((0|1)&2)");
+  EXPECT_EQ(d.dual().to_string(), e.to_string());
+}
+
+TEST(Expr, CountsAndDepth) {
+  const Expr e = p({s({x(0), x(1), x(2)}), s({x(3), x(4)})});
+  EXPECT_EQ(e.num_leaves(), 5u);
+  EXPECT_EQ(e.max_stack_depth(), 3u);
+  EXPECT_EQ(e.max_signal(), 4);
+  EXPECT_EQ(x(7).max_stack_depth(), 1u);
+}
+
+TEST(Expr, SingleChildCollapses) {
+  EXPECT_EQ(Expr::series({x(3)}).to_string(), "3");
+  EXPECT_EQ(Expr::parallel({x(3)}).to_string(), "3");
+}
+
+TEST(Catalog, AllFunctionsHaveDistinctNamesAndValidTruthTables) {
+  std::set<std::string> names;
+  for (const CellFunction& f : function_catalog()) {
+    EXPECT_TRUE(names.insert(f.name).second) << "duplicate " << f.name;
+    EXPECT_GE(f.num_inputs, 1);
+    EXPECT_LE(f.num_inputs, 6);
+    EXPECT_FALSE(f.stages.empty());
+    // Truth table must not be constant (no degenerate cells).
+    const std::uint64_t tt = f.truth_table();
+    const std::size_t patterns = std::size_t{1} << f.num_inputs;
+    const std::uint64_t mask =
+        patterns >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << patterns) - 1;
+    EXPECT_NE(tt & mask, 0u) << f.name;
+    EXPECT_NE(tt & mask, mask) << f.name;
+  }
+  EXPECT_GE(function_catalog().size(), 45u);
+}
+
+TEST(Catalog, SpotCheckTruthTables) {
+  EXPECT_EQ(find_function("INV").truth_table(), 0b01u);
+  EXPECT_EQ(find_function("BUF").truth_table(), 0b10u);
+  EXPECT_EQ(find_function("NAND2").truth_table(), 0b0111u);
+  EXPECT_EQ(find_function("NOR2").truth_table(), 0b0001u);
+  EXPECT_EQ(find_function("AND2").truth_table(), 0b1000u);
+  EXPECT_EQ(find_function("XOR2").truth_table(), 0b0110u);
+  EXPECT_EQ(find_function("XNOR2").truth_table(), 0b1001u);
+  // MAJ3: majority of three inputs (bit p set iff popcount(p) >= 2).
+  EXPECT_EQ(find_function("MAJ3").truth_table(), 0b11101000u);
+  // XOR3: odd parity.
+  EXPECT_EQ(find_function("XOR3").truth_table(), 0b10010110u);
+  // MUX2I: NOT(S ? B : A), inputs (A, B, S) with A = bit 0, S = bit 2.
+  const std::uint64_t mux2 = find_function("MUX2").truth_table();
+  for (unsigned p = 0; p < 8; ++p) {
+    const bool a = p & 1, b = p & 2, s = p & 4;
+    EXPECT_EQ((mux2 >> p) & 1, static_cast<unsigned>(s ? b : a)) << p;
+  }
+  EXPECT_EQ(find_function("NAND4ALT").truth_table(), find_function("NAND4").truth_table());
+  EXPECT_EQ(find_function("NOR4ALT").truth_table(), find_function("NOR4").truth_table());
+}
+
+TEST(Catalog, FindFunctionThrowsOnUnknown) {
+  EXPECT_THROW(find_function("FROBNICATOR"), Error);
+  EXPECT_EQ(catalog_names().size(), function_catalog().size());
+}
+
+TEST(Technology, SizingRules) {
+  const Technology t = technology_28soi();
+  // Stack upsizing grows widths.
+  EXPECT_GT(t.nmos_width(1, 3), t.nmos_width(1, 1));
+  // Drive scaling.
+  EXPECT_GT(t.nmos_width(4, 1), t.nmos_width(1, 1));
+  // PMOS wider than NMOS.
+  EXPECT_GT(t.pmos_width(1, 1), t.nmos_width(1, 1));
+  // Quantization: widths are multiples of the quantum.
+  const double w = t.nmos_width(2, 2);
+  const double q = t.width_quantum_um;
+  EXPECT_NEAR(std::round(w / q) * q, w, 1e-9);
+}
+
+TEST(Technology, ProfilesAreDistinct) {
+  const auto techs = default_technologies();
+  ASSERT_EQ(techs.size(), 3u);
+  std::set<std::string> names, models;
+  for (const Technology& t : techs) {
+    names.insert(t.name);
+    models.insert(t.nmos_model);
+  }
+  EXPECT_EQ(names.size(), 3u);
+  EXPECT_EQ(models.size(), 3u);
+  EXPECT_GT(technology_c40().nmos_unit_width_um, technology_28soi().nmos_unit_width_um);
+}
+
+TEST(Builder, TransistorCountsFollowVariant) {
+  const Technology tech = technology_28soi();
+  Rng rng(1);
+  const CellFunction& nand2 = find_function("NAND2");
+  const Cell x1 = build_cell(nand2, tech, {1, StructureVariant::kWide}, {"", 1.0}, "a", rng);
+  const Cell x2w = build_cell(nand2, tech, {2, StructureVariant::kWide}, {"", 1.0}, "b", rng);
+  const Cell x2m = build_cell(nand2, tech, {2, StructureVariant::kMerged}, {"", 1.0}, "c", rng);
+  const Cell x2s = build_cell(nand2, tech, {2, StructureVariant::kSplit}, {"", 1.0}, "d", rng);
+  EXPECT_EQ(x1.num_transistors(), 4u);
+  EXPECT_EQ(x2w.num_transistors(), 4u);   // wide: same structure
+  EXPECT_EQ(x2m.num_transistors(), 8u);   // merged: leaf duplication
+  EXPECT_EQ(x2s.num_transistors(), 8u);   // split: path duplication
+  // Wide variant has wider devices than X1.
+  double w1 = 0, w2 = 0;
+  for (const Transistor& t : x1.transistors()) w1 += t.width_um;
+  for (const Transistor& t : x2w.transistors()) w2 += t.width_um;
+  EXPECT_GT(w2, w1 * 1.5);
+}
+
+TEST(Builder, MergedAndSplitDifferInInternalNets) {
+  // The Fig. 6 distinction: merged parallel stacks share the internal
+  // net, split stacks have independent ones.
+  const Technology tech = technology_28soi();
+  Rng rng(2);
+  const CellFunction& nand2 = find_function("NAND2");
+  const Cell merged =
+      build_cell(nand2, tech, {2, StructureVariant::kMerged}, {"", 1.0}, "m", rng);
+  const Cell split = build_cell(nand2, tech, {2, StructureVariant::kSplit}, {"", 1.0}, "s", rng);
+  const auto internals = [](const Cell& c) {
+    std::size_t n = 0;
+    for (const Net& net : c.nets()) n += net.kind == NetKind::kInternal;
+    return n;
+  };
+  EXPECT_EQ(internals(merged), 1u);  // one shared stack midpoint
+  EXPECT_EQ(internals(split), 2u);   // one midpoint per stack
+}
+
+TEST(Builder, ScrambleKeepsBehaviourChangesNames) {
+  const Technology tech = technology_c28();
+  Rng build_rng(3);
+  const Cell cell = build_cell(find_function("AOI21"), tech, {1, StructureVariant::kWide},
+                               {"", 1.0}, "AOI21", build_rng);
+  Rng scramble_rng(99);
+  const Cell scrambled = scramble_cell(cell, tech, scramble_rng);
+  EXPECT_EQ(scrambled.num_transistors(), cell.num_transistors());
+  EXPECT_EQ(scrambled.num_nets(), cell.num_nets());
+  // Device naming follows the technology convention (C28: M0, M1, ...).
+  for (const Transistor& t : scrambled.transistors()) {
+    EXPECT_EQ(t.name[0], 'M');
+  }
+}
+
+TEST(Builder, PinNamingFollowsTechnology) {
+  Rng rng(4);
+  const Cell soi = build_cell(find_function("NAND2"), technology_28soi(),
+                              {1, StructureVariant::kWide}, {"", 1.0}, "n", rng);
+  EXPECT_TRUE(soi.find_net("A").has_value());
+  EXPECT_TRUE(soi.find_net("Z").has_value());
+  const Cell c40 = build_cell(find_function("NAND2"), technology_c40(),
+                              {1, StructureVariant::kWide}, {"", 1.0}, "n", rng);
+  EXPECT_TRUE(c40.find_net("IN1").has_value());
+  EXPECT_TRUE(c40.find_net("Q").has_value());
+}
+
+TEST(Builder, LibraryCompositionExpands) {
+  LibraryComposition comp;
+  comp.functions = {"INV", "NAND2"};
+  comp.drives = {{1, StructureVariant::kWide}, {2, StructureVariant::kMerged}};
+  comp.flavors = {{"", 1.0}, {"LP", 0.8}};
+  const Library lib = build_library(technology_28soi(), comp);
+  EXPECT_EQ(lib.cells.size(), 2u * 2u * 2u);
+  std::set<std::string> names;
+  for (const LibraryCell& c : lib.cells) names.insert(c.cell.name());
+  EXPECT_EQ(names.size(), lib.cells.size());  // unique cell names
+  EXPECT_TRUE(names.count("NAND2X2M_LP"));
+}
+
+TEST(Builder, LibraryIsDeterministic) {
+  LibraryComposition comp;
+  comp.functions = {"NAND2"};
+  comp.drives = {{1, StructureVariant::kWide}};
+  comp.flavors = {{"", 1.0}};
+  const Library a = build_library(technology_28soi(), comp);
+  const Library b = build_library(technology_28soi(), comp);
+  const SpiceWriter writer;
+  EXPECT_EQ(writer.to_string(a.cells[0].cell), writer.to_string(b.cells[0].cell));
+}
+
+TEST(BenchmarkSuite, CompositionMirrorsPaperSetup) {
+  const BenchmarkSuite suite = build_benchmark_suite();
+  // 28SOI is the largest library (the paper's 825-cell training set).
+  EXPECT_GT(suite.soi28.cells.size(), suite.c40.cells.size());
+  EXPECT_GT(suite.soi28.cells.size(), suite.c28.cells.size());
+  EXPECT_GT(suite.soi28.cells.size(), 300u);
+
+  const auto functions = [](const Library& lib) {
+    std::set<std::string> f;
+    for (const LibraryCell& c : lib.cells) f.insert(c.function);
+    return f;
+  };
+  const auto soi_f = functions(suite.soi28);
+  const auto c40_f = functions(suite.c40);
+  const auto c28_f = functions(suite.c28);
+  // C40 and C28 both contain functions absent from the training library.
+  std::size_t c40_new = 0, c28_new = 0;
+  for (const auto& f : c40_f) c40_new += !soi_f.count(f);
+  for (const auto& f : c28_f) c28_new += !soi_f.count(f);
+  EXPECT_GT(c40_new, 0u);
+  EXPECT_GT(c28_new, 0u);
+  // C28 has more genuinely new content than C40 (paper: 68% vs 80%
+  // accurately predicted).
+  EXPECT_GT(c28_new, 0u);
+}
+
+
+TEST(Catalog, ExtendedFunctionsSpotChecks) {
+  // XNOR3 is XOR3's complement over all 8 patterns.
+  const std::uint64_t xor3 = find_function("XOR3").truth_table();
+  const std::uint64_t xnor3 = find_function("XNOR3").truth_table();
+  EXPECT_EQ(xnor3 & 0xFFu, (~xor3) & 0xFFu);
+
+  // AOI41: Z = NOT((A&B&C&D) | E), inputs A..D = bits 0..3, E = bit 4.
+  const std::uint64_t aoi41 = find_function("AOI41").truth_table();
+  for (unsigned p = 0; p < 32; ++p) {
+    const bool expect = !(((p & 0xF) == 0xF) || (p & 0x10));
+    EXPECT_EQ((aoi41 >> p) & 1, static_cast<unsigned>(expect)) << p;
+  }
+
+  // MUX4I: Z = NOT(D[s]) with s = S0 + 2*S1 (D0..D3 = bits 0..3,
+  // S0 = bit 4, S1 = bit 5).
+  const std::uint64_t mux4i = find_function("MUX4I").truth_table();
+  for (unsigned p = 0; p < 64; ++p) {
+    const unsigned sel = ((p >> 4) & 1) + 2 * ((p >> 5) & 1);
+    const bool selected = (p >> sel) & 1;
+    EXPECT_EQ((mux4i >> p) & 1, static_cast<unsigned>(!selected)) << p;
+  }
+
+  // NAND5 / NOR5 endpoints.
+  EXPECT_EQ(find_function("NAND5").truth_table() & 0xFFFFFFFFu, 0x7FFFFFFFu);
+  EXPECT_EQ(find_function("NOR5").truth_table() & 0xFFFFFFFFu, 0x1u);
+}
+
+}  // namespace
+}  // namespace caml

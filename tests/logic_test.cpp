@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "logic/stimulus.hpp"
+#include "logic/wave.hpp"
+#include "util/error.hpp"
+
+namespace caml {
+namespace {
+
+TEST(Wave, InitialFinalSemantics) {
+  EXPECT_FALSE(wave_initial(Wave::kZero));
+  EXPECT_FALSE(wave_final(Wave::kZero));
+  EXPECT_TRUE(wave_initial(Wave::kOne));
+  EXPECT_TRUE(wave_final(Wave::kOne));
+  EXPECT_FALSE(wave_initial(Wave::kRise));
+  EXPECT_TRUE(wave_final(Wave::kRise));
+  EXPECT_TRUE(wave_initial(Wave::kFall));
+  EXPECT_FALSE(wave_final(Wave::kFall));
+}
+
+TEST(Wave, FromPairRoundTrip) {
+  for (Wave w : {Wave::kZero, Wave::kOne, Wave::kRise, Wave::kFall}) {
+    EXPECT_EQ(wave_from_pair(wave_initial(w), wave_final(w)), w);
+  }
+}
+
+TEST(Wave, InvertIsInvolution) {
+  for (Wave w : {Wave::kZero, Wave::kOne, Wave::kRise, Wave::kFall}) {
+    EXPECT_EQ(wave_invert(wave_invert(w)), w);
+    EXPECT_NE(wave_invert(w), w);
+  }
+}
+
+TEST(Wave, CharRoundTrip) {
+  for (Wave w : {Wave::kZero, Wave::kOne, Wave::kRise, Wave::kFall}) {
+    EXPECT_EQ(wave_from_char(wave_char(w)), w);
+  }
+  EXPECT_EQ(wave_from_char('r'), Wave::kRise);
+  EXPECT_THROW(wave_from_char('x'), Error);
+}
+
+TEST(Wave, StaticClassification) {
+  EXPECT_TRUE(wave_is_static(Wave::kZero));
+  EXPECT_TRUE(wave_is_static(Wave::kOne));
+  EXPECT_FALSE(wave_is_static(Wave::kRise));
+  EXPECT_FALSE(wave_is_static(Wave::kFall));
+}
+
+TEST(Sig, BasicProperties) {
+  EXPECT_TRUE(sig_is_binary(Sig::kZero));
+  EXPECT_TRUE(sig_is_binary(Sig::kOne));
+  EXPECT_FALSE(sig_is_binary(Sig::kX));
+  EXPECT_FALSE(sig_is_binary(Sig::kZ));
+  EXPECT_EQ(sig_from_bool(true), Sig::kOne);
+  EXPECT_EQ(sig_from_bool(false), Sig::kZero);
+  EXPECT_EQ(sig_char(Sig::kX), 'X');
+}
+
+TEST(Stimulus, StaticFromPattern) {
+  const Stimulus s = Stimulus::from_pattern(0b101, 3);
+  EXPECT_TRUE(s.is_static());
+  EXPECT_EQ(s.to_string(), "101");
+  EXPECT_EQ(s.initial_pattern(), 0b101u);
+  EXPECT_EQ(s.final_pattern(), 0b101u);
+}
+
+TEST(Stimulus, DynamicFromPair) {
+  const Stimulus s = Stimulus::from_pair(0b00, 0b01, 2);
+  EXPECT_FALSE(s.is_static());
+  EXPECT_EQ(s.to_string(), "R0");  // input 0 rises, input 1 static 0
+  EXPECT_EQ(s.initial_pattern(), 0b00u);
+  EXPECT_EQ(s.final_pattern(), 0b01u);
+}
+
+TEST(Stimulus, ParseRoundTrip) {
+  const Stimulus s = Stimulus::parse("0F1R");
+  EXPECT_EQ(s.num_inputs(), 4u);
+  EXPECT_EQ(s.to_string(), "0F1R");
+  EXPECT_EQ(s.wave(1), Wave::kFall);
+  EXPECT_THROW(Stimulus::parse("0Q"), Error);
+}
+
+TEST(StimulusSet, CountsMatchFormulae) {
+  for (std::size_t n : {1u, 2u, 3u, 4u}) {
+    const std::size_t statics = std::size_t{1} << n;
+    EXPECT_EQ(stimulus_count(n, StimulusPolicy::kStaticOnly), statics);
+    EXPECT_EQ(stimulus_count(n, StimulusPolicy::kSingleInputChange), statics + statics * n);
+    EXPECT_EQ(stimulus_count(n, StimulusPolicy::kExhaustivePairs),
+              statics + statics * (statics - 1));
+  }
+}
+
+TEST(StimulusSet, GenerateMatchesCount) {
+  for (StimulusPolicy p : {StimulusPolicy::kStaticOnly, StimulusPolicy::kSingleInputChange,
+                           StimulusPolicy::kExhaustivePairs}) {
+    for (std::size_t n : {1u, 2u, 3u}) {
+      EXPECT_EQ(generate_stimuli(n, p).size(), stimulus_count(n, p));
+    }
+  }
+}
+
+TEST(StimulusSet, StaticPrefixInPatternOrder) {
+  const auto stimuli = generate_stimuli(3, StimulusPolicy::kExhaustivePairs);
+  for (InputPattern p = 0; p < 8; ++p) {
+    EXPECT_TRUE(stimuli[p].is_static());
+    EXPECT_EQ(stimuli[p].initial_pattern(), p);
+  }
+  EXPECT_FALSE(stimuli[8].is_static());
+}
+
+TEST(StimulusSet, ExhaustivePairsAreAllDistinctOrderedPairs) {
+  const auto stimuli = generate_stimuli(2, StimulusPolicy::kExhaustivePairs);
+  std::set<std::pair<InputPattern, InputPattern>> pairs;
+  for (const Stimulus& s : stimuli) {
+    pairs.insert({s.initial_pattern(), s.final_pattern()});
+  }
+  EXPECT_EQ(pairs.size(), 16u);  // 4 static + 12 dynamic, all distinct
+}
+
+TEST(StimulusSet, SingleInputChangeTogglesOneBit) {
+  const auto stimuli = generate_stimuli(3, StimulusPolicy::kSingleInputChange);
+  for (std::size_t i = 8; i < stimuli.size(); ++i) {
+    const InputPattern x = stimuli[i].initial_pattern() ^ stimuli[i].final_pattern();
+    EXPECT_EQ(__builtin_popcount(x), 1) << stimuli[i].to_string();
+  }
+}
+
+TEST(StimulusSet, RejectsBadArity) {
+  EXPECT_THROW(generate_stimuli(0, StimulusPolicy::kStaticOnly), Error);
+  EXPECT_THROW(generate_stimuli(17, StimulusPolicy::kStaticOnly), Error);
+}
+
+}  // namespace
+}  // namespace caml

@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include "libgen/builder.hpp"
+#include "libgen/catalog.hpp"
+#include "sim/evaluator.hpp"
+#include "sim/switch_sim.hpp"
+#include "test_support.hpp"
+#include "util/error.hpp"
+
+namespace caml {
+namespace {
+
+using testing::make_fig5_cell;
+using testing::make_nand2;
+using testing::make_nor2;
+
+TEST(SwitchSim, Nand2TruthTable) {
+  const Cell cell = make_nand2();
+  SwitchSim sim(cell);
+  const Sig expected[] = {Sig::kOne, Sig::kOne, Sig::kOne, Sig::kZero};
+  for (InputPattern p = 0; p < 4; ++p) {
+    sim.reset();
+    EXPECT_EQ(sim.apply(p), expected[p]) << "pattern " << p;
+  }
+}
+
+TEST(SwitchSim, Nor2TruthTable) {
+  const Cell cell = make_nor2();
+  SwitchSim sim(cell);
+  for (InputPattern p = 0; p < 4; ++p) {
+    sim.reset();
+    EXPECT_EQ(sim.apply(p), p == 0 ? Sig::kOne : Sig::kZero);
+  }
+}
+
+TEST(SwitchSim, InternalNetValues) {
+  const Cell cell = make_nand2();
+  SwitchSim sim(cell);
+  sim.reset();
+  sim.apply(0b11);  // A=B=1: stack conducts, net0 pulled low
+  const NetId net0 = *cell.find_net("net0");
+  EXPECT_EQ(sim.net_value(net0), Sig::kZero);
+  EXPECT_EQ(sim.net_value(cell.vdd()), Sig::kOne);
+  EXPECT_EQ(sim.net_value(cell.vss()), Sig::kZero);
+}
+
+TEST(SwitchSim, FloatingInternalNetIsZThenRetains) {
+  const Cell cell = make_nand2();
+  SwitchSim sim(cell);
+  sim.reset();
+  sim.apply(0b00);  // both NMOS off: net0 floats, never driven
+  const NetId net0 = *cell.find_net("net0");
+  EXPECT_EQ(sim.net_value(net0), Sig::kZ);
+  // Drive the stack once: net0 becomes 0; then float it again: the
+  // charge is retained.
+  sim.apply(0b11);
+  EXPECT_EQ(sim.net_value(net0), Sig::kZero);
+  sim.apply(0b00);
+  EXPECT_EQ(sim.net_value(net0), Sig::kZero);  // retained charge
+}
+
+TEST(SwitchSim, MultiStageCellSettles) {
+  const Cell cell = make_fig5_cell();
+  SwitchSim sim(cell);
+  // Z = (A & (B|C)) | D (the inverter undoes the complex stage's
+  // inversion).
+  for (InputPattern p = 0; p < 16; ++p) {
+    sim.reset();
+    const bool a = p & 1, b = p & 2, c = p & 4, d = p & 8;
+    const bool expected = (a && (b || c)) || d;
+    EXPECT_EQ(sim.apply(p), expected ? Sig::kOne : Sig::kZero) << "pattern " << p;
+  }
+}
+
+TEST(SwitchSim, TwoPatternRunMatchesFinalPattern) {
+  const Cell cell = make_nand2();
+  SwitchSim sim(cell);
+  const Sig out = sim.run(Stimulus::parse("R1"));  // A: 0->1, B=1
+  EXPECT_EQ(out, Sig::kZero);
+  EXPECT_FALSE(sim.last_solve_oscillated());
+}
+
+TEST(SwitchSim, DeviceStrengthScalesWithWidth) {
+  SimConfig config;
+  Transistor narrow;
+  narrow.width_um = config.unit_width_um;
+  narrow.length_um = 0.03;
+  Transistor wide = narrow;
+  wide.width_um = config.unit_width_um * 4;
+  EXPECT_GT(config.device_strength(wide), config.device_strength(narrow));
+  // PMOS penalized by mobility.
+  Transistor pmos = narrow;
+  pmos.type = MosType::kPmos;
+  EXPECT_LE(config.device_strength(pmos), config.device_strength(narrow));
+}
+
+TEST(SwitchSim, StrengthClampedToRange) {
+  SimConfig config;
+  Transistor tiny;
+  tiny.width_um = 1e-4;
+  tiny.length_um = 0.03;
+  Transistor huge;
+  huge.width_um = 1e4;
+  huge.length_um = 0.03;
+  EXPECT_EQ(config.device_strength(tiny), config.min_strength);
+  EXPECT_EQ(config.device_strength(huge), config.max_strength);
+}
+
+TEST(SwitchSim, GateDrainShortFeedbackContained) {
+  // An inverter whose output is shorted to its input through an
+  // always-on bridge: a genuine feedback loop. The simulator must
+  // terminate and report a value (X on the fighting net is acceptable).
+  Cell cell("INVLOOP");
+  const NetId a = cell.add_net("A", NetKind::kInput);
+  const NetId z = cell.add_net("Z", NetKind::kOutput);
+  const NetId vdd = cell.add_net("VDD", NetKind::kPower);
+  const NetId vss = cell.add_net("VSS", NetKind::kGround);
+  const NetId w = cell.add_net("w", NetKind::kInternal);
+  cell.add_transistor({"MN", MosType::kNmos, w, a, vss, vss, 0.4, 0.03});
+  cell.add_transistor({"MP", MosType::kPmos, w, a, vdd, vdd, 0.8, 0.03});
+  // Second inverter from w to Z so the cell has a proper output.
+  cell.add_transistor({"MN2", MosType::kNmos, z, w, vss, vss, 0.4, 0.03});
+  cell.add_transistor({"MP2", MosType::kPmos, z, w, vdd, vdd, 0.8, 0.03});
+  // Feedback bridge: Z shorted back onto the first stage input net...
+  // realized as an always-on NMOS between z and w.
+  cell.add_transistor({"MB", MosType::kNmos, z, vdd, w, vss, 0.8, 0.03});
+  SwitchSim sim(cell);
+  sim.reset();
+  EXPECT_NO_THROW(sim.apply(0));
+  EXPECT_NO_THROW(sim.apply(1));
+}
+
+TEST(Evaluator, GoldenResponsesAndActivity) {
+  const Cell cell = make_nand2();
+  const auto stimuli = generate_stimuli(2, StimulusPolicy::kExhaustivePairs);
+  const GoldenResult golden = simulate_golden(cell, stimuli);
+  ASSERT_EQ(golden.responses.size(), stimuli.size());
+  ASSERT_EQ(golden.activity.size(), stimuli.size());
+
+  // Static 00: both PMOS active, both NMOS passive.
+  EXPECT_EQ(golden.activity[0][0], Wave::kZero);  // N10 (gate A)
+  EXPECT_EQ(golden.activity[0][1], Wave::kZero);  // N11 (gate B)
+  EXPECT_EQ(golden.activity[0][2], Wave::kOne);   // Px (gate A)
+  EXPECT_EQ(golden.activity[0][3], Wave::kOne);   // Py (gate B)
+
+  // Find stimulus "R1": A rises with B=1 -> N10 rises, Px falls.
+  for (std::size_t s = 0; s < stimuli.size(); ++s) {
+    if (stimuli[s].to_string() == "R1") {
+      EXPECT_EQ(golden.activity[s][0], Wave::kRise);
+      EXPECT_EQ(golden.activity[s][2], Wave::kFall);
+      EXPECT_EQ(golden.responses[s], Sig::kZero);
+      EXPECT_EQ(golden.initial_responses[s], Sig::kOne);
+    }
+  }
+}
+
+TEST(Evaluator, TruthTableHelper) {
+  EXPECT_EQ(truth_table(make_nand2()), 0b0111u);
+  EXPECT_EQ(truth_table(make_nor2()), 0b0001u);
+}
+
+TEST(Evaluator, CatalogCellsMatchExpectedTruthTables) {
+  // Every catalog function builds to a cell whose switch-level truth
+  // table equals the function's logical truth table, in every
+  // technology. This is the key validation of the library generator +
+  // simulator pair.
+  for (const Technology& tech : default_technologies()) {
+    Rng rng(tech.seed + 99);
+    for (const CellFunction& f : function_catalog()) {
+      Rng cell_rng = rng.fork();
+      const Cell cell = build_cell(f, tech, {1, StructureVariant::kWide}, {"", 1.0},
+                                   f.name + "_tt", cell_rng);
+      EXPECT_EQ(truth_table(cell, tech.sim), f.truth_table())
+          << f.name << " in " << tech.name;
+    }
+  }
+}
+
+TEST(Evaluator, DriveVariantsPreserveTruthTables) {
+  const Technology tech = technology_28soi();
+  Rng rng(5);
+  for (const char* name : {"NAND2", "NOR3", "AOI22", "XOR2", "MUX2I"}) {
+    const CellFunction& f = find_function(name);
+    for (const DriveSpec drive : {DriveSpec{2, StructureVariant::kMerged},
+                                  DriveSpec{2, StructureVariant::kSplit},
+                                  DriveSpec{4, StructureVariant::kWide}}) {
+      Rng cell_rng = rng.fork();
+      const Cell cell = build_cell(f, tech, drive, {"", 1.0}, std::string(name) + "_dv", cell_rng);
+      EXPECT_EQ(truth_table(cell, tech.sim), f.truth_table())
+          << name << " drive " << drive.drive << variant_suffix(drive.variant);
+    }
+  }
+}
+
+TEST(Evaluator, SimulateResponsesAllowsNonBinary) {
+  // A cell with a floating output for some input: NMOS-only "half
+  // inverter" drives Z only when A=1.
+  Cell cell("HALF");
+  const NetId a = cell.add_net("A", NetKind::kInput);
+  const NetId z = cell.add_net("Z", NetKind::kOutput);
+  cell.add_net("VDD", NetKind::kPower);
+  const NetId vss = cell.add_net("VSS", NetKind::kGround);
+  cell.add_transistor({"MN", MosType::kNmos, z, a, vss, vss, 0.4, 0.03});
+  const auto stimuli = generate_stimuli(1, StimulusPolicy::kStaticOnly);
+  const auto responses = simulate_responses(cell, stimuli);
+  EXPECT_EQ(responses[0], Sig::kZ);    // A=0: Z floats
+  EXPECT_EQ(responses[1], Sig::kZero); // A=1: pulled low
+  // The golden evaluator must reject this cell.
+  EXPECT_THROW(simulate_golden(cell, stimuli), Error);
+}
+
+}  // namespace
+}  // namespace caml

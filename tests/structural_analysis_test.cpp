@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "flow/structural.hpp"
+#include "test_support.hpp"
+
+namespace caml {
+namespace {
+
+using testing::build_function;
+using testing::characterize;
+
+TEST(StructureIndex, IdenticalStructureAcrossTechnologies) {
+  // The same function/drive in another technology (different sizing,
+  // naming, ordering) is an *identical* structure.
+  const Technology soi = technology_28soi();
+  const Technology c40 = technology_c40();
+  std::vector<CharacterizedCell> training;
+  training.push_back(characterize(build_function("NAND2", soi), soi));
+  const StructureIndex index(training);
+
+  const CharacterizedCell probe = characterize(build_function("NAND2", c40, {1, StructureVariant::kWide}, 77), c40);
+  EXPECT_EQ(index.classify(probe.canonical), StructureMatch::kIdentical);
+}
+
+TEST(StructureIndex, Fig6VariantsAreEquivalent) {
+  // Training contains the X1 form; the merged/split X2 forms are the
+  // paper's Fig. 6 equivalent structures.
+  const Technology soi = technology_28soi();
+  const Technology c28 = technology_c28();
+  std::vector<CharacterizedCell> training;
+  training.push_back(characterize(build_function("NOR2", soi), soi));
+  const StructureIndex index(training);
+
+  const auto merged = characterize(
+      build_function("NOR2", c28, {2, StructureVariant::kMerged}, 5), c28);
+  const auto split = characterize(
+      build_function("NOR2", c28, {2, StructureVariant::kSplit}, 6), c28);
+  EXPECT_EQ(index.classify(merged.canonical), StructureMatch::kEquivalent);
+  EXPECT_EQ(index.classify(split.canonical), StructureMatch::kEquivalent);
+}
+
+TEST(StructureIndex, MergedMatchesSplitDirectly) {
+  // Merged and split realizations of the same drive are equivalent to
+  // each other even without the X1 form (the red-net configurations of
+  // Fig. 6).
+  const Technology soi = technology_28soi();
+  std::vector<CharacterizedCell> training;
+  training.push_back(
+      characterize(build_function("NAND3", soi, {2, StructureVariant::kMerged}, 3), soi));
+  const StructureIndex index(training);
+  const auto split = characterize(
+      build_function("NAND3", soi, {2, StructureVariant::kSplit}, 4), soi);
+  EXPECT_EQ(index.classify(split.canonical), StructureMatch::kEquivalent);
+}
+
+TEST(StructureIndex, NewFunctionIsNew) {
+  const Technology soi = technology_28soi();
+  std::vector<CharacterizedCell> training;
+  training.push_back(characterize(build_function("NAND2", soi), soi));
+  training.push_back(characterize(build_function("NOR2", soi), soi));
+  const StructureIndex index(training);
+  const auto xor2 = characterize(build_function("XOR2", soi, {1, StructureVariant::kWide}, 8),
+                                 soi);
+  EXPECT_EQ(index.classify(xor2.canonical), StructureMatch::kNew);
+}
+
+TEST(StructureIndex, FeedbackAddEnrichesIndex) {
+  const Technology soi = technology_28soi();
+  StructureIndex index;
+  const auto cell = characterize(build_function("AOI21", soi), soi);
+  EXPECT_EQ(index.classify(cell.canonical), StructureMatch::kNew);
+  index.add(cell.canonical);
+  EXPECT_EQ(index.classify(cell.canonical), StructureMatch::kIdentical);
+  EXPECT_EQ(index.num_full_signatures(), 1u);
+}
+
+TEST(StructureIndex, DifferentStackOrderIsDifferentStructure) {
+  // NAND3 and AOI21's structures differ even though both have 6
+  // transistors and 3 inputs.
+  const Technology soi = technology_28soi();
+  std::vector<CharacterizedCell> training;
+  training.push_back(characterize(build_function("NAND3", soi), soi));
+  const StructureIndex index(training);
+  const auto aoi = characterize(build_function("AOI21", soi, {1, StructureVariant::kWide}, 9),
+                                soi);
+  EXPECT_EQ(index.classify(aoi.canonical), StructureMatch::kNew);
+}
+
+TEST(StructureMatchName, Strings) {
+  EXPECT_STREQ(structure_match_name(StructureMatch::kIdentical), "identical");
+  EXPECT_STREQ(structure_match_name(StructureMatch::kEquivalent), "equivalent");
+  EXPECT_STREQ(structure_match_name(StructureMatch::kNew), "new");
+}
+
+}  // namespace
+}  // namespace caml

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <string>
+
+#include "flow/characterize.hpp"
+#include "libgen/builder.hpp"
+#include "netlist/cell.hpp"
+
+namespace caml::testing {
+
+/// Hand-written NAND2 matching the paper's Fig. 4 (A top of the NMOS
+/// stack, devices named like a vendor netlist).
+Cell make_nand2();
+
+/// Hand-written NOR2.
+Cell make_nor2();
+
+/// The paper's Fig. 5 example: an NMOS branch ((N0&(N1|N2))|N3) driving
+/// net Y, plus an output inverter. The pull-up network complements the
+/// pull-down so the cell simulates correctly (Fig. 5 only drew the NMOS
+/// half). Function: Z = (A & (B | C)) | D after the output inversion of
+/// NOT(...) — i.e. Z = PD(A,B,C,D) of the first stage.
+Cell make_fig5_cell();
+
+/// Builds a catalog function under a technology with a fixed seed.
+LibraryCell build_function(const std::string& function, const Technology& tech,
+                           const DriveSpec& drive = {1, StructureVariant::kWide},
+                           std::uint64_t seed = 42);
+
+/// Characterizes one built cell with the default options.
+CharacterizedCell characterize(const LibraryCell& cell, const Technology& tech);
+
+/// A small two-technology corpus for flow tests: the same handful of
+/// functions built under 28SOI and C28 (plus a C28-only function).
+struct SmallCorpus {
+  std::vector<CharacterizedCell> train;  ///< 28SOI
+  std::vector<CharacterizedCell> eval;   ///< C28
+};
+SmallCorpus make_small_corpus();
+
+}  // namespace caml::testing

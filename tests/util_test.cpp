@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace caml {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a.next() == b.next();
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+  Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.below(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, RangeInclusiveBounds) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(11);
+  Rng child = a.fork();
+  Rng b(11);
+  b.fork();
+  EXPECT_EQ(a.next(), b.next());  // parents stay in lockstep
+  EXPECT_NE(child.next(), a.next());
+}
+
+TEST(Rng, SampleIndicesDistinctAndBounded) {
+  Rng rng(13);
+  const auto idx = rng.sample_indices(100, 20);
+  EXPECT_EQ(idx.size(), 20u);
+  std::set<std::size_t> unique(idx.begin(), idx.end());
+  EXPECT_EQ(unique.size(), 20u);
+  for (std::size_t i : idx) EXPECT_LT(i, 100u);
+}
+
+TEST(Rng, SampleIndicesFullSet) {
+  Rng rng(13);
+  const auto idx = rng.sample_indices(5, 5);
+  std::set<std::size_t> unique(idx.begin(), idx.end());
+  EXPECT_EQ(unique.size(), 5u);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(17);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto original = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  abc  "), "abc");
+  EXPECT_EQ(trim("abc"), "abc");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("\t a \n"), "a");
+}
+
+TEST(Strings, SplitDropsEmptyTokens) {
+  EXPECT_EQ(split("a  b\tc"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("  "), std::vector<std::string>{});
+  EXPECT_EQ(split("one"), std::vector<std::string>{"one"});
+}
+
+TEST(Strings, SplitKeepEmpty) {
+  EXPECT_EQ(split_keep_empty("a::b", ':'), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(split_keep_empty("", ':'), std::vector<std::string>{""});
+  EXPECT_EQ(split_keep_empty("x:", ':'), (std::vector<std::string>{"x", ""}));
+}
+
+TEST(Strings, CaseConversions) {
+  EXPECT_EQ(to_lower("NaND2"), "nand2");
+  EXPECT_EQ(to_upper("pch"), "PCH");
+  EXPECT_TRUE(iequals(".SUBCKT", ".subckt"));
+  EXPECT_FALSE(iequals("abc", "abcd"));
+  EXPECT_TRUE(starts_with_ci(".SUBCKT NAND2", ".subckt"));
+  EXPECT_FALSE(starts_with_ci("X", ".subckt"));
+}
+
+TEST(Strings, JoinAndFormat) {
+  EXPECT_EQ(join({"a", "b", "c"}, ";"), "a;b;c");
+  EXPECT_EQ(join({}, ";"), "");
+  EXPECT_EQ(format_fixed(99.966, 2), "99.97");
+  EXPECT_EQ(format_fixed(1.0, 0), "1");
+}
+
+TEST(TextTable, AlignsAndRenders) {
+  TextTable t;
+  t.new_row();
+  t.cell("name");
+  t.cell("value");
+  t.new_row();
+  t.cell("accuracy");
+  t.cell(99.97, 2);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| accuracy"), std::string::npos);
+  EXPECT_NE(out.find("99.97"), std::string::npos);
+}
+
+TEST(TextTable, CsvQuoting) {
+  TextTable t;
+  t.new_row();
+  t.cell("a,b");
+  t.cell("plain");
+  t.cell("q\"q");
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "\"a,b\",plain,\"q\"\"q\"\n");
+}
+
+TEST(Error, AssertThrowsInsteadOfAborting) {
+  EXPECT_THROW(CAML_ASSERT(1 == 2), Error);
+  EXPECT_NO_THROW(CAML_ASSERT(1 == 1));
+}
+
+TEST(Error, ParseErrorCarriesLine) {
+  try {
+    throw ParseError("bad token", 42);
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 42u);
+    EXPECT_NE(std::string(e.what()).find("42"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace caml

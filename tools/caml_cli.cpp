@@ -1,0 +1,234 @@
+// caml — command-line front end for the cell-aware generation flows.
+//
+//   caml characterize <lib.sp> -o <dir>        conventional CA generation
+//   caml canonicalize <lib.sp>                 signatures + renaming report
+//   caml train <lib.sp> <camodel-dir> -o <models.caml>
+//   caml predict <lib.sp> -m <models.caml> -o <dir>
+//   caml patterns <lib.sp> <camodel-dir>     cell-aware test pattern report
+//
+// Common options:
+//   --policy static|single|exhaustive   stimulus set (default exhaustive<=4
+//                                       inputs, single above)
+//   --trees N                           forest size for train (default 20)
+//   --inter-shorts                      include inter-transistor bridges
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <optional>
+
+#include "camodel/model_io.hpp"
+#include "camodel/pattern_selection.hpp"
+#include "flow/model_store.hpp"
+#include "netlist/spice_parser.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace caml;
+
+struct Args {
+  std::string command;
+  std::vector<std::string> positional;
+  std::string out;
+  std::string models;
+  std::optional<std::string> policy;
+  std::size_t trees = 20;
+  bool inter_shorts = false;
+};
+
+[[noreturn]] void usage(const std::string& error = "") {
+  if (!error.empty()) std::cerr << "error: " << error << "\n\n";
+  std::cerr <<
+      "usage:\n"
+      "  caml characterize <lib.sp> -o <dir> [--policy P] [--inter-shorts]\n"
+      "  caml canonicalize <lib.sp>\n"
+      "  caml train <lib.sp> <camodel-dir> -o <models.caml> [--trees N]\n"
+      "  caml predict <lib.sp> -m <models.caml> -o <dir> [--policy P]\n"
+      "  caml patterns <lib.sp> <camodel-dir>\n"
+      "policies: static | single | exhaustive (default: exhaustive for\n"
+      "cells with <= 4 inputs, single-input-change above)\n";
+  std::exit(2);
+}
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  if (argc < 2) usage();
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage("missing value for " + a);
+      return argv[++i];
+    };
+    if (a == "-o" || a == "--out") args.out = value();
+    else if (a == "-m" || a == "--models") args.models = value();
+    else if (a == "--policy") args.policy = value();
+    else if (a == "--trees") args.trees = std::stoul(value());
+    else if (a == "--inter-shorts") args.inter_shorts = true;
+    else if (a.rfind('-', 0) == 0) usage("unknown option " + a);
+    else args.positional.push_back(a);
+  }
+  return args;
+}
+
+StimulusPolicy policy_for(const Args& args, const Cell& cell) {
+  if (!args.policy) {
+    return cell.num_inputs() <= 4 ? StimulusPolicy::kExhaustivePairs
+                                  : StimulusPolicy::kSingleInputChange;
+  }
+  if (*args.policy == "static") return StimulusPolicy::kStaticOnly;
+  if (*args.policy == "single") return StimulusPolicy::kSingleInputChange;
+  if (*args.policy == "exhaustive") return StimulusPolicy::kExhaustivePairs;
+  usage("unknown policy " + *args.policy);
+}
+
+std::vector<Cell> load_cells(const std::string& path) {
+  const std::vector<Cell> cells = SpiceParser().parse_file(path);
+  if (cells.empty()) throw Error("no subcircuits found in " + path);
+  std::cerr << "loaded " << cells.size() << " cells from " << path << '\n';
+  return cells;
+}
+
+int cmd_characterize(const Args& args) {
+  if (args.positional.size() != 1 || args.out.empty()) {
+    usage("characterize needs a netlist and -o <dir>");
+  }
+  std::filesystem::create_directories(args.out);
+  const std::vector<Cell> cells = load_cells(args.positional[0]);
+  for (const Cell& cell : cells) {
+    GenerationOptions options;
+    options.policy = policy_for(args, cell);
+    options.universe.inter_transistor_shorts = args.inter_shorts;
+    const CaModel model = generate_ca_model(cell, options);
+    std::ofstream os(args.out + "/" + cell.name() + ".camodel");
+    write_ca_model(os, model, cell);
+    std::cout << cell.name() << ": " << model.defects.size() << " defects, "
+              << model.count_class(DefectClass::kStatic) << " static / "
+              << model.count_class(DefectClass::kDynamic) << " dynamic / "
+              << model.count_class(DefectClass::kUndetected) << " undetected, "
+              << model.equivalence_classes.size() << " equivalence classes\n";
+  }
+  std::cout << "wrote " << cells.size() << " CA models to " << args.out << '\n';
+  return 0;
+}
+
+int cmd_canonicalize(const Args& args) {
+  if (args.positional.size() != 1) usage("canonicalize needs a netlist");
+  for (const Cell& cell : load_cells(args.positional[0])) {
+    const CanonicalCell canon = canonicalize(cell);
+    std::cout << cell.name() << " (" << cell.num_inputs() << " inputs, "
+              << cell.num_transistors() << " transistors)\n";
+    std::cout << "  structure: " << canon.structure_signature << '\n';
+    std::cout << "  reduced  : " << canon.reduced_signature << '\n';
+    for (std::size_t ti = 0; ti < cell.num_transistors(); ++ti) {
+      std::cout << "  " << cell.transistors()[ti].name << " -> " << canon.canonical_name[ti]
+                << " (activity " << canon.activity[ti].to_string() << ")\n";
+    }
+  }
+  return 0;
+}
+
+int cmd_train(const Args& args) {
+  if (args.positional.size() != 2 || args.out.empty()) {
+    usage("train needs a netlist, a camodel directory and -o <file>");
+  }
+  const std::vector<Cell> cells = load_cells(args.positional[0]);
+  std::vector<CharacterizedCell> training;
+  for (const Cell& cell : cells) {
+    const std::string path = args.positional[1] + "/" + cell.name() + ".camodel";
+    std::ifstream is(path);
+    if (!is) {
+      std::cerr << "skipping " << cell.name() << ": no model at " << path << '\n';
+      continue;
+    }
+    CharacterizedCell cc;
+    cc.source.cell = cell;
+    cc.model = read_ca_model(is, cell);
+    cc.canonical = canonicalize(cell);
+    training.push_back(std::move(cc));
+  }
+  if (training.empty()) throw Error("no training cells with CA models");
+  std::cerr << "training on " << training.size() << " cells\n";
+  Log::set_level(LogLevel::kInfo);
+  MlOptions options;
+  options.forest.num_trees = args.trees;
+  const GroupModelStore store = GroupModelStore::train(training, options);
+  std::ofstream os(args.out);
+  if (!os) throw Error("cannot write " + args.out);
+  store.save(os);
+  std::cout << "wrote " << store.num_groups() << " group models to " << args.out << '\n';
+  return 0;
+}
+
+int cmd_predict(const Args& args) {
+  if (args.positional.size() != 1 || args.models.empty() || args.out.empty()) {
+    usage("predict needs a netlist, -m <models> and -o <dir>");
+  }
+  std::ifstream ms(args.models);
+  if (!ms) throw Error("cannot read " + args.models);
+  const GroupModelStore store = GroupModelStore::load(ms);
+  std::cerr << "loaded " << store.num_groups() << " group models\n";
+  std::filesystem::create_directories(args.out);
+
+  std::size_t predicted_cells = 0, skipped = 0;
+  for (const Cell& cell : load_cells(args.positional[0])) {
+    const CanonicalCell canon = canonicalize(cell);
+    try {
+      const CaModel predicted =
+          store.predict(cell, canon, policy_for(args, cell), SimConfig{});
+      std::ofstream os(args.out + "/" + cell.name() + ".camodel");
+      write_ca_model(os, predicted, cell);
+      std::cout << cell.name() << ": predicted (" << predicted.defects.size() << " defects, "
+                << predicted.count_class(DefectClass::kStatic) << " static / "
+                << predicted.count_class(DefectClass::kDynamic) << " dynamic)\n";
+      ++predicted_cells;
+    } catch (const Error& e) {
+      std::cout << cell.name() << ": " << e.what() << '\n';
+      ++skipped;
+    }
+  }
+  std::cout << predicted_cells << " cells predicted, " << skipped
+            << " need conventional generation\n";
+  return 0;
+}
+
+int cmd_patterns(const Args& args) {
+  if (args.positional.size() != 2) usage("patterns needs a netlist and a camodel directory");
+  for (const Cell& cell : load_cells(args.positional[0])) {
+    const std::string path = args.positional[1] + "/" + cell.name() + ".camodel";
+    std::ifstream is(path);
+    if (!is) {
+      std::cerr << "skipping " << cell.name() << ": no model at " << path << '\n';
+      continue;
+    }
+    const CaModel model = read_ca_model(is, cell);
+    const PatternSelection sel = select_patterns(model);
+    std::cout << cell.name() << ": " << sel.stimuli.size() << " patterns cover "
+              << model.defects.size() - sel.undetected.size() << "/" << model.defects.size()
+              << " defects (" << sel.undetected.size() << " undetectable)\n";
+    for (std::size_t s : sel.stimuli) {
+      std::cout << "  " << model.stimuli[s].to_string()
+                << (model.stimuli[s].is_static() ? "  (static)" : "  (two-pattern)") << '\n';
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args args = parse_args(argc, argv);
+    if (args.command == "characterize") return cmd_characterize(args);
+    if (args.command == "canonicalize") return cmd_canonicalize(args);
+    if (args.command == "train") return cmd_train(args);
+    if (args.command == "predict") return cmd_predict(args);
+    if (args.command == "patterns") return cmd_patterns(args);
+    usage("unknown command " + args.command);
+  } catch (const caml::Error& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}
