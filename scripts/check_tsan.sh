@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Vets the concurrent paths (ThreadPool, parallel characterization,
+# parallel forest training) under ThreadSanitizer. Intended for local
+# pre-merge checks and CI; pass a different build dir as $1.
+set -eu
+BUILD_DIR="${1:-build-tsan}"
+
+cmake -B "$BUILD_DIR" -S "$(dirname "$0")/.." -DCAML_SANITIZE=thread
+cmake --build "$BUILD_DIR" -j --target caml_tests
+"$BUILD_DIR"/tests/caml_tests --gtest_filter='ThreadPool*:Parallel*:ResolveJobs*:RandomForest*:Characterize*'
+echo "TSan concurrency check passed"

@@ -1,5 +1,6 @@
 #include "camodel/model_io.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "util/error.hpp"
@@ -100,9 +101,15 @@ CaModel read_ca_model(std::istream& in, const Cell& cell) {
       throw ParseError("bad CAMODEL header", line_no);
     }
     model.cell_name = tok[1];
-    model.num_inputs = static_cast<std::size_t>(std::stoul(tok[3]));
+    model.num_inputs = parse_size(tok[3], "CAMODEL input count", line_no);
     model.policy = policy_from_name(tok[5], line_no);
-    model.defects.reserve(std::stoul(tok[7]));
+    model.defects.reserve(
+        std::min<std::size_t>(parse_size(tok[7], "CAMODEL defect count", line_no), 1 << 20));
+    // Stimulus generation is exponential in the input count; reject
+    // corrupt headers before they can exhaust memory.
+    if (model.num_inputs > 24) {
+      throw ParseError("implausible CAMODEL input count " + tok[3], line_no);
+    }
   }
   model.stimuli = generate_stimuli(model.num_inputs, model.policy);
 

@@ -1,6 +1,9 @@
 #include "flow/characterize.hpp"
 
+#include <atomic>
+
 #include "util/log.hpp"
+#include "util/thread_pool.hpp"
 
 namespace caml {
 
@@ -22,16 +25,21 @@ CharacterizedCell characterize_cell(const LibraryCell& cell, const Technology& t
 
 std::vector<CharacterizedCell> characterize_library(const Library& library,
                                                     const CharacterizeOptions& options) {
-  std::vector<CharacterizedCell> out;
-  out.reserve(library.cells.size());
-  for (const LibraryCell& cell : library.cells) {
-    out.push_back(characterize_cell(cell, library.technology, options));
-    if (out.size() % 100 == 0) {
-      log_info() << library.name << ": characterized " << out.size() << "/"
-                 << library.cells.size() << " cells";
+  const std::size_t total = library.cells.size();
+  // Each cell's characterization is a pure function of (cell, tech,
+  // options), so the parallel map is bit-identical to the serial loop
+  // for any thread count; parallel_map reassembles results in library
+  // order. Progress counts completions (not positions) so the log stays
+  // monotonic under concurrency, and the final N/N line always fires.
+  std::atomic<std::size_t> done{0};
+  return parallel_map(library.cells, options.jobs, [&](const LibraryCell& cell) {
+    CharacterizedCell out = characterize_cell(cell, library.technology, options);
+    const std::size_t finished = done.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (finished % 100 == 0 || finished == total) {
+      log_info() << library.name << ": characterized " << finished << "/" << total << " cells";
     }
-  }
-  return out;
+    return out;
+  });
 }
 
 }  // namespace caml

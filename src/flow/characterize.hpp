@@ -43,6 +43,10 @@ struct CharacterizeOptions {
   /// technology profile; override only for experiments.
   bool use_technology_sim = true;
   SimConfig sim_override;
+  /// Worker threads for characterize_library (0 = one per hardware
+  /// thread, 1 = serial). Results are identical for any value: cells are
+  /// characterized independently and reassembled in library order.
+  std::size_t jobs = 0;
 };
 
 /// Runs the conventional (simulation-based) generation flow over a whole

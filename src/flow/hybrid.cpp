@@ -97,14 +97,17 @@ HybridReport run_hybrid_flow(const std::vector<CharacterizedCell>& training,
     outcome.conventional_seconds = options.cost.conventional_seconds(cell);
 
     const GroupKey key{cell.num_inputs(), cell.num_transistors()};
-    const bool have_training = pool.count(key) && !pool[key].empty();
+    // A plain find: operator[] on the miss path would default-insert an
+    // empty pool entry for every unseen group.
+    const auto pool_it = pool.find(key);
+    const bool have_training = pool_it != pool.end() && !pool_it->second.empty();
     outcome.routed_to_ml = outcome.match != StructureMatch::kNew && have_training;
 
     if (outcome.routed_to_ml) {
       auto& classifier = classifiers[key];
       if (!classifier) {
         const auto t0 = Clock::now();
-        classifier = train_group_classifier(pool[key], options.ml);
+        classifier = train_group_classifier(pool_it->second, options.ml);
         training_seconds[key] += std::chrono::duration<double>(Clock::now() - t0).count();
       }
       const auto t0 = Clock::now();

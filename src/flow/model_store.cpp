@@ -66,7 +66,8 @@ GroupModelStore GroupModelStore::load(std::istream& in) {
     if (head[i].rfind(prefix, 0) != 0) throw ParseError("bad header field " + head[i], 1);
     return head[i].substr(prefix.size()) == "1";
   };
-  const std::size_t groups = std::stoul(head[1].substr(7));
+  if (head[1].rfind("groups=", 0) != 0) throw ParseError("bad header field " + head[1], 1);
+  const std::size_t groups = parse_size(head[1].substr(7), "CAMLMODELS group count", 1);
   store.matrix_.include_activity = flag(2, "activity");
   store.matrix_.include_response = flag(3, "response");
   store.matrix_.include_truth_table = flag(4, "truthtable");
@@ -76,7 +77,8 @@ GroupModelStore GroupModelStore::load(std::istream& in) {
     if (!std::getline(in, line)) throw ParseError("truncated model store", 0);
     const std::vector<std::string> tok = split(line);
     if (tok.size() != 3 || tok[0] != "GROUP") throw ParseError("expected GROUP line", 0);
-    const GroupKey key{std::stoul(tok[1]), std::stoul(tok[2])};
+    const GroupKey key{parse_size(tok[1], "GROUP input count", 0),
+                       parse_size(tok[2], "GROUP transistor count", 0)};
     store.models_.emplace(key, read_forest(in).forest);
   }
   if (!std::getline(in, line) || trim(line) != "ENDMODELS") {

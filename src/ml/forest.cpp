@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace caml {
 
@@ -23,9 +24,14 @@ void RandomForest::fit(const Dataset& data) {
     sample = std::min(sample, params_.max_samples_per_tree);
   }
 
+  // All per-tree randomness (bootstrap / subset indices, then the tree's
+  // split-sampling seed) is drawn serially from the single Rng stream in
+  // the exact order the serial loop used, so the fitted forest is
+  // bit-identical for any thread count.
+  std::vector<std::vector<std::uint32_t>> draws(params_.num_trees);
   trees_.reserve(params_.num_trees);
   for (std::size_t t = 0; t < params_.num_trees; ++t) {
-    std::vector<std::uint32_t> indices;
+    std::vector<std::uint32_t>& indices = draws[t];
     if (params_.bootstrap) {
       indices.resize(sample);
       for (std::uint32_t& i : indices) {
@@ -42,10 +48,13 @@ void RandomForest::fit(const Dataset& data) {
         indices[i] = static_cast<std::uint32_t>(i);
       }
     }
-    DecisionTree tree(tp, rng.next());
-    tree.fit_indices(data, std::move(indices));
-    trees_.push_back(std::move(tree));
+    trees_.emplace_back(tp, rng.next());
   }
+  // Trees only read the shared dataset and mutate their own state, so
+  // the fits are independent.
+  parallel_for(params_.num_trees, params_.jobs, [&](std::size_t t) {
+    trees_[t].fit_indices(data, std::move(draws[t]));
+  });
 }
 
 double RandomForest::predict_proba(const std::int8_t* row) const {
@@ -53,7 +62,10 @@ double RandomForest::predict_proba(const std::int8_t* row) const {
   double sum = 0.0;
   for (const DecisionTree& tree : trees_) {
     const auto [c0, c1] = tree.leaf_votes(row);
-    sum += static_cast<double>(c1) / static_cast<double>(c0 + c1);
+    // A leaf with no recorded votes (possible in loaded forests) casts a
+    // neutral 0.5 instead of poisoning the average with 0/0 = NaN.
+    const std::uint64_t votes = c0 + c1;
+    sum += votes == 0 ? 0.5 : static_cast<double>(c1) / static_cast<double>(votes);
   }
   return sum / static_cast<double>(trees_.size());
 }

@@ -23,6 +23,11 @@ struct ForestParams {
   bool bootstrap = false;
   /// max_features of 0 means sqrt(num_features), resolved at fit time.
   std::uint64_t seed = 0xF0535Dull;
+  /// Worker threads for fit (0 = one per hardware thread, 1 = serial).
+  /// The fitted forest is bit-identical for any value: all per-tree
+  /// randomness is drawn serially from the single seed stream before the
+  /// trees are fitted concurrently.
+  std::size_t jobs = 0;
 };
 
 /// Random Forest: bagged CART trees with per-split feature subsampling

@@ -1,5 +1,6 @@
 #include "ml/forest_io.hpp"
 
+#include <algorithm>
 #include <istream>
 #include <ostream>
 
@@ -24,21 +25,21 @@ DecisionTree DecisionTree::load(std::istream& in, std::size_t& line_no) {
   if (head.size() != 2 || head[0] != "TREE" || head[1].rfind("nodes=", 0) != 0) {
     throw ParseError("bad TREE header '" + line + "'", line_no);
   }
-  const std::size_t count = std::stoul(head[1].substr(6));
+  const std::size_t count = parse_size(head[1].substr(6), "TREE node count", line_no);
   DecisionTree tree;
-  tree.nodes_.reserve(count);
+  tree.nodes_.reserve(std::min<std::size_t>(count, 1 << 20));
   for (std::size_t i = 0; i < count; ++i) {
     if (!std::getline(in, line)) throw ParseError("truncated tree", line_no);
     ++line_no;
     const std::vector<std::string> tok = split(line);
     if (tok.size() != 6) throw ParseError("bad tree node line '" + line + "'", line_no);
     Node n;
-    n.left = std::stoi(tok[0]);
-    n.right = std::stoi(tok[1]);
-    n.feature = static_cast<std::uint16_t>(std::stoul(tok[2]));
-    n.threshold = static_cast<std::int8_t>(std::stoi(tok[3]));
-    n.count0 = std::stoull(tok[4]);
-    n.count1 = std::stoull(tok[5]);
+    n.left = static_cast<std::int32_t>(parse_int64(tok[0], "tree node left child", line_no));
+    n.right = static_cast<std::int32_t>(parse_int64(tok[1], "tree node right child", line_no));
+    n.feature = static_cast<std::uint16_t>(parse_uint64(tok[2], "tree node feature", line_no));
+    n.threshold = static_cast<std::int8_t>(parse_int64(tok[3], "tree node threshold", line_no));
+    n.count0 = parse_uint64(tok[4], "tree node count0", line_no);
+    n.count1 = parse_uint64(tok[5], "tree node count1", line_no);
     const auto max = static_cast<std::int32_t>(count);
     if (n.left >= max || n.right >= max) {
       throw ParseError("tree node child out of range", line_no);
@@ -66,8 +67,8 @@ LoadedForest read_forest(std::istream& in) {
     throw ParseError("bad FOREST header '" + line + "'", line_no);
   }
   LoadedForest out;
-  const std::size_t trees = std::stoul(head[1].substr(6));
-  out.num_features = std::stoul(head[2].substr(9));
+  const std::size_t trees = parse_size(head[1].substr(6), "FOREST tree count", line_no);
+  out.num_features = parse_size(head[2].substr(9), "FOREST feature count", line_no);
   out.forest.num_features_ = out.num_features;
   for (std::size_t t = 0; t < trees; ++t) {
     out.forest.trees_.push_back(DecisionTree::load(in, line_no));

@@ -1,11 +1,17 @@
 #include "util/log.hpp"
 
+#include <atomic>
 #include <iostream>
+#include <mutex>
 
 namespace caml {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+// Serializes sink writes so concurrent log lines (e.g. progress from the
+// parallel characterization workers) never interleave mid-line.
+std::mutex g_write_mutex;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -19,13 +25,14 @@ const char* level_name(LogLevel level) {
 }
 }  // namespace
 
-void Log::set_level(LogLevel level) { g_level = level; }
+void Log::set_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
 
-LogLevel Log::level() { return g_level; }
+LogLevel Log::level() { return g_level.load(std::memory_order_relaxed); }
 
 void Log::write(LogLevel level, const std::string& message) {
-  if (level < g_level) return;
+  if (level < Log::level()) return;
   std::ostream& os = level >= LogLevel::kWarn ? std::cerr : std::clog;
+  std::lock_guard<std::mutex> lock(g_write_mutex);
   os << "[caml " << level_name(level) << "] " << message << '\n';
 }
 

@@ -1,8 +1,12 @@
 #include "util/strings.hpp"
 
 #include <cctype>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
+#include <limits>
+
+#include "util/error.hpp"
 
 namespace caml {
 
@@ -78,6 +82,52 @@ std::string format_fixed(double value, int decimals) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
   return buf;
+}
+
+namespace {
+
+template <typename T>
+std::optional<T> from_chars_whole(std::string_view token) {
+  T value{};
+  const char* begin = token.data();
+  const char* end = begin + token.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value, 10);
+  if (ec != std::errc{} || ptr != end) return std::nullopt;
+  return value;
+}
+
+[[noreturn]] void parse_fail(std::string_view token, std::string_view what, std::size_t line) {
+  throw ParseError(std::string(what) + ": bad integer '" + std::string(token) + "'", line);
+}
+
+}  // namespace
+
+std::optional<std::uint64_t> try_parse_uint64(std::string_view token) {
+  return from_chars_whole<std::uint64_t>(token);
+}
+
+std::optional<std::int64_t> try_parse_int64(std::string_view token) {
+  return from_chars_whole<std::int64_t>(token);
+}
+
+std::uint64_t parse_uint64(std::string_view token, std::string_view what, std::size_t line) {
+  const auto value = try_parse_uint64(token);
+  if (!value) parse_fail(token, what, line);
+  return *value;
+}
+
+std::int64_t parse_int64(std::string_view token, std::string_view what, std::size_t line) {
+  const auto value = try_parse_int64(token);
+  if (!value) parse_fail(token, what, line);
+  return *value;
+}
+
+std::size_t parse_size(std::string_view token, std::string_view what, std::size_t line) {
+  const std::uint64_t value = parse_uint64(token, what, line);
+  if constexpr (sizeof(std::size_t) < sizeof(std::uint64_t)) {
+    if (value > std::numeric_limits<std::size_t>::max()) parse_fail(token, what, line);
+  }
+  return static_cast<std::size_t>(value);
 }
 
 }  // namespace caml

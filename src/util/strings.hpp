@@ -1,5 +1,7 @@
 #pragma once
 
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -29,5 +31,19 @@ std::string join(const std::vector<std::string>& parts, std::string_view sep);
 
 /// printf-free fixed-precision formatting of a double (e.g. "99.97").
 std::string format_fixed(double value, int decimals);
+
+/// Base-10 integer parsing of a whole token (optional leading '-' for
+/// the signed variant). nullopt if the token is empty, has trailing
+/// junk, or overflows the result type — never throws, never aborts.
+std::optional<std::uint64_t> try_parse_uint64(std::string_view token);
+std::optional<std::int64_t> try_parse_int64(std::string_view token);
+
+/// Checked parsing for file loaders: like the try_ variants but a bad
+/// token throws ParseError("<what> ...", line) instead of the uncaught
+/// std::invalid_argument/std::out_of_range that std::stoul & friends
+/// raise on corrupt input.
+std::uint64_t parse_uint64(std::string_view token, std::string_view what, std::size_t line);
+std::int64_t parse_int64(std::string_view token, std::string_view what, std::size_t line);
+std::size_t parse_size(std::string_view token, std::string_view what, std::size_t line);
 
 }  // namespace caml

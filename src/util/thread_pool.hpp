@@ -1,0 +1,131 @@
+#pragma once
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace caml {
+
+/// Fixed-size thread pool with a single FIFO task queue (no work
+/// stealing). Tasks are submitted as callables and results retrieved
+/// through futures, which also carry any exception the task threw.
+///
+/// The pool is the only threading primitive in the library; the hot
+/// paths (library characterization, forest training) drive it through
+/// the parallel_for / parallel_map helpers below, which fall back to a
+/// plain inline loop for jobs <= 1 so a serial run never pays for
+/// thread machinery.
+class ThreadPool {
+ public:
+  /// Spawns num_threads workers (at least 1).
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a callable; the returned future yields its result or
+  /// rethrows its exception.
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> out = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      tasks_.push([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return out;
+  }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Resolves a user-facing jobs knob: 0 means "one per hardware thread"
+/// (at least 1), any other value is taken literally.
+std::size_t resolve_jobs(std::size_t jobs);
+
+/// Runs fn(i) for every i in [0, n), using up to `jobs` worker threads
+/// (0 = hardware concurrency). Blocks until every index finished. If any
+/// invocation throws, the exception of the lowest-indexed failing task
+/// is rethrown after all tasks completed. jobs <= 1 (after resolution)
+/// or n <= 1 runs inline on the calling thread in index order.
+template <typename Fn>
+void parallel_for(std::size_t n, std::size_t jobs, Fn&& fn) {
+  jobs = resolve_jobs(jobs);
+  if (jobs <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  ThreadPool pool(std::min(jobs, n));
+  std::vector<std::future<void>> futures;
+  futures.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    futures.push_back(pool.submit([&fn, i] { fn(i); }));
+  }
+  std::exception_ptr first_error;
+  for (std::future<void>& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+/// Maps fn over items on up to `jobs` threads; the result vector is in
+/// input order regardless of completion order, so a parallel map is a
+/// drop-in for the serial loop it replaces. Exception behavior matches
+/// parallel_for.
+template <typename T, typename Fn>
+auto parallel_map(const std::vector<T>& items, std::size_t jobs, Fn&& fn)
+    -> std::vector<std::invoke_result_t<Fn, const T&>> {
+  using R = std::invoke_result_t<Fn, const T&>;
+  jobs = resolve_jobs(jobs);
+  if (jobs <= 1 || items.size() <= 1) {
+    std::vector<R> out;
+    out.reserve(items.size());
+    for (const T& item : items) out.push_back(fn(item));
+    return out;
+  }
+  ThreadPool pool(std::min(jobs, items.size()));
+  std::vector<std::future<R>> futures;
+  futures.reserve(items.size());
+  for (const T& item : items) {
+    futures.push_back(pool.submit([&fn, &item] { return fn(item); }));
+  }
+  std::vector<R> out;
+  out.reserve(items.size());
+  std::exception_ptr first_error;
+  for (std::future<R>& f : futures) {
+    try {
+      out.push_back(f.get());
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  return out;
+}
+
+}  // namespace caml

@@ -154,6 +154,21 @@ TEST(ModelIo, RejectsMalformedText) {
   EXPECT_THROW(ca_model_from_string(bad_golden, cell), ParseError);  // wrong length
 }
 
+// Numeric header corruption (truncated downloads, bit rot) must raise
+// ParseError, not escape as std::invalid_argument from std::stoul.
+TEST(ModelIo, RejectsCorruptNumericFields) {
+  const Cell cell = make_nand2();
+  EXPECT_THROW(
+      ca_model_from_string("CAMODEL X INPUTS twelve POLICY exhaustive DEFECTS 0\n", cell),
+      ParseError);
+  EXPECT_THROW(ca_model_from_string("CAMODEL X INPUTS 2 POLICY exhaustive DEFECTS 3x\n", cell),
+               ParseError);
+  // Implausibly wide header rejected before exponential stimulus
+  // generation can exhaust memory.
+  EXPECT_THROW(ca_model_from_string("CAMODEL X INPUTS 4000 POLICY exhaustive DEFECTS 0\n", cell),
+               ParseError);
+}
+
 TEST(ModelIo, RejectsUnknownDevice) {
   const Cell cell = make_nand2();
   const CaModel model = generate_ca_model(cell);

@@ -281,6 +281,23 @@ TEST(ModelStore, MissingGroupThrows) {
                Error);
 }
 
+// A truncated or corrupt store file raises ParseError — previously bad
+// numeric tokens escaped as std::invalid_argument from std::stoul.
+TEST(ModelStore, RejectsCorruptStoreFile) {
+  const std::string header = "CAMLMODELS groups=1 activity=1 response=1 truthtable=1 kind=0\n";
+  std::istringstream bad_count(
+      "CAMLMODELS groups=zz activity=1 response=1 truthtable=1 kind=0\n");
+  EXPECT_THROW(GroupModelStore::load(bad_count), ParseError);
+  std::istringstream bad_prefix("CAMLMODELS grps=1 activity=1 response=1 truthtable=1 kind=0\n");
+  EXPECT_THROW(GroupModelStore::load(bad_prefix), ParseError);
+  std::istringstream truncated(header);
+  EXPECT_THROW(GroupModelStore::load(truncated), ParseError);
+  std::istringstream bad_group(header + "GROUP x 4\n");
+  EXPECT_THROW(GroupModelStore::load(bad_group), ParseError);
+  std::istringstream missing_end(header + "GROUP 2 4\nFOREST trees=0 features=3\nENDFOREST\n");
+  EXPECT_THROW(GroupModelStore::load(missing_end), ParseError);
+}
+
 TEST(MlFlow, PredictForCellMatchesPredictFromModel) {
   // predict_ca_model_for_cell (new-cell path: defect universe from the
   // netlist) must agree with predict_ca_model (evaluation path: defect

@@ -50,6 +50,26 @@ TEST(ForestIo, RejectsMalformedInput) {
   EXPECT_THROW(read_forest(bad_child), ParseError);
 }
 
+// Corrupt numeric tokens must surface as ParseError (with line context),
+// never as the uncaught std::invalid_argument / std::out_of_range that
+// std::stoul-family parsing aborts with.
+TEST(ForestIo, RejectsCorruptNumericTokens) {
+  std::istringstream bad_trees("FOREST trees=x features=3\n");
+  EXPECT_THROW(read_forest(bad_trees), ParseError);
+  std::istringstream empty_features("FOREST trees=1 features=\n");
+  EXPECT_THROW(read_forest(empty_features), ParseError);
+  std::istringstream overflow("FOREST trees=99999999999999999999999 features=3\n");
+  EXPECT_THROW(read_forest(overflow), ParseError);
+  std::istringstream bad_node_count("FOREST trees=1 features=3\nTREE nodes=1q\n");
+  EXPECT_THROW(read_forest(bad_node_count), ParseError);
+  std::istringstream bad_node_field(
+      "FOREST trees=1 features=3\nTREE nodes=1\n-1 -1 zz 0 1 1\nENDFOREST\n");
+  EXPECT_THROW(read_forest(bad_node_field), ParseError);
+  std::istringstream negative_count(
+      "FOREST trees=1 features=3\nTREE nodes=1\n-1 -1 0 0 -4 1\nENDFOREST\n");
+  EXPECT_THROW(read_forest(negative_count), ParseError);
+}
+
 TEST(ForestIo, NumFeaturesTrackedAtFit) {
   Rng rng(33);
   const Dataset train = make_data(100, rng);

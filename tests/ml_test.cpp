@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 
 #include "ml/dataset.hpp"
 #include "ml/forest.hpp"
+#include "ml/forest_io.hpp"
 #include "ml/knn.hpp"
 #include "ml/linear.hpp"
 #include "ml/metrics.hpp"
@@ -168,6 +170,24 @@ TEST(RandomForest, DeterministicForSeed) {
   a.fit(train);
   b.fit(train);
   EXPECT_EQ(a.predict_all(test), b.predict_all(test));
+}
+
+TEST(RandomForest, EmptyLeafVotesAreNeutralNotNaN) {
+  // A leaf with zero recorded votes (possible in forests loaded from
+  // sparse files) used to contribute 0/0 = NaN, silently poisoning the
+  // whole probability average; it must count as a neutral 0.5 instead.
+  std::istringstream in(
+      "FOREST trees=2 features=1\n"
+      "TREE nodes=1\n"
+      "-1 -1 0 0 0 0\n"
+      "TREE nodes=1\n"
+      "-1 -1 0 0 1 3\n"
+      "ENDFOREST\n");
+  const LoadedForest loaded = read_forest(in);
+  const std::int8_t row[] = {0};
+  const double p = loaded.forest.predict_proba(row);
+  EXPECT_FALSE(std::isnan(p));
+  EXPECT_DOUBLE_EQ(p, (0.5 + 0.75) / 2.0);
 }
 
 TEST(RandomForest, BootstrapModeStillLearns) {

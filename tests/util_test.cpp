@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <set>
 #include <sstream>
 
@@ -137,6 +138,33 @@ TEST(Strings, JoinAndFormat) {
   EXPECT_EQ(join({}, ";"), "");
   EXPECT_EQ(format_fixed(99.966, 2), "99.97");
   EXPECT_EQ(format_fixed(1.0, 0), "1");
+}
+
+TEST(Strings, TryParseAcceptsWholeTokensOnly) {
+  EXPECT_EQ(try_parse_uint64("0"), std::uint64_t{0});
+  EXPECT_EQ(try_parse_uint64("18446744073709551615"), std::numeric_limits<std::uint64_t>::max());
+  EXPECT_FALSE(try_parse_uint64(""));
+  EXPECT_FALSE(try_parse_uint64("12x"));
+  EXPECT_FALSE(try_parse_uint64(" 12"));
+  EXPECT_FALSE(try_parse_uint64("-1"));
+  EXPECT_FALSE(try_parse_uint64("18446744073709551616"));  // overflow
+  EXPECT_EQ(try_parse_int64("-42"), std::int64_t{-42});
+  EXPECT_FALSE(try_parse_int64("4.2"));
+  EXPECT_FALSE(try_parse_int64("9223372036854775808"));  // overflow
+}
+
+TEST(Strings, CheckedParseThrowsParseErrorWithContext) {
+  EXPECT_EQ(parse_size("250", "cell count", 3), 250u);
+  EXPECT_EQ(parse_int64("-7", "threshold", 3), -7);
+  try {
+    parse_size("25O", "cell count", 17);  // letter O, not zero
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 17u);
+    EXPECT_NE(std::string(e.what()).find("cell count"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("25O"), std::string::npos);
+  }
+  EXPECT_THROW(parse_uint64("99999999999999999999999", "count", 1), ParseError);
 }
 
 TEST(TextTable, AlignsAndRenders) {

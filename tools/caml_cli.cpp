@@ -10,11 +10,14 @@
 //   --policy static|single|exhaustive   stimulus set (default exhaustive<=4
 //                                       inputs, single above)
 //   --trees N                           forest size for train (default 20)
+//   --jobs N                            worker threads (default: one per
+//                                       hardware thread; 1 = serial)
 //   --inter-shorts                      include inter-transistor bridges
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <optional>
+#include <thread>
 
 #include "camodel/model_io.hpp"
 #include "camodel/pattern_selection.hpp"
@@ -23,6 +26,7 @@
 #include "util/error.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -35,6 +39,7 @@ struct Args {
   std::string models;
   std::optional<std::string> policy;
   std::size_t trees = 20;
+  std::size_t jobs = std::thread::hardware_concurrency();
   bool inter_shorts = false;
 };
 
@@ -42,13 +47,15 @@ struct Args {
   if (!error.empty()) std::cerr << "error: " << error << "\n\n";
   std::cerr <<
       "usage:\n"
-      "  caml characterize <lib.sp> -o <dir> [--policy P] [--inter-shorts]\n"
+      "  caml characterize <lib.sp> -o <dir> [--policy P] [--inter-shorts] [--jobs N]\n"
       "  caml canonicalize <lib.sp>\n"
-      "  caml train <lib.sp> <camodel-dir> -o <models.caml> [--trees N]\n"
+      "  caml train <lib.sp> <camodel-dir> -o <models.caml> [--trees N] [--jobs N]\n"
       "  caml predict <lib.sp> -m <models.caml> -o <dir> [--policy P]\n"
       "  caml patterns <lib.sp> <camodel-dir>\n"
       "policies: static | single | exhaustive (default: exhaustive for\n"
-      "cells with <= 4 inputs, single-input-change above)\n";
+      "cells with <= 4 inputs, single-input-change above)\n"
+      "--jobs N: worker threads (default: one per hardware thread;\n"
+      "1 = serial). Outputs are identical for every thread count.\n";
   std::exit(2);
 }
 
@@ -62,13 +69,26 @@ Args parse_args(int argc, char** argv) {
       if (i + 1 >= argc) usage("missing value for " + a);
       return argv[++i];
     };
+    const auto count_value = [&]() -> std::size_t {
+      const std::string text = value();
+      const auto parsed = try_parse_uint64(text);
+      if (!parsed) usage(a + " needs a non-negative integer, got '" + text + "'");
+      return static_cast<std::size_t>(*parsed);
+    };
     if (a == "-o" || a == "--out") args.out = value();
     else if (a == "-m" || a == "--models") args.models = value();
     else if (a == "--policy") args.policy = value();
-    else if (a == "--trees") args.trees = std::stoul(value());
+    else if (a == "--trees") args.trees = count_value();
+    else if (a == "--jobs") args.jobs = count_value();
     else if (a == "--inter-shorts") args.inter_shorts = true;
     else if (a.rfind('-', 0) == 0) usage("unknown option " + a);
     else args.positional.push_back(a);
+  }
+  // Validate eagerly: policy_for may run on pool workers, where usage()'s
+  // std::exit must never fire.
+  if (args.policy && *args.policy != "static" && *args.policy != "single" &&
+      *args.policy != "exhaustive") {
+    usage("unknown policy " + *args.policy);
   }
   return args;
 }
@@ -97,11 +117,18 @@ int cmd_characterize(const Args& args) {
   }
   std::filesystem::create_directories(args.out);
   const std::vector<Cell> cells = load_cells(args.positional[0]);
-  for (const Cell& cell : cells) {
+  // Generation (the simulation-heavy part) runs on the worker pool;
+  // files and report lines are written serially in netlist order, so the
+  // output is identical for every --jobs value.
+  const std::vector<CaModel> models = parallel_map(cells, args.jobs, [&](const Cell& cell) {
     GenerationOptions options;
     options.policy = policy_for(args, cell);
     options.universe.inter_transistor_shorts = args.inter_shorts;
-    const CaModel model = generate_ca_model(cell, options);
+    return generate_ca_model(cell, options);
+  });
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& cell = cells[i];
+    const CaModel& model = models[i];
     std::ofstream os(args.out + "/" + cell.name() + ".camodel");
     write_ca_model(os, model, cell);
     std::cout << cell.name() << ": " << model.defects.size() << " defects, "
@@ -154,6 +181,7 @@ int cmd_train(const Args& args) {
   Log::set_level(LogLevel::kInfo);
   MlOptions options;
   options.forest.num_trees = args.trees;
+  options.forest.jobs = args.jobs;
   const GroupModelStore store = GroupModelStore::train(training, options);
   std::ofstream os(args.out);
   if (!os) throw Error("cannot write " + args.out);
