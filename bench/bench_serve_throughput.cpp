@@ -1,0 +1,132 @@
+// E13 — throughput of the serve daemon: an in-process Server answers
+// kPredictCell requests from a fixed pool of concurrent clients while
+// the worker-thread count sweeps 1/2/4/8. Reported: wall-clock
+// requests/sec per configuration and the speedup over one worker, plus
+// a determinism check that every configuration produced byte-identical
+// predictions. Run on a multi-core host to see the scaling.
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "flow/characterize.hpp"
+#include "flow/model_store.hpp"
+#include "libgen/builder.hpp"
+#include "netlist/spice_writer.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace caml;
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kClients = 8;             // concurrent connections
+constexpr std::size_t kRequestsPerClient = 50;  // per configuration
+
+Library make_training_library() {
+  LibraryComposition comp;
+  comp.functions = {"NAND2", "NOR2"};
+  comp.drives = {{1, StructureVariant::kWide}};
+  comp.flavors = {{"", 1.0}};
+  return build_library(technology_28soi(), comp);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "serve throughput (hardware threads: "
+            << std::thread::hardware_concurrency() << ")\n";
+
+  const Library lib = make_training_library();
+  const std::vector<CharacterizedCell> training =
+      characterize_library(lib, CharacterizeOptions{});
+  MlOptions ml;
+  ml.forest.num_trees = 32;
+  const GroupModelStore store = GroupModelStore::train(training, ml);
+  // Query the first library cell — a served request re-derives everything
+  // (parse, canonicalize, matrix, golden sim, classify) from the netlist
+  // text, so querying a training member still measures the full path.
+  const std::string netlist = SpiceWriter().to_string(lib.cells.front().cell);
+  const std::string socket_path =
+      (std::filesystem::temp_directory_path() /
+       ("caml_bench_serve_" + std::to_string(::getpid()) + ".sock"))
+          .string();
+
+  std::cout << kClients << " concurrent clients x " << kRequestsPerClient
+            << " requests each\n\n";
+
+  TextTable table;
+  table.new_row();
+  table.cell("workers");
+  table.cell("requests");
+  table.cell("seconds");
+  table.cell("req/s");
+  table.cell("speedup");
+
+  double baseline_seconds = 0.0;
+  std::string baseline_model;
+  bool identical = true;
+  bool all_ok = true;
+  for (const std::size_t workers : {1, 2, 4, 8}) {
+    serve::ServerOptions options;
+    options.socket_path = socket_path;
+    options.jobs = workers;
+    options.max_queue = kClients;
+    serve::Server server(store, options);
+    server.start();
+
+    std::vector<std::string> first_model(kClients);
+    std::vector<std::size_t> completed(kClients, 0);
+    const auto t0 = Clock::now();
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (std::size_t c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        serve::ClientOptions copts;
+        copts.socket_path = socket_path;
+        serve::Client client(copts);
+        for (std::size_t r = 0; r < kRequestsPerClient; ++r) {
+          try {
+            const std::string model = client.predict_cell(netlist);
+            if (r == 0) first_model[c] = model;
+            ++completed[c];
+          } catch (const Error& e) {
+            std::cerr << "client " << c << " request failed: " << e.what() << '\n';
+            return;
+          }
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+    const double elapsed = std::chrono::duration<double>(Clock::now() - t0).count();
+    server.stop();
+
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < kClients; ++c) {
+      total += completed[c];
+      if (first_model[c].empty()) continue;
+      if (baseline_model.empty()) baseline_model = first_model[c];
+      identical = identical && first_model[c] == baseline_model;
+    }
+    all_ok = all_ok && total == kClients * kRequestsPerClient;
+    if (workers == 1) baseline_seconds = elapsed;
+
+    table.new_row();
+    table.cell(std::to_string(workers));
+    table.cell(std::to_string(total));
+    table.cell(elapsed, 3);
+    table.cell(static_cast<double>(total) / elapsed, 1);
+    table.cell(baseline_seconds / elapsed, 2);
+  }
+  table.print(std::cout);
+  std::cout << "all requests served: " << (all_ok ? "yes" : "NO — DROPPED REQUESTS")
+            << "\npredictions identical across configurations: "
+            << (identical ? "yes" : "NO — DETERMINISM BUG") << '\n';
+  return (all_ok && identical) ? 0 : 1;
+}

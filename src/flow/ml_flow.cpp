@@ -74,11 +74,20 @@ CaModel predict_from_defects(const Classifier& classifier, const Cell& cell,
     predicted.defects[d].defect = defects[d];
     predicted.defects[d].detection.assign(predicted.stimuli.size(), 0);
   }
+  // One batched classification for the whole request: the matrix's
+  // feature block is contiguous row-major, so the classifier sweeps it
+  // in a single call (tree-major for RandomForest) instead of one
+  // virtual dispatch per (stimulus, defect) row.
+  const std::vector<std::uint8_t> labels =
+      matrix.num_rows() == 0
+          ? std::vector<std::uint8_t>{}
+          : classifier.predict_batch(matrix.features().data(), matrix.num_rows(),
+                                     matrix.num_features());
   for (std::size_t r = 0; r < matrix.num_rows(); ++r) {
     const std::int32_t d = matrix.row_defect()[r];
     CAML_ASSERT(d >= 0);
-    predicted.defects[static_cast<std::size_t>(d)]
-        .detection[matrix.row_stimulus()[r]] = classifier.predict(matrix.row(r));
+    predicted.defects[static_cast<std::size_t>(d)].detection[matrix.row_stimulus()[r]] =
+        labels[r];
   }
   predicted.classify();
   return predicted;

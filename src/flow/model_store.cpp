@@ -1,11 +1,24 @@
 #include "flow/model_store.hpp"
 
+#include <type_traits>
+
 #include "ml/forest_io.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
 
 namespace caml {
+
+// Concurrent serving depends on predict() being callable through a
+// const reference (shared read-only store, one instance for all
+// workers). If this assert fires, a signature change dropped the const
+// qualifier — restore it or give the serve layer its own
+// synchronization before shipping.
+static_assert(std::is_invocable_r_v<CaModel, decltype(&GroupModelStore::predict),
+                                    const GroupModelStore&, const Cell&,
+                                    const CanonicalCell&, StimulusPolicy, const SimConfig&,
+                                    const UniverseOptions&>,
+              "GroupModelStore::predict must stay const for lock-free shared serving");
 
 GroupModelStore GroupModelStore::train(const std::vector<CharacterizedCell>& training,
                                        const MlOptions& options) {

@@ -28,6 +28,14 @@ class GroupModelStore {
   /// Predicts the CA model of a new cell (its shape selects the group
   /// model). Throws caml::Error if no model exists for the cell's
   /// group — callers route such cells to conventional generation.
+  ///
+  /// Thread safety: const all the way down and safe to call concurrently
+  /// on a shared store. The lookup is a plain map find (no lazy caching,
+  /// no mutable members), forest traversal only reads fitted trees, and
+  /// matrix construction / golden simulation build their state on the
+  /// caller's stack. The serve daemon relies on this to share one store
+  /// across all workers without copies or locks; a static_assert in
+  /// model_store.cpp pins the const signature.
   CaModel predict(const Cell& cell, const CanonicalCell& canonical, StimulusPolicy policy,
                   const SimConfig& sim, const UniverseOptions& universe = {}) const;
 

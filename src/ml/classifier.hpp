@@ -20,6 +20,15 @@ class Classifier {
   virtual std::uint8_t predict(const std::int8_t* row) const = 0;
   virtual std::string name() const = 0;
 
+  /// Predicted labels for `n` rows laid out contiguously with `stride`
+  /// features between row starts (a CaMatrix feature block qualifies).
+  /// The default loops predict(); classifiers with batch-friendly
+  /// internals (RandomForest) override it with a single pass, which is
+  /// what the inference paths call — one batched classification per
+  /// (cell, group) instead of one virtual dispatch per matrix row.
+  virtual std::vector<std::uint8_t> predict_batch(const std::int8_t* rows, std::size_t n,
+                                                  std::size_t stride) const;
+
   /// Predicted label for every row of a dataset.
   std::vector<std::uint8_t> predict_all(const Dataset& data) const;
 };

@@ -74,6 +74,33 @@ std::uint8_t RandomForest::predict(const std::int8_t* row) const {
   return predict_proba(row) >= 0.5 ? 1 : 0;
 }
 
+std::vector<double> RandomForest::predict_proba_batch(const std::int8_t* rows, std::size_t n,
+                                                      std::size_t stride) const {
+  CAML_ASSERT(!trees_.empty());
+  // Tree-major: the outer loop visits each tree once and classifies all
+  // rows through it, so a tree's node array stays cache-resident across
+  // the whole batch. Per row the votes still accumulate in tree order,
+  // which keeps the floating-point sum identical to predict_proba().
+  std::vector<double> sum(n, 0.0);
+  for (const DecisionTree& tree : trees_) {
+    for (std::size_t r = 0; r < n; ++r) {
+      const auto [c0, c1] = tree.leaf_votes(rows + r * stride);
+      const std::uint64_t votes = c0 + c1;
+      sum[r] += votes == 0 ? 0.5 : static_cast<double>(c1) / static_cast<double>(votes);
+    }
+  }
+  for (double& s : sum) s /= static_cast<double>(trees_.size());
+  return sum;
+}
+
+std::vector<std::uint8_t> RandomForest::predict_batch(const std::int8_t* rows, std::size_t n,
+                                                      std::size_t stride) const {
+  const std::vector<double> proba = predict_proba_batch(rows, n, stride);
+  std::vector<std::uint8_t> out(n);
+  for (std::size_t r = 0; r < n; ++r) out[r] = proba[r] >= 0.5 ? 1 : 0;
+  return out;
+}
+
 std::vector<double> RandomForest::feature_importance() const {
   std::vector<double> out(num_features_, 0.0);
   std::size_t contributing = 0;

@@ -44,6 +44,19 @@ class RandomForest : public Classifier {
   /// Probability of class 1 (fraction of soft votes).
   double predict_proba(const std::int8_t* row) const;
 
+  /// Batched inference over `n` contiguous rows (`stride` features
+  /// apart): one tree-major sweep instead of n per-row virtual calls.
+  /// Bit-identical to calling predict() per row — each row still
+  /// accumulates its tree votes in tree order — but walks every tree's
+  /// nodes while they are hot in cache. This is the call the serving
+  /// path batches a whole request's CA-matrix into.
+  std::vector<std::uint8_t> predict_batch(const std::int8_t* rows, std::size_t n,
+                                          std::size_t stride) const override;
+
+  /// Batched predict_proba (same traversal as predict_batch).
+  std::vector<double> predict_proba_batch(const std::int8_t* rows, std::size_t n,
+                                          std::size_t stride) const;
+
   const std::vector<DecisionTree>& trees() const { return trees_; }
 
   /// Feature count seen at fit time (0 before fit / after load without

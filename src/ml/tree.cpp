@@ -7,6 +7,14 @@
 
 namespace caml {
 
+std::vector<std::uint8_t> Classifier::predict_batch(const std::int8_t* rows, std::size_t n,
+                                                    std::size_t stride) const {
+  std::vector<std::uint8_t> out;
+  out.reserve(n);
+  for (std::size_t r = 0; r < n; ++r) out.push_back(predict(rows + r * stride));
+  return out;
+}
+
 std::vector<std::uint8_t> Classifier::predict_all(const Dataset& data) const {
   std::vector<std::uint8_t> out;
   out.reserve(data.num_rows());

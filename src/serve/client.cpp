@@ -1,0 +1,62 @@
+#include "serve/client.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace caml::serve {
+
+void Client::ensure_connected() {
+  if (fd_.valid()) return;
+  if (!options_.socket_path.empty()) {
+    fd_ = connect_unix(options_.socket_path, options_.connect_timeout_ms);
+  } else {
+    fd_ = connect_tcp(options_.host, options_.port, options_.connect_timeout_ms);
+  }
+}
+
+Frame Client::roundtrip(MsgType request_type, const std::string& payload,
+                        MsgType expected_type) {
+  Frame request;
+  request.type = request_type;
+  request.request_id = next_id_++;
+  request.payload = payload;
+
+  for (int attempt = 0;; ++attempt) {
+    try {
+      ensure_connected();
+      write_frame(fd_.get(), request, options_.timeout_ms);
+      std::optional<Frame> response = read_frame(fd_.get(), options_.timeout_ms);
+      if (!response) {
+        errno = 0;
+        throw Error("connection lost: server closed the connection");
+      }
+      if (response->request_id != request.request_id) {
+        throw Error("response id " + std::to_string(response->request_id) +
+                    " does not match request id " + std::to_string(request.request_id));
+      }
+      if (response->type == MsgType::kError) {
+        throw RemoteError(decode_error(response->payload));
+      }
+      if (response->type != expected_type) {
+        throw Error("unexpected response type " +
+                    std::to_string(static_cast<unsigned>(response->type)));
+      }
+      return std::move(*response);
+    } catch (const RemoteError&) {
+      throw;  // structured server answer — never retried here
+    } catch (const Error& e) {
+      fd_.reset();
+      if (attempt >= options_.retries || !is_connection_lost_error(e.what())) throw;
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(static_cast<long>(options_.backoff_ms) * (attempt + 1)));
+    }
+  }
+}
+
+std::string Client::predict_cell(const std::string& netlist_text) {
+  return roundtrip(MsgType::kPredictCell, netlist_text, MsgType::kPredictOk).payload;
+}
+
+void Client::ping() { roundtrip(MsgType::kPing, "", MsgType::kPong); }
+
+}  // namespace caml::serve

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "serve/protocol.hpp"
+#include "util/net.hpp"
+
+namespace caml::serve {
+
+struct ClientOptions {
+  /// Unix-domain socket path; when empty, connects to host:port TCP.
+  std::string socket_path;
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  /// Round-trip deadline per request (send + predict + receive).
+  int timeout_ms = 30000;
+  int connect_timeout_ms = 5000;
+  /// Extra attempts after a lost connection (reset / refused / EOF).
+  /// Safe because inference is pure: replaying a request cannot change
+  /// server state. Structured server errors are never retried.
+  int retries = 1;
+  /// Backoff before attempt k is backoff_ms * k.
+  int backoff_ms = 100;
+};
+
+/// A structured error answered by the server (kError frame). code()
+/// distinguishes NO_GROUP (route the cell to conventional generation)
+/// from OVERLOADED (back off retry_after_ms and retry) from the rest.
+class RemoteError : public Error {
+ public:
+  explicit RemoteError(const ErrorBody& body)
+      : Error(std::string(error_code_name(body.code)) + ": " + body.message),
+        code_(body.code),
+        retry_after_ms_(body.retry_after_ms) {}
+
+  ErrorCode code() const { return code_; }
+  std::uint32_t retry_after_ms() const { return retry_after_ms_; }
+
+ private:
+  ErrorCode code_;
+  std::uint32_t retry_after_ms_;
+};
+
+/// Blocking client for the caml inference service. Connects lazily on
+/// the first request and keeps the connection alive across requests
+/// (the server closes idle connections; the client reconnects
+/// transparently, with one retry + backoff on connection loss).
+/// Not thread-safe: use one Client per thread.
+class Client {
+ public:
+  explicit Client(ClientOptions options) : options_(std::move(options)) {}
+
+  /// Predicts the CA model of the single .SUBCKT in `netlist_text`.
+  /// Returns the `.camodel` text. Throws RemoteError on structured
+  /// server errors, caml::Error on transport failure.
+  std::string predict_cell(const std::string& netlist_text);
+
+  /// Liveness probe (kPing/kPong round trip).
+  void ping();
+
+  void close() { fd_.reset(); }
+  bool connected() const { return fd_.valid(); }
+
+ private:
+  void ensure_connected();
+  Frame roundtrip(MsgType request_type, const std::string& payload, MsgType expected_type);
+
+  ClientOptions options_;
+  Fd fd_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace caml::serve

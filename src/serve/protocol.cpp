@@ -1,0 +1,140 @@
+#include "serve/protocol.hpp"
+
+#include "util/net.hpp"
+
+namespace caml::serve {
+
+namespace {
+
+void put_u16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+std::uint16_t get_u16(const unsigned char* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t get_u32(const unsigned char* p) {
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) | (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t get_u64(const unsigned char* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+}  // namespace
+
+const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kBadRequest: return "BAD_REQUEST";
+    case ErrorCode::kUnsupportedVersion: return "UNSUPPORTED_VERSION";
+    case ErrorCode::kParseError: return "PARSE_ERROR";
+    case ErrorCode::kNoGroup: return "NO_GROUP";
+    case ErrorCode::kOverloaded: return "OVERLOADED";
+    case ErrorCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string encode_frame(const Frame& frame) {
+  if (frame.payload.size() > kMaxPayload) {
+    throw ProtocolError("payload of " + std::to_string(frame.payload.size()) +
+                        " bytes exceeds the " + std::to_string(kMaxPayload) + " byte limit");
+  }
+  std::string out;
+  out.reserve(kHeaderSize + frame.payload.size());
+  put_u32(out, kMagic);
+  put_u16(out, frame.version);
+  put_u16(out, static_cast<std::uint16_t>(frame.type));
+  put_u64(out, frame.request_id);
+  put_u32(out, static_cast<std::uint32_t>(frame.payload.size()));
+  out += frame.payload;
+  return out;
+}
+
+FrameHeader decode_header(const unsigned char* buf) {
+  if (get_u32(buf) != kMagic) throw ProtocolError("bad magic");
+  FrameHeader header;
+  header.version = get_u16(buf + 4);
+  header.type = static_cast<MsgType>(get_u16(buf + 6));
+  header.request_id = get_u64(buf + 8);
+  header.payload_size = get_u32(buf + 16);
+  if (header.payload_size > kMaxPayload) {
+    throw ProtocolError("payload length " + std::to_string(header.payload_size) +
+                        " exceeds the " + std::to_string(kMaxPayload) + " byte limit");
+  }
+  return header;
+}
+
+Frame decode_frame(std::string_view bytes) {
+  if (bytes.size() < kHeaderSize) {
+    throw ProtocolError("truncated frame: " + std::to_string(bytes.size()) +
+                        " bytes, need at least " + std::to_string(kHeaderSize));
+  }
+  const FrameHeader header =
+      decode_header(reinterpret_cast<const unsigned char*>(bytes.data()));
+  if (bytes.size() != kHeaderSize + header.payload_size) {
+    throw ProtocolError("frame length mismatch: header says " +
+                        std::to_string(header.payload_size) + " payload bytes, buffer has " +
+                        std::to_string(bytes.size() - kHeaderSize));
+  }
+  Frame frame;
+  frame.version = header.version;
+  frame.type = header.type;
+  frame.request_id = header.request_id;
+  frame.payload.assign(bytes.substr(kHeaderSize));
+  return frame;
+}
+
+std::string encode_error(const ErrorBody& body) {
+  std::string out;
+  put_u32(out, static_cast<std::uint32_t>(body.code));
+  put_u32(out, body.retry_after_ms);
+  out += body.message;
+  return out;
+}
+
+ErrorBody decode_error(std::string_view payload) {
+  if (payload.size() < 8) throw ProtocolError("error payload shorter than its fixed fields");
+  const auto* p = reinterpret_cast<const unsigned char*>(payload.data());
+  ErrorBody body;
+  body.code = static_cast<ErrorCode>(get_u32(p));
+  body.retry_after_ms = get_u32(p + 4);
+  body.message.assign(payload.substr(8));
+  return body;
+}
+
+std::optional<Frame> read_frame(int fd, int timeout_ms) {
+  unsigned char header_buf[kHeaderSize];
+  if (!read_exact(fd, header_buf, kHeaderSize, timeout_ms)) return std::nullopt;
+  const FrameHeader header = decode_header(header_buf);
+  Frame frame;
+  frame.version = header.version;
+  frame.type = header.type;
+  frame.request_id = header.request_id;
+  frame.payload.resize(header.payload_size);
+  if (header.payload_size > 0 &&
+      !read_exact(fd, frame.payload.data(), frame.payload.size(), timeout_ms)) {
+    throw Error("connection lost: EOF inside frame payload");
+  }
+  return frame;
+}
+
+void write_frame(int fd, const Frame& frame, int timeout_ms) {
+  const std::string bytes = encode_frame(frame);
+  write_all(fd, bytes.data(), bytes.size(), timeout_ms);
+}
+
+}  // namespace caml::serve

@@ -1,0 +1,116 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/error.hpp"
+
+namespace caml::serve {
+
+/// Wire format of the caml inference service: length-prefixed binary
+/// frames, all integers little-endian.
+///
+///   offset  size  field
+///        0     4  magic   "CAMQ" (0x51 0x4D 0x41 0x43 on the wire)
+///        4     2  version (kProtocolVersion)
+///        6     2  type    (MsgType)
+///        8     8  request id (echoed verbatim in the response)
+///       16     4  payload length (bytes; <= kMaxPayload)
+///       20     n  payload
+///
+/// Request payloads: kPredictCell carries the UTF-8 SPICE/CDL text of
+/// exactly one .SUBCKT. kPing carries nothing. Response payloads:
+/// kPredictOk carries the predicted `.camodel` text; kError carries an
+/// ErrorBody (see encode_error); kPong carries nothing.
+inline constexpr std::uint32_t kMagic = 0x514D4143u;  // "CAMQ" little-endian
+inline constexpr std::uint16_t kProtocolVersion = 1;
+inline constexpr std::size_t kHeaderSize = 20;
+/// Upper bound on a payload: large enough for any realistic cell netlist
+/// or predicted model, small enough that a corrupt length field cannot
+/// trigger a giant allocation.
+inline constexpr std::uint32_t kMaxPayload = 16u << 20;
+
+enum class MsgType : std::uint16_t {
+  kPredictCell = 1,  ///< request: predict the CA model of one cell
+  kPredictOk = 2,    ///< response: payload is the .camodel text
+  kError = 3,        ///< response: payload is an ErrorBody
+  kPing = 4,         ///< request: liveness / readiness probe
+  kPong = 5,         ///< response to kPing
+};
+
+/// Structured error codes carried in kError payloads.
+enum class ErrorCode : std::uint32_t {
+  kBadRequest = 1,          ///< unknown message type / malformed payload
+  kUnsupportedVersion = 2,  ///< frame version the server does not speak
+  kParseError = 3,          ///< netlist payload failed to parse
+  kNoGroup = 4,             ///< no trained model for the cell's group
+  kOverloaded = 5,          ///< queue full; retry after retry_after_ms
+  kInternal = 6,            ///< unexpected server-side failure
+};
+
+const char* error_code_name(ErrorCode code);
+
+/// Raised by decoders on malformed bytes (bad magic, oversized or
+/// truncated frame). Distinct from caml::Error so the server can tell a
+/// protocol violation (close the connection) from an I/O failure.
+class ProtocolError : public Error {
+ public:
+  explicit ProtocolError(const std::string& what) : Error("protocol: " + what) {}
+};
+
+/// One decoded frame. `payload` is raw bytes (text for this protocol's
+/// payload types, but the framing layer does not care).
+struct Frame {
+  std::uint16_t version = kProtocolVersion;
+  MsgType type = MsgType::kPing;
+  std::uint64_t request_id = 0;
+  std::string payload;
+};
+
+/// Decoded fixed-size header.
+struct FrameHeader {
+  std::uint16_t version = 0;
+  MsgType type = MsgType::kPing;
+  std::uint64_t request_id = 0;
+  std::uint32_t payload_size = 0;
+};
+
+/// Serializes a frame (header + payload). Throws ProtocolError if the
+/// payload exceeds kMaxPayload.
+std::string encode_frame(const Frame& frame);
+
+/// Decodes the 20-byte header. Throws ProtocolError on bad magic or a
+/// payload length above kMaxPayload. Does NOT reject unknown versions —
+/// the server must still read the frame to answer with
+/// kUnsupportedVersion.
+FrameHeader decode_header(const unsigned char* buf);
+
+/// One-shot decode of a complete frame from a buffer (tests and simple
+/// clients). Throws ProtocolError on bad magic, oversize, or when the
+/// buffer is truncated or has trailing bytes.
+Frame decode_frame(std::string_view bytes);
+
+/// Structured payload of a kError response.
+struct ErrorBody {
+  ErrorCode code = ErrorCode::kInternal;
+  /// Backpressure hint: how long the client should wait before retrying
+  /// (only meaningful for kOverloaded; 0 otherwise).
+  std::uint32_t retry_after_ms = 0;
+  std::string message;
+};
+
+std::string encode_error(const ErrorBody& body);
+/// Throws ProtocolError if the payload is shorter than the fixed fields.
+ErrorBody decode_error(std::string_view payload);
+
+/// Reads one frame from `fd`. Returns nullopt on clean EOF between
+/// frames (peer closed). Throws ProtocolError on malformed bytes and
+/// caml::Error on I/O failure or timeout.
+std::optional<Frame> read_frame(int fd, int timeout_ms);
+
+/// Writes one frame to `fd`. Throws caml::Error on I/O failure/timeout.
+void write_frame(int fd, const Frame& frame, int timeout_ms);
+
+}  // namespace caml::serve

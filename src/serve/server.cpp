@@ -1,0 +1,284 @@
+#include "serve/server.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <algorithm>
+
+#include "camodel/model_io.hpp"
+#include "netlist/spice_parser.hpp"
+#include "util/log.hpp"
+#include "util/timing.hpp"
+
+namespace caml::serve {
+
+namespace {
+
+/// Waits for the connection to turn readable, or for the stop pipe to
+/// fire, or for the idle timeout. Returns true only when request bytes
+/// are pending.
+bool wait_request_or_stop(int conn_fd, int stop_fd, int timeout_ms) {
+  struct pollfd p[2];
+  p[0] = {conn_fd, POLLIN, 0};
+  p[1] = {stop_fd, POLLIN, 0};
+  for (;;) {
+    const int rc = ::poll(p, 2, timeout_ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (rc == 0) return false;                          // idle timeout
+    if (p[0].revents & (POLLIN | POLLHUP)) return true; // request (or EOF to read)
+    return false;                                       // stop pipe fired
+  }
+}
+
+Frame error_frame(std::uint64_t request_id, ErrorCode code, const std::string& message,
+                  std::uint32_t retry_after_ms = 0) {
+  Frame frame;
+  frame.type = MsgType::kError;
+  frame.request_id = request_id;
+  frame.payload = encode_error(ErrorBody{code, retry_after_ms, message});
+  return frame;
+}
+
+}  // namespace
+
+Server::Server(GroupModelStore store, ServerOptions options)
+    : store_(std::move(store)), options_(std::move(options)) {}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  CAML_ASSERT(!started_);
+  stop_pipe_ = make_pipe();
+  if (!options_.socket_path.empty()) {
+    listener_ = listen_unix(options_.socket_path);
+  } else {
+    listener_ = listen_tcp(options_.tcp_port);
+    bound_port_ = local_port(listener_.get());
+  }
+  // Non-blocking listener: poll() readiness can be stale (aborted
+  // handshake), and the acceptor must never block inside accept().
+  ::fcntl(listener_.get(), F_SETFL, ::fcntl(listener_.get(), F_GETFL) | O_NONBLOCK);
+
+  const std::size_t jobs = resolve_jobs(options_.jobs);
+  pool_ = std::make_unique<ThreadPool>(jobs);
+  worker_futures_.reserve(jobs);
+  for (std::size_t i = 0; i < jobs; ++i) {
+    worker_futures_.push_back(pool_->submit([this] { worker_loop(); }));
+  }
+  acceptor_ = std::thread([this] { acceptor_loop(); });
+  started_ = true;
+  log_info() << "serving " << store_.num_groups() << " group models on "
+             << (options_.socket_path.empty()
+                     ? "tcp 127.0.0.1:" + std::to_string(bound_port_)
+                     : options_.socket_path)
+             << " (" << jobs << " workers, queue " << options_.max_queue << ")";
+}
+
+void Server::stop() {
+  if (!started_ || stopped_) return;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    draining_ = true;
+  }
+  // Closing the write end raises POLLHUP on the read end for every
+  // poller at once — acceptor and idle workers wake immediately.
+  stop_pipe_.wr.reset();
+  queue_cv_.notify_all();
+  if (acceptor_.joinable()) acceptor_.join();
+  queue_cv_.notify_all();
+  for (std::future<void>& f : worker_futures_) {
+    try {
+      f.get();
+    } catch (const std::exception& e) {
+      log_error() << "serve worker died: " << e.what();
+    }
+  }
+  worker_futures_.clear();
+  pool_.reset();
+  listener_.reset();
+  if (!options_.socket_path.empty()) ::unlink(options_.socket_path.c_str());
+  stopped_ = true;
+}
+
+void Server::acceptor_loop() {
+  for (;;) {
+    struct pollfd p[2];
+    p[0] = {listener_.get(), POLLIN, 0};
+    p[1] = {stop_pipe_.rd.get(), POLLIN, 0};
+    const int rc = ::poll(p, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      log_error() << "serve acceptor poll failed; shutting down acceptor";
+      return;
+    }
+    if (p[1].revents != 0 || draining_) return;
+    if ((p[0].revents & POLLIN) == 0) continue;
+    Fd conn;
+    try {
+      conn = accept_connection(listener_.get());
+    } catch (const Error& e) {
+      log_warn() << "accept failed: " << e.what();
+      continue;
+    }
+    if (!conn) continue;
+    stats_.record_connection();
+    bool reject = false;
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      if (pending_.size() >= options_.max_queue) {
+        reject = true;
+      } else {
+        pending_.push_back(std::move(conn));
+        stats_.update_queue_depth(pending_.size());
+      }
+    }
+    if (reject) {
+      reject_overloaded(std::move(conn));
+    } else {
+      queue_cv_.notify_one();
+    }
+  }
+}
+
+void Server::reject_overloaded(Fd conn) {
+  stats_.record_reject();
+  // Best-effort reject: the request was never read, so the id is 0. A
+  // short write deadline keeps a slow client from stalling the acceptor.
+  const int timeout = std::min(options_.write_timeout_ms, 250);
+  try {
+    write_frame(conn.get(), error_frame(0, ErrorCode::kOverloaded,
+                                        "request queue full; retry after " +
+                                            std::to_string(options_.retry_after_ms) + " ms",
+                                        options_.retry_after_ms),
+                timeout);
+  } catch (const Error&) {
+    // Client gone or unwritable — it was being rejected anyway.
+  }
+}
+
+void Server::worker_loop() {
+  for (;;) {
+    Fd conn;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] { return draining_.load() || !pending_.empty(); });
+      if (pending_.empty()) return;  // draining and fully drained
+      conn = std::move(pending_.front());
+      pending_.pop_front();
+    }
+    handle_connection(std::move(conn));
+  }
+}
+
+void Server::handle_connection(Fd conn) {
+  for (;;) {
+    if (!wait_request_or_stop(conn.get(), stop_pipe_.rd.get(), options_.idle_timeout_ms)) {
+      return;  // idle timeout or shutdown while between requests
+    }
+    std::optional<Frame> request;
+    try {
+      request = read_frame(conn.get(), options_.read_timeout_ms);
+    } catch (const ProtocolError& e) {
+      // Malformed bytes: framing is unrecoverable on this connection.
+      // Answer best-effort and close; the server itself keeps serving.
+      log_warn() << "closing connection on malformed frame: " << e.what();
+      stats_.record_error();
+      try {
+        write_frame(conn.get(), error_frame(0, ErrorCode::kBadRequest, e.what()),
+                    options_.write_timeout_ms);
+      } catch (const Error&) {
+      }
+      return;
+    } catch (const Error& e) {
+      log_warn() << "dropping connection: " << e.what();
+      return;
+    }
+    if (!request) return;  // clean EOF
+
+    const Stopwatch watch;
+    Frame response;
+    const bool keep_open = handle_request(*request, response);
+    try {
+      write_frame(conn.get(), response, options_.write_timeout_ms);
+    } catch (const Error& e) {
+      log_warn() << "response write failed: " << e.what();
+      return;
+    }
+    stats_.record_latency_us(watch.elapsed_us());
+    if (!keep_open) return;
+  }
+}
+
+bool Server::handle_request(const Frame& request, Frame& response) {
+  if (request.version != kProtocolVersion) {
+    stats_.record_error();
+    response = error_frame(request.request_id, ErrorCode::kUnsupportedVersion,
+                           "server speaks protocol version " +
+                               std::to_string(kProtocolVersion) + ", request carried " +
+                               std::to_string(request.version));
+    return false;  // later frames of an unknown dialect are untrustworthy
+  }
+  switch (request.type) {
+    case MsgType::kPing: {
+      stats_.record_ping();
+      response.type = MsgType::kPong;
+      response.request_id = request.request_id;
+      return true;
+    }
+    case MsgType::kPredictCell:
+      response = predict_response(request);
+      return true;
+    default: {
+      stats_.record_error();
+      response = error_frame(request.request_id, ErrorCode::kBadRequest,
+                             "unknown message type " +
+                                 std::to_string(static_cast<unsigned>(request.type)));
+      return true;
+    }
+  }
+}
+
+Frame Server::predict_response(const Frame& request) {
+  const std::uint64_t id = request.request_id;
+  try {
+    const std::vector<Cell> cells = SpiceParser().parse_string(request.payload);
+    if (cells.size() != 1) {
+      stats_.record_error();
+      return error_frame(id, ErrorCode::kBadRequest,
+                         "expected exactly one .SUBCKT per request, got " +
+                             std::to_string(cells.size()));
+    }
+    const Cell& cell = cells.front();
+    const GroupKey key{cell.num_inputs(), cell.num_transistors()};
+    if (!store_.has_group(key)) {
+      stats_.record_error();
+      return error_frame(id, ErrorCode::kNoGroup,
+                         "no trained model for group (" + std::to_string(key.num_inputs) +
+                             " inputs, " + std::to_string(key.num_transistors) +
+                             " transistors); cell " + cell.name() +
+                             " needs conventional generation");
+    }
+    const CanonicalCell canonical = canonicalize(cell);
+    const CaModel predicted = store_.predict(
+        cell, canonical, options_.policy.policy_for(cell.num_inputs()), SimConfig{});
+    Frame response;
+    response.type = MsgType::kPredictOk;
+    response.request_id = id;
+    response.payload = ca_model_to_string(predicted, cell);
+    stats_.record_ok(1, predicted.defects.size() * predicted.stimuli.size());
+    return response;
+  } catch (const ParseError& e) {
+    stats_.record_error();
+    return error_frame(id, ErrorCode::kParseError, e.what());
+  } catch (const Error& e) {
+    stats_.record_error();
+    log_warn() << "prediction failed: " << e.what();
+    return error_frame(id, ErrorCode::kInternal, e.what());
+  }
+}
+
+}  // namespace caml::serve

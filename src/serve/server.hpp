@@ -1,0 +1,113 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "flow/characterize.hpp"
+#include "flow/model_store.hpp"
+#include "serve/protocol.hpp"
+#include "serve/stats.hpp"
+#include "util/net.hpp"
+#include "util/thread_pool.hpp"
+
+namespace caml::serve {
+
+struct ServerOptions {
+  /// Unix-domain socket path. When empty the server listens on loopback
+  /// TCP `tcp_port` instead (0 = pick an ephemeral port; see port()).
+  std::string socket_path;
+  std::uint16_t tcp_port = 0;
+  /// Worker threads draining the request queue (0 = one per hardware
+  /// thread). Each worker owns one connection at a time.
+  std::size_t jobs = 0;
+  /// Pending (accepted but not yet picked up) connections beyond the
+  /// workers. When full, new connections are rejected immediately with a
+  /// kOverloaded error carrying retry_after_ms — bounded memory under
+  /// overload instead of unbounded queue growth.
+  std::size_t max_queue = 64;
+  /// Per-frame read deadline once bytes started flowing.
+  int read_timeout_ms = 5000;
+  int write_timeout_ms = 5000;
+  /// How long a keep-alive connection may sit idle between requests
+  /// before the server closes it. Also bounds the shutdown drain.
+  int idle_timeout_ms = 2000;
+  /// Backpressure hint clients receive in kOverloaded rejects.
+  std::uint32_t retry_after_ms = 50;
+  /// Stimulus-policy schedule for predictions (same input-count heuristic
+  /// as `caml predict` without --policy).
+  PolicyProfile policy;
+};
+
+/// Long-lived inference daemon: loads a trained GroupModelStore once and
+/// answers CA-model prediction requests over the serve protocol.
+///
+/// Threading: one acceptor thread plus `jobs` workers on a ThreadPool.
+/// The store is shared read-only across all workers — GroupModelStore::
+/// predict is const and touches no hidden mutable state (see the note in
+/// model_store.hpp), so requests never copy or lock the models.
+///
+/// Lifecycle: construct → start() (binds + spawns threads; throws on
+/// bind failure) → stop() (graceful: stops accepting, serves queued
+/// connections, finishes in-flight requests, joins). stop() is
+/// idempotent and also runs from the destructor. It is NOT
+/// async-signal-safe — signal handlers should write to a self-pipe and
+/// let the main thread call stop() (see `caml serve`).
+class Server {
+ public:
+  Server(GroupModelStore store, ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  void start();
+  void stop();
+
+  bool running() const { return started_ && !draining_; }
+  /// Actual TCP port (resolves tcp_port == 0); 0 for Unix-domain mode.
+  std::uint16_t port() const { return bound_port_; }
+  const ServerOptions& options() const { return options_; }
+
+  StatsSnapshot stats() const { return stats_.snapshot(); }
+
+ private:
+  void acceptor_loop();
+  void worker_loop();
+  void handle_connection(Fd conn);
+  /// Builds the response frame for one request (never throws; failures
+  /// become kError responses). Returns false when the connection must
+  /// close after the response (e.g. unsupported version).
+  bool handle_request(const Frame& request, Frame& response);
+  Frame predict_response(const Frame& request);
+  void reject_overloaded(Fd conn);
+
+  const GroupModelStore store_;
+  const ServerOptions options_;
+
+  Fd listener_;
+  Pipe stop_pipe_;  // wr end closed by stop(): every poller sees POLLHUP
+  std::uint16_t bound_port_ = 0;
+  bool started_ = false;
+  bool stopped_ = false;
+  std::atomic<bool> draining_{false};
+
+  std::thread acceptor_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::vector<std::future<void>> worker_futures_;
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<Fd> pending_;
+
+  ServeStats stats_;
+};
+
+}  // namespace caml::serve

@@ -1,0 +1,98 @@
+#include "serve/stats.hpp"
+
+#include <bit>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace caml::serve {
+
+std::size_t ServeStats::bucket_for(std::uint64_t us) {
+  // Buckets 0..7 hold the exact values 0..7 us; above that each octave
+  // [2^m, 2^(m+1)) splits into 8 sub-buckets keyed by the 3 bits after
+  // the leading 1.
+  if (us < kSubBuckets) return static_cast<std::size_t>(us);
+  const int msb = 63 - std::countl_zero(us);
+  const std::size_t sub = static_cast<std::size_t>((us >> (msb - 3)) & 7);
+  const std::size_t bucket = kSubBuckets * static_cast<std::size_t>(msb - 3) + kSubBuckets + sub;
+  return bucket < kBuckets ? bucket : kBuckets - 1;
+}
+
+double ServeStats::bucket_upper_us(std::size_t bucket) {
+  if (bucket < kSubBuckets) return static_cast<double>(bucket);
+  const std::size_t m = 3 + (bucket - kSubBuckets) / kSubBuckets;
+  const std::size_t sub = (bucket - kSubBuckets) % kSubBuckets;
+  return static_cast<double>(((sub + 9) << (m - 3)) - 1);
+}
+
+void ServeStats::record_latency_us(std::int64_t us) {
+  const std::uint64_t v = us < 0 ? 0 : static_cast<std::uint64_t>(us);
+  latency_hist_[bucket_for(v)].fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t prev = latency_max_us_.load(std::memory_order_relaxed);
+  while (v > prev && !latency_max_us_.compare_exchange_weak(prev, v, std::memory_order_relaxed)) {
+  }
+}
+
+void ServeStats::update_queue_depth(std::size_t depth) {
+  std::uint64_t prev = queue_high_water_.load(std::memory_order_relaxed);
+  while (depth > prev &&
+         !queue_high_water_.compare_exchange_weak(prev, depth, std::memory_order_relaxed)) {
+  }
+}
+
+StatsSnapshot ServeStats::snapshot() const {
+  StatsSnapshot s;
+  s.connections_accepted = connections_.load(std::memory_order_relaxed);
+  s.requests_ok = ok_.load(std::memory_order_relaxed);
+  s.requests_error = errors_.load(std::memory_order_relaxed);
+  s.rejected_overload = rejected_.load(std::memory_order_relaxed);
+  s.pings = pings_.load(std::memory_order_relaxed);
+  s.cells_predicted = cells_.load(std::memory_order_relaxed);
+  s.rows_classified = rows_.load(std::memory_order_relaxed);
+  s.queue_high_water = queue_high_water_.load(std::memory_order_relaxed);
+  s.latency_max_ms =
+      static_cast<double>(latency_max_us_.load(std::memory_order_relaxed)) / 1000.0;
+
+  std::array<std::uint64_t, kBuckets> hist;
+  std::uint64_t total = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    hist[b] = latency_hist_[b].load(std::memory_order_relaxed);
+    total += hist[b];
+  }
+  s.latency_count = total;
+  if (total > 0) {
+    const auto percentile = [&](double q) {
+      const std::uint64_t target =
+          static_cast<std::uint64_t>(q * static_cast<double>(total - 1)) + 1;
+      std::uint64_t cum = 0;
+      for (std::size_t b = 0; b < kBuckets; ++b) {
+        cum += hist[b];
+        if (cum >= target) return bucket_upper_us(b) / 1000.0;
+      }
+      return bucket_upper_us(kBuckets - 1) / 1000.0;
+    };
+    s.latency_p50_ms = percentile(0.50);
+    s.latency_p99_ms = percentile(0.99);
+  }
+  return s;
+}
+
+std::string format_stats(const StatsSnapshot& s) {
+  std::ostringstream os;
+  os << "serve_stats:\n"
+     << "  connections_accepted " << s.connections_accepted << '\n'
+     << "  requests_served      " << s.requests_served() << '\n'
+     << "  requests_ok          " << s.requests_ok << '\n'
+     << "  requests_error       " << s.requests_error << '\n'
+     << "  rejected_overload    " << s.rejected_overload << '\n'
+     << "  pings                " << s.pings << '\n'
+     << "  cells_predicted      " << s.cells_predicted << '\n'
+     << "  rows_classified      " << s.rows_classified << '\n'
+     << "  queue_high_water     " << s.queue_high_water << '\n'
+     << "  latency_p50_ms       " << format_fixed(s.latency_p50_ms, 3) << '\n'
+     << "  latency_p99_ms       " << format_fixed(s.latency_p99_ms, 3) << '\n'
+     << "  latency_max_ms       " << format_fixed(s.latency_max_ms, 3) << '\n';
+  return os.str();
+}
+
+}  // namespace caml::serve

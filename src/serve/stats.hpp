@@ -1,0 +1,75 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace caml::serve {
+
+/// Point-in-time copy of the serve counters, safe to format and compare.
+struct StatsSnapshot {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t requests_ok = 0;       ///< predictions answered kPredictOk
+  std::uint64_t requests_error = 0;    ///< structured kError answers (excl. rejects)
+  std::uint64_t rejected_overload = 0; ///< backpressure rejects at the acceptor
+  std::uint64_t pings = 0;
+  std::uint64_t cells_predicted = 0;
+  std::uint64_t rows_classified = 0;   ///< CA-matrix rows pushed through the forests
+  std::uint64_t queue_high_water = 0;  ///< max pending connections observed
+  std::uint64_t latency_count = 0;
+  double latency_p50_ms = 0.0;
+  double latency_p99_ms = 0.0;
+  double latency_max_ms = 0.0;
+
+  std::uint64_t requests_served() const { return requests_ok + requests_error + pings; }
+};
+
+/// Lock-free counters for the serve daemon. All mutators are safe to
+/// call concurrently from any worker; snapshot() may race individual
+/// increments (counters are read one by one) but never tears a single
+/// counter — fine for monitoring output.
+///
+/// Latency is kept in a log-scaled histogram (8 sub-buckets per octave
+/// of microseconds), so p50/p99 are exact to within ~9% of the true
+/// value with O(1) memory and no per-request allocation.
+class ServeStats {
+ public:
+  void record_connection() { connections_.fetch_add(1, std::memory_order_relaxed); }
+  void record_ping() { pings_.fetch_add(1, std::memory_order_relaxed); }
+  void record_reject() { rejected_.fetch_add(1, std::memory_order_relaxed); }
+  void record_error() { errors_.fetch_add(1, std::memory_order_relaxed); }
+  void record_ok(std::uint64_t cells, std::uint64_t rows) {
+    ok_.fetch_add(1, std::memory_order_relaxed);
+    cells_.fetch_add(cells, std::memory_order_relaxed);
+    rows_.fetch_add(rows, std::memory_order_relaxed);
+  }
+  void record_latency_us(std::int64_t us);
+  /// Raises the queue high-water mark to `depth` if above it.
+  void update_queue_depth(std::size_t depth);
+
+  StatsSnapshot snapshot() const;
+
+ private:
+  static constexpr std::size_t kOctaves = 40;     // up to ~2^40 us ≈ 12 days
+  static constexpr std::size_t kSubBuckets = 8;   // per octave
+  static constexpr std::size_t kBuckets = kOctaves * kSubBuckets;
+  static std::size_t bucket_for(std::uint64_t us);
+  static double bucket_upper_us(std::size_t bucket);
+
+  std::atomic<std::uint64_t> connections_{0};
+  std::atomic<std::uint64_t> ok_{0};
+  std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> pings_{0};
+  std::atomic<std::uint64_t> cells_{0};
+  std::atomic<std::uint64_t> rows_{0};
+  std::atomic<std::uint64_t> queue_high_water_{0};
+  std::atomic<std::uint64_t> latency_max_us_{0};
+  std::array<std::atomic<std::uint64_t>, kBuckets> latency_hist_{};
+};
+
+/// The `serve_stats` block dumped on SIGUSR1 and at shutdown.
+std::string format_stats(const StatsSnapshot& s);
+
+}  // namespace caml::serve

@@ -1,0 +1,247 @@
+#include "util/net.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/error.hpp"
+#include "util/timing.hpp"
+
+namespace caml {
+
+namespace {
+
+// Marker prefixes keyed on by is_connection_lost_error. Kept as plain
+// message text so the public surface stays exception-type-minimal.
+constexpr const char* kConnLost = "connection lost: ";
+
+[[noreturn]] void net_fail(const std::string& what) {
+  throw Error(what + ": " + std::strerror(errno));
+}
+
+[[noreturn]] void conn_lost(const std::string& what) {
+  throw Error(kConnLost + what + (errno != 0 ? std::string(": ") + std::strerror(errno) : ""));
+}
+
+void set_cloexec(int fd) { ::fcntl(fd, F_SETFD, FD_CLOEXEC); }
+
+/// Remaining budget of a deadline given in monotonic microseconds;
+/// negative deadlines mean "wait forever" (poll convention: -1).
+int remaining_ms(std::int64_t deadline_us) {
+  if (deadline_us < 0) return -1;
+  const std::int64_t left = deadline_us - monotonic_us();
+  if (left <= 0) return 0;
+  return static_cast<int>((left + 999) / 1000);
+}
+
+std::int64_t deadline_from(int timeout_ms) {
+  return timeout_ms < 0 ? -1 : monotonic_us() + static_cast<std::int64_t>(timeout_ms) * 1000;
+}
+
+bool poll_one(int fd, short events, int timeout_ms) {
+  struct pollfd p;
+  p.fd = fd;
+  p.events = events;
+  p.revents = 0;
+  for (;;) {
+    const int rc = ::poll(&p, 1, timeout_ms);
+    if (rc > 0) return true;
+    if (rc == 0) return false;
+    if (errno == EINTR) continue;
+    net_fail("poll");
+  }
+}
+
+}  // namespace
+
+void Fd::reset(int fd) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+Pipe make_pipe() {
+  int fds[2];
+  if (::pipe(fds) != 0) net_fail("pipe");
+  Pipe p;
+  p.rd.reset(fds[0]);
+  p.wr.reset(fds[1]);
+  for (int fd : fds) {
+    ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL) | O_NONBLOCK);
+    set_cloexec(fd);
+  }
+  return p;
+}
+
+Fd listen_unix(const std::string& path, int backlog) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw Error("unix socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd) net_fail("socket(AF_UNIX)");
+  set_cloexec(fd.get());
+  ::unlink(path.c_str());  // stale socket from a previous run
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    net_fail("bind " + path);
+  }
+  if (::listen(fd.get(), backlog) != 0) net_fail("listen " + path);
+  return fd;
+}
+
+Fd listen_tcp(std::uint16_t port, int backlog) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd) net_fail("socket(AF_INET)");
+  set_cloexec(fd.get());
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    net_fail("bind tcp port " + std::to_string(port));
+  }
+  if (::listen(fd.get(), backlog) != 0) net_fail("listen tcp");
+  return fd;
+}
+
+std::uint16_t local_port(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    net_fail("getsockname");
+  }
+  return ntohs(addr.sin_port);
+}
+
+namespace {
+
+Fd finish_connect(Fd fd, const sockaddr* addr, socklen_t len, int timeout_ms,
+                  const std::string& what) {
+  // Non-blocking connect + poll so the timeout is honored.
+  const int flags = ::fcntl(fd.get(), F_GETFL);
+  ::fcntl(fd.get(), F_SETFL, flags | O_NONBLOCK);
+  if (::connect(fd.get(), addr, len) != 0) {
+    if (errno != EINPROGRESS) conn_lost("connect " + what);
+    if (!poll_one(fd.get(), POLLOUT, timeout_ms)) {
+      throw Error("connect " + what + ": timeout");
+    }
+    int err = 0;
+    socklen_t err_len = sizeof(err);
+    ::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &err_len);
+    if (err != 0) {
+      errno = err;
+      conn_lost("connect " + what);
+    }
+  }
+  ::fcntl(fd.get(), F_SETFL, flags);  // back to blocking; I/O uses poll
+  return fd;
+}
+
+}  // namespace
+
+Fd connect_unix(const std::string& path, int timeout_ms) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw Error("unix socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd) net_fail("socket(AF_UNIX)");
+  set_cloexec(fd.get());
+  return finish_connect(std::move(fd), reinterpret_cast<sockaddr*>(&addr), sizeof(addr),
+                        timeout_ms, path);
+}
+
+Fd connect_tcp(const std::string& host, std::uint16_t port, int timeout_ms) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw Error("invalid IPv4 address: " + host);
+  }
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd) net_fail("socket(AF_INET)");
+  set_cloexec(fd.get());
+  const int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return finish_connect(std::move(fd), reinterpret_cast<sockaddr*>(&addr), sizeof(addr),
+                        timeout_ms, host + ":" + std::to_string(port));
+}
+
+Fd accept_connection(int listen_fd) {
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) {
+      set_cloexec(fd);
+      return Fd(fd);
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ECONNABORTED) return Fd();
+    net_fail("accept");
+  }
+}
+
+bool wait_readable(int fd, int timeout_ms) { return poll_one(fd, POLLIN, timeout_ms); }
+
+bool read_exact(int fd, void* buf, std::size_t n, int timeout_ms) {
+  const std::int64_t deadline = deadline_from(timeout_ms);
+  unsigned char* out = static_cast<unsigned char*>(buf);
+  std::size_t done = 0;
+  while (done < n) {
+    if (!poll_one(fd, POLLIN, remaining_ms(deadline))) {
+      throw Error("read: timeout after " + std::to_string(timeout_ms) + " ms");
+    }
+    const ssize_t rc = ::recv(fd, out + done, n - done, 0);
+    if (rc > 0) {
+      done += static_cast<std::size_t>(rc);
+      continue;
+    }
+    if (rc == 0) {
+      if (done == 0) return false;  // clean EOF between records
+      errno = 0;
+      conn_lost("read: EOF mid-record");
+    }
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    if (errno == ECONNRESET) conn_lost("read");
+    net_fail("read");
+  }
+  return true;
+}
+
+void write_all(int fd, const void* buf, std::size_t n, int timeout_ms) {
+  const std::int64_t deadline = deadline_from(timeout_ms);
+  const unsigned char* in = static_cast<const unsigned char*>(buf);
+  std::size_t done = 0;
+  while (done < n) {
+    if (!poll_one(fd, POLLOUT, remaining_ms(deadline))) {
+      throw Error("write: timeout after " + std::to_string(timeout_ms) + " ms");
+    }
+    const ssize_t rc = ::send(fd, in + done, n - done, MSG_NOSIGNAL);
+    if (rc >= 0) {
+      done += static_cast<std::size_t>(rc);
+      continue;
+    }
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    if (errno == ECONNRESET || errno == EPIPE) conn_lost("write");
+    net_fail("write");
+  }
+}
+
+bool is_connection_lost_error(const std::string& what) {
+  return what.rfind(kConnLost, 0) == 0;
+}
+
+}  // namespace caml

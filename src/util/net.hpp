@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace caml {
+
+/// RAII POSIX file descriptor: closes on destruction, move-only. An
+/// invalid (empty) Fd holds -1.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+
+  Fd(Fd&& other) noexcept : fd_(other.release()) {}
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.release();
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  explicit operator bool() const { return valid(); }
+
+  /// Gives up ownership without closing.
+  int release() { return std::exchange(fd_, -1); }
+
+  /// Closes the descriptor (if any) and optionally adopts a new one.
+  void reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+/// A pipe pair used for self-pipe wakeups: signal handlers and stop()
+/// calls write one byte to `wr` to interrupt a poll() on `rd`. Both ends
+/// are created non-blocking and close-on-exec.
+struct Pipe {
+  Fd rd;
+  Fd wr;
+};
+
+/// Creates a non-blocking self-pipe. Throws caml::Error on failure.
+Pipe make_pipe();
+
+/// Binds and listens on a Unix-domain socket at `path` (an existing
+/// stale socket file is unlinked first). Throws caml::Error on failure.
+Fd listen_unix(const std::string& path, int backlog = 64);
+
+/// Binds and listens on loopback TCP `port` (0 = ephemeral). Throws
+/// caml::Error on failure.
+Fd listen_tcp(std::uint16_t port, int backlog = 64);
+
+/// The locally bound port of a listening TCP socket (resolves port 0).
+std::uint16_t local_port(int fd);
+
+/// Connects to a Unix-domain socket. Throws caml::Error on failure.
+Fd connect_unix(const std::string& path, int timeout_ms);
+
+/// Connects to loopback TCP. Throws caml::Error on failure.
+Fd connect_tcp(const std::string& host, std::uint16_t port, int timeout_ms);
+
+/// Accepts one pending connection; empty Fd if the listener has nothing
+/// ready (EAGAIN) or was interrupted. Throws caml::Error on real errors.
+Fd accept_connection(int listen_fd);
+
+/// Waits until `fd` is readable. Returns false on timeout.
+/// timeout_ms < 0 waits forever. Throws caml::Error on poll failure.
+bool wait_readable(int fd, int timeout_ms);
+
+/// Reads exactly `n` bytes. Returns false on clean EOF before the first
+/// byte; throws caml::Error on mid-record EOF, error, or timeout (the
+/// timeout covers the whole read, measured monotonically).
+bool read_exact(int fd, void* buf, std::size_t n, int timeout_ms);
+
+/// Writes all `n` bytes. Throws caml::Error on error or timeout. SIGPIPE
+/// is suppressed (MSG_NOSIGNAL); a closed peer raises caml::Error.
+void write_all(int fd, const void* buf, std::size_t n, int timeout_ms);
+
+/// True when the Error message of a failed read/write/connect indicates
+/// the peer vanished (connection reset / refused / broken pipe / EOF) —
+/// the retryable class of client failures, as opposed to timeouts or
+/// protocol violations.
+bool is_connection_lost_error(const std::string& what);
+
+}  // namespace caml

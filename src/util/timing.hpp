@@ -1,0 +1,29 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace caml {
+
+/// Monotonic clock reading in microseconds. Only differences are
+/// meaningful (steady_clock epoch is arbitrary); used for I/O deadlines
+/// and request-latency measurement, never for wall-clock timestamps.
+inline std::int64_t monotonic_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Monotonic stopwatch for latency measurement.
+class Stopwatch {
+ public:
+  Stopwatch() : start_us_(monotonic_us()) {}
+  std::int64_t elapsed_us() const { return monotonic_us() - start_us_; }
+  double elapsed_ms() const { return static_cast<double>(elapsed_us()) / 1000.0; }
+  void restart() { start_us_ = monotonic_us(); }
+
+ private:
+  std::int64_t start_us_;
+};
+
+}  // namespace caml

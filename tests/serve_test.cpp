@@ -1,0 +1,386 @@
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <thread>
+
+#include "camatrix/canonical.hpp"
+#include "camodel/model_io.hpp"
+#include "flow/model_store.hpp"
+#include "netlist/spice_parser.hpp"
+#include "netlist/spice_writer.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "test_support.hpp"
+#include "util/net.hpp"
+
+namespace caml {
+namespace {
+
+using serve::Client;
+using serve::ClientOptions;
+using serve::decode_error;
+using serve::decode_frame;
+using serve::decode_header;
+using serve::encode_error;
+using serve::encode_frame;
+using serve::ErrorBody;
+using serve::ErrorCode;
+using serve::Frame;
+using serve::MsgType;
+using serve::ProtocolError;
+using serve::RemoteError;
+using serve::Server;
+using serve::ServerOptions;
+using testing::build_function;
+using testing::characterize;
+
+// ---------------------------------------------------------------------------
+// Protocol codec
+
+TEST(ServeProtocol, FrameRoundTrip) {
+  Frame frame;
+  frame.type = MsgType::kPredictCell;
+  frame.request_id = 0x0123456789ABCDEFull;
+  frame.payload = std::string("* netlist\n.SUBCKT X A Z\n.ENDS\n\0binary", 37);
+
+  const std::string bytes = encode_frame(frame);
+  ASSERT_EQ(bytes.size(), serve::kHeaderSize + frame.payload.size());
+  const Frame back = decode_frame(bytes);
+  EXPECT_EQ(back.version, serve::kProtocolVersion);
+  EXPECT_EQ(back.type, frame.type);
+  EXPECT_EQ(back.request_id, frame.request_id);
+  EXPECT_EQ(back.payload, frame.payload);
+
+  // Empty payload (kPing) round-trips too.
+  Frame ping;
+  ping.type = MsgType::kPing;
+  ping.request_id = 7;
+  const Frame ping_back = decode_frame(encode_frame(ping));
+  EXPECT_EQ(ping_back.type, MsgType::kPing);
+  EXPECT_EQ(ping_back.request_id, 7u);
+  EXPECT_TRUE(ping_back.payload.empty());
+}
+
+TEST(ServeProtocol, ErrorBodyRoundTrip) {
+  const ErrorBody body{ErrorCode::kOverloaded, 75, "queue full"};
+  const ErrorBody back = decode_error(encode_error(body));
+  EXPECT_EQ(back.code, ErrorCode::kOverloaded);
+  EXPECT_EQ(back.retry_after_ms, 75u);
+  EXPECT_EQ(back.message, "queue full");
+
+  EXPECT_THROW(decode_error("short"), ProtocolError);
+}
+
+TEST(ServeProtocol, RejectsMalformedFrames) {
+  const std::string good = encode_frame(Frame{});
+
+  // Truncated: any prefix shorter than a complete frame.
+  EXPECT_THROW(decode_frame(std::string_view(good).substr(0, 3)), ProtocolError);
+  EXPECT_THROW(decode_frame(std::string_view(good).substr(0, serve::kHeaderSize - 1)),
+               ProtocolError);
+
+  // Trailing bytes after the declared payload.
+  EXPECT_THROW(decode_frame(good + "x"), ProtocolError);
+
+  // Corrupt magic.
+  std::string bad_magic = good;
+  bad_magic[0] = 'X';
+  EXPECT_THROW(decode_frame(bad_magic), ProtocolError);
+
+  // Oversized payload length in the header (kMaxPayload + 1, little-endian
+  // at offset 16) must be rejected before any allocation happens.
+  std::string oversized = good;
+  const std::uint32_t huge = serve::kMaxPayload + 1;
+  for (int i = 0; i < 4; ++i) {
+    oversized[16 + i] = static_cast<char>((huge >> (8 * i)) & 0xFF);
+  }
+  EXPECT_THROW(decode_header(reinterpret_cast<const unsigned char*>(oversized.data())),
+               ProtocolError);
+
+  // Encoding an over-limit payload is refused symmetrically.
+  Frame too_big;
+  too_big.payload.resize(serve::kMaxPayload + 1);
+  EXPECT_THROW(encode_frame(too_big), ProtocolError);
+}
+
+TEST(ServeProtocol, HeaderAcceptsUnknownVersion) {
+  // The header decoder must not reject unknown versions: the server reads
+  // the full frame and answers kUnsupportedVersion instead of hanging up
+  // silently.
+  Frame frame;
+  frame.version = 99;
+  const std::string bytes = encode_frame(frame);
+  const serve::FrameHeader header =
+      decode_header(reinterpret_cast<const unsigned char*>(bytes.data()));
+  EXPECT_EQ(header.version, 99u);
+}
+
+TEST(ServeNet, ConnectionLostClassifier) {
+  EXPECT_TRUE(is_connection_lost_error("connection lost: connection reset by peer"));
+  EXPECT_FALSE(is_connection_lost_error("read timed out after 5000 ms"));
+  EXPECT_FALSE(is_connection_lost_error("protocol: bad magic"));
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end server tests
+
+std::string temp_socket(const char* tag) {
+  // Keep it short: AF_UNIX paths are limited to ~100 bytes.
+  return (std::filesystem::temp_directory_path() /
+          ("caml_t" + std::to_string(::getpid()) + "_" + tag + ".sock"))
+      .string();
+}
+
+/// One store shared by every server test: a single (2-input, 4-transistor)
+/// group trained on one NAND2. Training is the slow part, so do it once.
+const GroupModelStore& shared_store() {
+  static const GroupModelStore store = [] {
+    const Technology tech = technology_28soi();
+    std::vector<CharacterizedCell> training;
+    training.push_back(
+        characterize(build_function("NAND2", tech, {1, StructureVariant::kWide}, 1), tech));
+    MlOptions options;
+    options.forest.num_trees = 8;
+    return GroupModelStore::train(training, options);
+  }();
+  return store;
+}
+
+/// A fresh NAND2 twin (different seed than the training cell).
+Cell make_target_nand2() {
+  const Technology tech = technology_28soi();
+  return build_function("NAND2", tech, {1, StructureVariant::kWide}, 9).cell;
+}
+
+TEST(ServeServer, LoopbackPredictMatchesInProcess) {
+  const Cell target = make_target_nand2();
+  const std::string netlist = SpiceWriter().to_string(target);
+
+  // Ground truth computed in-process with the exact parameters the server
+  // uses: the parsed-back cell, default PolicyProfile, default SimConfig.
+  const std::vector<Cell> parsed = SpiceParser().parse_string(netlist);
+  ASSERT_EQ(parsed.size(), 1u);
+  const CanonicalCell canonical = canonicalize(parsed.front());
+  const CaModel expected_model =
+      shared_store().predict(parsed.front(), canonical,
+                             PolicyProfile{}.policy_for(parsed.front().num_inputs()),
+                             SimConfig{});
+  const std::string expected = ca_model_to_string(expected_model, parsed.front());
+  ASSERT_FALSE(expected.empty());
+
+  ServerOptions options;
+  options.socket_path = temp_socket("loopback");
+  options.jobs = 2;
+  Server server(shared_store(), options);
+  server.start();
+
+  ClientOptions copts;
+  copts.socket_path = options.socket_path;
+  Client client(copts);
+  client.ping();
+  const std::string served = client.predict_cell(netlist);
+  EXPECT_EQ(served, expected) << "served prediction must be byte-identical";
+
+  // A second request on the same keep-alive connection works and is
+  // deterministic.
+  EXPECT_EQ(client.predict_cell(netlist), expected);
+
+  const serve::StatsSnapshot stats = server.stats();
+  EXPECT_EQ(stats.requests_ok, 2u);
+  EXPECT_EQ(stats.pings, 1u);
+  EXPECT_EQ(stats.cells_predicted, 2u);
+  EXPECT_GT(stats.rows_classified, 0u);
+  EXPECT_EQ(stats.requests_error, 0u);
+  server.stop();
+}
+
+TEST(ServeServer, TcpLoopbackWorks) {
+  ServerOptions options;  // no socket_path: loopback TCP, ephemeral port
+  options.jobs = 1;
+  Server server(shared_store(), options);
+  server.start();
+  ASSERT_NE(server.port(), 0);
+
+  ClientOptions copts;
+  copts.port = server.port();
+  Client client(copts);
+  client.ping();
+  const std::string served = client.predict_cell(SpiceWriter().to_string(make_target_nand2()));
+  EXPECT_NE(served.find("CAMODEL"), std::string::npos);
+  server.stop();
+}
+
+TEST(ServeServer, NoGroupIsStructuredErrorAndServerSurvives) {
+  const Technology tech = technology_28soi();
+  // INV is a (1 input, 2 transistor) group — absent from the NAND2-only
+  // store, so the server must answer NO_GROUP rather than fall over.
+  const Cell inv = build_function("INV", tech).cell;
+
+  ServerOptions options;
+  options.socket_path = temp_socket("nogroup");
+  options.jobs = 1;
+  Server server(shared_store(), options);
+  server.start();
+
+  ClientOptions copts;
+  copts.socket_path = options.socket_path;
+  Client client(copts);
+  try {
+    client.predict_cell(SpiceWriter().to_string(inv));
+    FAIL() << "expected RemoteError";
+  } catch (const RemoteError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kNoGroup);
+    EXPECT_NE(std::string(e.what()).find("NO_GROUP"), std::string::npos);
+  }
+
+  // The error was per-request: the same server still predicts fine.
+  const std::string served = client.predict_cell(SpiceWriter().to_string(make_target_nand2()));
+  EXPECT_NE(served.find("CAMODEL"), std::string::npos);
+  EXPECT_EQ(server.stats().requests_error, 1u);
+  EXPECT_EQ(server.stats().requests_ok, 1u);
+  server.stop();
+}
+
+TEST(ServeServer, UnknownVersionRejected) {
+  ServerOptions options;
+  options.socket_path = temp_socket("version");
+  options.jobs = 1;
+  Server server(shared_store(), options);
+  server.start();
+
+  const Fd conn = connect_unix(options.socket_path, 2000);
+  Frame request;
+  request.version = 99;
+  request.type = MsgType::kPing;
+  request.request_id = 42;
+  serve::write_frame(conn.get(), request, 2000);
+  const std::optional<Frame> response = serve::read_frame(conn.get(), 5000);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->type, MsgType::kError);
+  EXPECT_EQ(response->request_id, 42u);
+  EXPECT_EQ(decode_error(response->payload).code, ErrorCode::kUnsupportedVersion);
+  server.stop();
+}
+
+TEST(ServeServer, SurvivesMalformedFrame) {
+  ServerOptions options;
+  options.socket_path = temp_socket("malformed");
+  options.jobs = 1;
+  Server server(shared_store(), options);
+  server.start();
+
+  {
+    // Garbage bytes (wrong magic): the server answers BAD_REQUEST
+    // best-effort and closes this connection only. Exactly one header's
+    // worth, so no unread bytes remain to turn the server's close into a
+    // reset that could discard the queued error frame.
+    const Fd conn = connect_unix(options.socket_path, 2000);
+    const std::string garbage(serve::kHeaderSize, 'X');
+    write_all(conn.get(), garbage.data(), garbage.size(), 2000);
+    const std::optional<Frame> response = serve::read_frame(conn.get(), 5000);
+    ASSERT_TRUE(response.has_value());
+    EXPECT_EQ(response->type, MsgType::kError);
+    EXPECT_EQ(decode_error(response->payload).code, ErrorCode::kBadRequest);
+    // Server closes the connection after a framing violation.
+    EXPECT_FALSE(serve::read_frame(conn.get(), 5000).has_value());
+  }
+
+  // The daemon itself keeps serving.
+  ClientOptions copts;
+  copts.socket_path = options.socket_path;
+  Client client(copts);
+  client.ping();
+  EXPECT_NE(client.predict_cell(SpiceWriter().to_string(make_target_nand2()))
+                .find("CAMODEL"),
+            std::string::npos);
+  server.stop();
+}
+
+TEST(ServeServer, BackpressureRejectsWhenQueueFull) {
+  ServerOptions options;
+  options.socket_path = temp_socket("backpressure");
+  options.jobs = 1;       // one worker to occupy
+  options.max_queue = 1;  // one pending slot beyond it
+  options.retry_after_ms = 75;
+  options.read_timeout_ms = 3000;
+  Server server(shared_store(), options);
+  server.start();
+
+  // Occupy the single worker: send a partial header so it blocks inside
+  // read_frame waiting for the rest (bounded by read_timeout_ms).
+  const Fd busy = connect_unix(options.socket_path, 2000);
+  const std::string partial = encode_frame(Frame{}).substr(0, 4);
+  write_all(busy.get(), partial.data(), partial.size(), 2000);
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+
+  // Fills the one queue slot (no worker free to pick it up).
+  const Fd queued = connect_unix(options.socket_path, 2000);
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  // Queue full: this connection must be rejected with a structured
+  // OVERLOADED error carrying the retry-after hint, without the request
+  // ever being read (request id 0).
+  const Fd rejected = connect_unix(options.socket_path, 2000);
+  const std::optional<Frame> response = serve::read_frame(rejected.get(), 5000);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->type, MsgType::kError);
+  EXPECT_EQ(response->request_id, 0u);
+  const ErrorBody body = decode_error(response->payload);
+  EXPECT_EQ(body.code, ErrorCode::kOverloaded);
+  EXPECT_EQ(body.retry_after_ms, 75u);
+
+  EXPECT_EQ(server.stats().rejected_overload, 1u);
+  EXPECT_EQ(server.stats().queue_high_water, 1u);
+  server.stop();
+}
+
+TEST(ServeClient, RemoteErrorsAreNotRetriedAsTransport) {
+  // A RemoteError (structured server answer) must surface immediately;
+  // only connection-loss transport failures are retried. Exercised by
+  // pointing a retry-enabled client at a dead socket: it retries, then
+  // fails with a transport Error (not RemoteError).
+  ClientOptions copts;
+  copts.socket_path = temp_socket("dead");
+  copts.connect_timeout_ms = 200;
+  copts.retries = 1;
+  copts.backoff_ms = 10;
+  Client client(copts);
+  try {
+    client.ping();
+    FAIL() << "expected transport Error";
+  } catch (const RemoteError&) {
+    FAIL() << "a missing server is a transport failure, not a RemoteError";
+  } catch (const Error& e) {
+    EXPECT_TRUE(is_connection_lost_error(e.what())) << e.what();
+  }
+}
+
+TEST(ServeServer, StopIsIdempotentAndRestartsCleanly) {
+  ServerOptions options;
+  options.socket_path = temp_socket("restart");
+  options.jobs = 1;
+  {
+    Server server(shared_store(), options);
+    server.start();
+    EXPECT_TRUE(server.running());
+    server.stop();
+    server.stop();  // idempotent
+    EXPECT_FALSE(server.running());
+  }
+  // The socket path is released: a second server binds the same path.
+  Server again(shared_store(), options);
+  again.start();
+  ClientOptions copts;
+  copts.socket_path = options.socket_path;
+  Client client(copts);
+  client.ping();
+  again.stop();
+}
+
+}  // namespace
+}  // namespace caml

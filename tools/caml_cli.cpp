@@ -5,6 +5,8 @@
 //   caml train <lib.sp> <camodel-dir> -o <models.caml>
 //   caml predict <lib.sp> -m <models.caml> -o <dir>
 //   caml patterns <lib.sp> <camodel-dir>     cell-aware test pattern report
+//   caml serve <models.caml> --socket PATH   long-lived inference daemon
+//   caml query <cell.sp> --socket PATH       predict via a running daemon
 //
 // Common options:
 //   --policy static|single|exhaustive   stimulus set (default exhaustive<=4
@@ -13,18 +15,26 @@
 //   --jobs N                            worker threads (default: one per
 //                                       hardware thread; 1 = serial)
 //   --inter-shorts                      include inter-transistor bridges
+#include <csignal>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <optional>
+#include <sstream>
 #include <thread>
+
+#include <unistd.h>
 
 #include "camodel/model_io.hpp"
 #include "camodel/pattern_selection.hpp"
 #include "flow/model_store.hpp"
 #include "netlist/spice_parser.hpp"
+#include "netlist/spice_writer.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
+#include "util/net.hpp"
 #include "util/strings.hpp"
 #include "util/thread_pool.hpp"
 
@@ -41,6 +51,11 @@ struct Args {
   std::size_t trees = 20;
   std::size_t jobs = std::thread::hardware_concurrency();
   bool inter_shorts = false;
+  // serve / query
+  std::string socket;
+  std::uint16_t port = 0;
+  std::size_t max_queue = 64;
+  bool ping = false;
 };
 
 [[noreturn]] void usage(const std::string& error = "") {
@@ -50,12 +65,22 @@ struct Args {
       "  caml characterize <lib.sp> -o <dir> [--policy P] [--inter-shorts] [--jobs N]\n"
       "  caml canonicalize <lib.sp>\n"
       "  caml train <lib.sp> <camodel-dir> -o <models.caml> [--trees N] [--jobs N]\n"
-      "  caml predict <lib.sp> -m <models.caml> -o <dir> [--policy P]\n"
+      "  caml predict <lib.sp> -m <models.caml> -o <dir> [--policy P] [--jobs N]\n"
       "  caml patterns <lib.sp> <camodel-dir>\n"
+      "  caml serve <models.caml> --socket PATH [--port N] [--jobs N] [--max-queue N]\n"
+      "  caml query <cell.sp> --socket PATH [--port N] [-o <dir>] [--ping]\n"
       "policies: static | single | exhaustive (default: exhaustive for\n"
       "cells with <= 4 inputs, single-input-change above)\n"
       "--jobs N: worker threads (default: one per hardware thread;\n"
-      "1 = serial). Outputs are identical for every thread count.\n";
+      "1 = serial). Outputs are identical for every thread count.\n"
+      "serve: loads the trained models once and answers query requests\n"
+      "over a Unix-domain socket (--socket) or loopback TCP (--port).\n"
+      "SIGUSR1 dumps the serve_stats block; SIGINT/SIGTERM shut down\n"
+      "gracefully (in-flight requests finish). --max-queue bounds the\n"
+      "accepted-connection backlog; beyond it clients get an OVERLOADED\n"
+      "reject with a retry-after hint instead of unbounded queueing.\n"
+      "query: sends each cell of <cell.sp> to a running daemon; writes\n"
+      "predicted .camodel files to -o (or stdout). --ping just probes.\n";
   std::exit(2);
 }
 
@@ -81,6 +106,14 @@ Args parse_args(int argc, char** argv) {
     else if (a == "--trees") args.trees = count_value();
     else if (a == "--jobs") args.jobs = count_value();
     else if (a == "--inter-shorts") args.inter_shorts = true;
+    else if (a == "--socket") args.socket = value();
+    else if (a == "--port") {
+      const std::size_t port = count_value();
+      if (port == 0 || port > 65535) usage("--port needs a value in 1..65535");
+      args.port = static_cast<std::uint16_t>(port);
+    }
+    else if (a == "--max-queue") args.max_queue = count_value();
+    else if (a == "--ping") args.ping = true;
     else if (a.rfind('-', 0) == 0) usage("unknown option " + a);
     else args.positional.push_back(a);
   }
@@ -200,26 +233,163 @@ int cmd_predict(const Args& args) {
   std::cerr << "loaded " << store.num_groups() << " group models\n";
   std::filesystem::create_directories(args.out);
 
+  // Inference (matrix construction + batched classification) runs on the
+  // worker pool; the store is shared read-only (predict is const and
+  // thread-safe). Files and report lines are written serially in netlist
+  // order afterwards, so the output is bit-identical for every --jobs
+  // value — the same contract characterize has.
+  struct Outcome {
+    bool ok = false;
+    std::string camodel_text;  // serialized on the worker, written serially
+    std::string report_line;
+  };
+  const std::vector<Cell> cells = load_cells(args.positional[0]);
+  const std::vector<Outcome> outcomes =
+      parallel_map(cells, args.jobs, [&](const Cell& cell) {
+        Outcome out;
+        std::ostringstream line;
+        try {
+          const CanonicalCell canon = canonicalize(cell);
+          const CaModel predicted =
+              store.predict(cell, canon, policy_for(args, cell), SimConfig{});
+          out.camodel_text = ca_model_to_string(predicted, cell);
+          line << cell.name() << ": predicted (" << predicted.defects.size()
+               << " defects, " << predicted.count_class(DefectClass::kStatic)
+               << " static / " << predicted.count_class(DefectClass::kDynamic)
+               << " dynamic)";
+          out.ok = true;
+        } catch (const Error& e) {
+          line << cell.name() << ": " << e.what();
+        }
+        out.report_line = line.str();
+        return out;
+      });
+
   std::size_t predicted_cells = 0, skipped = 0;
-  for (const Cell& cell : load_cells(args.positional[0])) {
-    const CanonicalCell canon = canonicalize(cell);
-    try {
-      const CaModel predicted =
-          store.predict(cell, canon, policy_for(args, cell), SimConfig{});
-      std::ofstream os(args.out + "/" + cell.name() + ".camodel");
-      write_ca_model(os, predicted, cell);
-      std::cout << cell.name() << ": predicted (" << predicted.defects.size() << " defects, "
-                << predicted.count_class(DefectClass::kStatic) << " static / "
-                << predicted.count_class(DefectClass::kDynamic) << " dynamic)\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Outcome& out = outcomes[i];
+    if (out.ok) {
+      std::ofstream os(args.out + "/" + cells[i].name() + ".camodel");
+      os << out.camodel_text;
       ++predicted_cells;
-    } catch (const Error& e) {
-      std::cout << cell.name() << ": " << e.what() << '\n';
+    } else {
       ++skipped;
     }
+    std::cout << out.report_line << '\n';
   }
   std::cout << predicted_cells << " cells predicted, " << skipped
             << " need conventional generation\n";
   return 0;
+}
+
+// Signal handlers must stay async-signal-safe: the handler only writes
+// the signal number to this self-pipe; the main thread polls the read
+// end and does the actual work (stats dump / graceful stop).
+int g_signal_pipe_wr = -1;
+
+void signal_to_pipe(int sig) {
+  const unsigned char byte = static_cast<unsigned char>(sig);
+  [[maybe_unused]] const ssize_t rc = ::write(g_signal_pipe_wr, &byte, 1);
+}
+
+int cmd_serve(const Args& args) {
+  if (args.positional.size() != 1 || (args.socket.empty() && args.port == 0)) {
+    usage("serve needs <models.caml> and --socket PATH (or --port N)");
+  }
+  std::ifstream ms(args.positional[0]);
+  if (!ms) throw Error("cannot read " + args.positional[0]);
+  GroupModelStore store = GroupModelStore::load(ms);
+  std::cerr << "loaded " << store.num_groups() << " group models from "
+            << args.positional[0] << '\n';
+  Log::set_level(LogLevel::kInfo);
+
+  serve::ServerOptions options;
+  options.socket_path = args.socket;
+  options.tcp_port = args.port;
+  options.jobs = args.jobs;
+  options.max_queue = args.max_queue;
+  serve::Server server(std::move(store), options);
+
+  Pipe signal_pipe = make_pipe();
+  g_signal_pipe_wr = signal_pipe.wr.get();
+  struct sigaction sa{};
+  sa.sa_handler = signal_to_pipe;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESTART;
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGUSR1, &sa, nullptr);
+
+  server.start();
+  if (server.port() != 0) {
+    std::cout << "listening on 127.0.0.1:" << server.port() << std::endl;
+  }
+  for (;;) {
+    if (!wait_readable(signal_pipe.rd.get(), -1)) continue;
+    unsigned char sig = 0;
+    if (::read(signal_pipe.rd.get(), &sig, 1) != 1) continue;
+    if (sig == SIGUSR1) {
+      std::cerr << serve::format_stats(server.stats());
+      continue;
+    }
+    break;  // SIGINT / SIGTERM
+  }
+  std::cerr << "shutting down (draining in-flight requests)\n";
+  server.stop();
+  std::cerr << serve::format_stats(server.stats());
+  return 0;
+}
+
+int cmd_query(const Args& args) {
+  if (args.socket.empty() && args.port == 0) {
+    usage("query needs --socket PATH (or --port N)");
+  }
+  serve::ClientOptions copts;
+  copts.socket_path = args.socket;
+  copts.port = args.port;
+  serve::Client client(copts);
+  if (args.ping) {
+    if (!args.positional.empty()) usage("--ping takes no netlist");
+    client.ping();
+    std::cout << "pong\n";
+    return 0;
+  }
+  if (args.positional.size() != 1) usage("query needs a netlist and --socket/--port");
+
+  std::ifstream is(args.positional[0]);
+  if (!is) throw Error("cannot read " + args.positional[0]);
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  const std::string file_text = buffer.str();
+  const std::vector<Cell> cells = SpiceParser().parse_string(file_text);
+  if (cells.empty()) throw Error("no subcircuits found in " + args.positional[0]);
+  if (!args.out.empty()) std::filesystem::create_directories(args.out);
+
+  const SpiceWriter writer;
+  std::size_t predicted = 0, failed = 0;
+  for (const Cell& cell : cells) {
+    // A single-cell file is forwarded verbatim (byte-transparent); a
+    // multi-cell library is split into one request per cell.
+    const std::string request = cells.size() == 1 ? file_text : writer.to_string(cell);
+    try {
+      const std::string camodel = client.predict_cell(request);
+      if (args.out.empty()) {
+        std::cout << camodel;
+      } else {
+        std::ofstream os(args.out + "/" + cell.name() + ".camodel");
+        os << camodel;
+        std::cout << cell.name() << ": predicted\n";
+      }
+      ++predicted;
+    } catch (const serve::RemoteError& e) {
+      std::cout << cell.name() << ": " << e.what() << '\n';
+      ++failed;
+    }
+  }
+  if (!args.out.empty() || failed > 0) {
+    std::cout << predicted << " cells predicted, " << failed << " failed\n";
+  }
+  return failed == 0 ? 0 : 1;
 }
 
 int cmd_patterns(const Args& args) {
@@ -254,6 +424,8 @@ int main(int argc, char** argv) {
     if (args.command == "train") return cmd_train(args);
     if (args.command == "predict") return cmd_predict(args);
     if (args.command == "patterns") return cmd_patterns(args);
+    if (args.command == "serve") return cmd_serve(args);
+    if (args.command == "query") return cmd_query(args);
     usage("unknown command " + args.command);
   } catch (const caml::Error& e) {
     std::cerr << "error: " << e.what() << '\n';
