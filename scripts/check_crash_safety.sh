@@ -1,0 +1,134 @@
+#!/usr/bin/env bash
+# Crash-safety harness: builds an instrumented tree with
+# -DCAML_FAULT_INJECTION=ON, runs the fault-gated unit tests, then
+# drives the CLI end to end:
+#
+#   * kill sweep — SIGKILLs `caml characterize` at the Nth persistence
+#     operation for N = 1, 2, ... (via CAML_FAULT="*:kill:N"), resumes
+#     with --resume, and byte-compares the final model directory against
+#     an uninterrupted reference run;
+#   * corrupt-store rejection — a bit-flipped model store must make
+#     `caml serve` refuse startup with exit code 3 and `caml predict`
+#     fail loudly;
+#   * SIGHUP hot reload — a failed reload (corrupt file on disk) keeps
+#     the daemon serving the old models; a good reload is counted.
+#
+# Exits nonzero on any violation. Pass a different build dir as $1.
+set -eu
+BUILD_DIR="${1:-build-fault}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+cmake -B "$BUILD_DIR" -S "$ROOT" -DCAML_FAULT_INJECTION=ON >/dev/null
+cmake --build "$BUILD_DIR" -j --target caml_cli caml_tests characterize_library >/dev/null
+CAML="$BUILD_DIR/tools/caml"
+
+WORK="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+  if [ -n "$SERVER_PID" ] && kill -0 "$SERVER_PID" 2>/dev/null; then
+    kill -9 "$SERVER_PID" 2>/dev/null || true
+  fi
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+corrupt_byte() {
+  # Flips one byte near the end of $1 (inside the framed payload, past
+  # the container header — exactly what the CRC must catch).
+  local file="$1" size offset
+  size=$(wc -c < "$file")
+  offset=$((size - 4))
+  printf '\377' | dd of="$file" bs=1 seek="$offset" conv=notrunc 2>/dev/null
+}
+
+echo "== fault-gated unit tests"
+"$BUILD_DIR"/tests/caml_tests --gtest_filter='IoFault*:DurabilityFault*' \
+  | grep -q 'PASSED' || { echo "FAIL: fault-injection unit tests failed"; exit 1; }
+
+echo "== generate a small library"
+"$BUILD_DIR"/examples/characterize_library "$WORK/lib" >/dev/null
+# First three cells are plenty for the kill sweep and keep it fast.
+awk '/^\.SUBCKT/{n++} n<=3' "$WORK/lib/28SOI.sp" > "$WORK/small.sp"
+grep -q '^\.SUBCKT' "$WORK/small.sp" || { echo "FAIL: no cells extracted"; exit 1; }
+
+echo "== kill sweep: SIGKILL at the Nth persistence op, resume, byte-compare"
+"$CAML" characterize "$WORK/small.sp" -o "$WORK/ref" --jobs 1 --checkpoint-every 1 \
+  >/dev/null 2>&1
+completed_without_kill=0
+for n in $(seq 1 24); do
+  rm -rf "$WORK/run"
+  status=0
+  CAML_FAULT="*:kill:$n" "$CAML" characterize "$WORK/small.sp" -o "$WORK/run" \
+    --jobs 1 --checkpoint-every 1 >/dev/null 2>&1 || status=$?
+  if [ "$status" = 0 ]; then
+    # The run outlived the fault: every persistence op < n already
+    # survived a kill, so the sweep is complete.
+    completed_without_kill=1
+    diff -r "$WORK/ref" "$WORK/run" >/dev/null \
+      || { echo "FAIL: un-killed run at n=$n differs from reference"; exit 1; }
+    break
+  fi
+  [ "$status" = 137 ] \
+    || { echo "FAIL: kill:$n exited with $status, expected SIGKILL (137)"; exit 1; }
+  "$CAML" characterize "$WORK/small.sp" -o "$WORK/run" --resume \
+    --jobs 1 --checkpoint-every 1 >/dev/null 2>&1 \
+    || { echo "FAIL: resume after kill:$n failed"; exit 1; }
+  diff -r "$WORK/ref" "$WORK/run" >/dev/null \
+    || { echo "FAIL: resumed directory differs from reference after kill:$n"; diff -r "$WORK/ref" "$WORK/run" | head; exit 1; }
+done
+[ "$completed_without_kill" = 1 ] \
+  || { echo "FAIL: sweep never ran past the last persistence op (raise the bound)"; exit 1; }
+
+echo "== corrupt-store rejection"
+"$CAML" train "$WORK/small.sp" "$WORK/ref" -o "$WORK/groups.caml" --trees 8 >/dev/null 2>&1
+cp "$WORK/groups.caml" "$WORK/groups.bad.caml"
+corrupt_byte "$WORK/groups.bad.caml"
+status=0
+"$CAML" serve "$WORK/groups.bad.caml" --socket "$WORK/reject.sock" \
+  >/dev/null 2>"$WORK/reject.err" || status=$?
+[ "$status" = 3 ] \
+  || { echo "FAIL: serve accepted a corrupt store (exit $status, want 3)"; exit 1; }
+grep -q "refusing to serve" "$WORK/reject.err" \
+  || { echo "FAIL: serve rejection is not a structured error"; cat "$WORK/reject.err"; exit 1; }
+status=0
+"$CAML" predict "$WORK/small.sp" -m "$WORK/groups.bad.caml" -o "$WORK/nope" \
+  >/dev/null 2>"$WORK/predict.err" || status=$?
+[ "$status" != 0 ] || { echo "FAIL: predict loaded a corrupt store"; exit 1; }
+grep -q "groups.bad.caml" "$WORK/predict.err" \
+  || { echo "FAIL: predict error does not name the corrupt file"; cat "$WORK/predict.err"; exit 1; }
+
+echo "== SIGHUP hot reload (failed reload keeps serving, good reload counted)"
+SOCK="$WORK/serve.sock"
+"$CAML" serve "$WORK/groups.caml" --socket "$SOCK" --jobs 2 2>"$WORK/server.err" &
+SERVER_PID=$!
+ready=0
+for _ in $(seq 1 50); do
+  if "$CAML" query --ping --socket "$SOCK" >/dev/null 2>&1; then ready=1; break; fi
+  sleep 0.1
+done
+[ "$ready" = 1 ] || { echo "FAIL: server never answered ping"; cat "$WORK/server.err"; exit 1; }
+
+# Corrupt the store on disk, SIGHUP: the reload must fail validation and
+# the daemon must keep answering with the models it already has.
+corrupt_byte "$WORK/groups.caml"
+kill -HUP "$SERVER_PID"
+sleep 0.5
+"$CAML" query --ping --socket "$SOCK" >/dev/null 2>&1 \
+  || { echo "FAIL: daemon died or stopped serving after a failed reload"; cat "$WORK/server.err"; exit 1; }
+grep -q "reload of .* failed" "$WORK/server.err" \
+  || { echo "FAIL: failed reload was not logged"; cat "$WORK/server.err"; exit 1; }
+
+# Restore a valid store, SIGHUP again: the swap must be logged/counted.
+"$CAML" train "$WORK/small.sp" "$WORK/ref" -o "$WORK/groups.caml" --trees 8 >/dev/null 2>&1
+kill -HUP "$SERVER_PID"
+sleep 0.5
+grep -q "model store reloaded" "$WORK/server.err" \
+  || { echo "FAIL: good reload not applied"; cat "$WORK/server.err"; exit 1; }
+
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" || { echo "FAIL: server exited nonzero"; cat "$WORK/server.err"; exit 1; }
+SERVER_PID=""
+awk '/reloads/ {v=$2} END {exit (v == 1) ? 0 : 1}' "$WORK/server.err" \
+  || { echo "FAIL: stats do not count exactly one successful reload"; cat "$WORK/server.err"; exit 1; }
+
+echo "crash-safety check passed (kill sweep byte-identical, corrupt stores rejected, hot reload safe)"

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "util/error.hpp"
+#include "util/io.hpp"
 #include "util/strings.hpp"
 
 namespace caml {
@@ -186,6 +187,19 @@ std::string ca_model_to_string(const CaModel& model, const Cell& cell) {
 CaModel ca_model_from_string(const std::string& text, const Cell& cell) {
   std::istringstream in(text);
   return read_ca_model(in, cell);
+}
+
+void write_ca_model_file(const std::string& path, const CaModel& model, const Cell& cell) {
+  io::write_checksummed_file(path, "camodel", ca_model_to_string(model, cell), "checkpoint");
+}
+
+CaModel read_ca_model_file(const std::string& path, const Cell& cell) {
+  const std::string text = io::read_checksummed_or_raw(path, "camodel");
+  try {
+    return ca_model_from_string(text, cell);
+  } catch (const ParseError& e) {
+    throw ParseError::in_file(path, e);
+  }
 }
 
 }  // namespace caml

@@ -1,11 +1,50 @@
 #include "flow/characterize.hpp"
 
 #include <atomic>
+#include <filesystem>
+#include <optional>
 
+#include "camodel/model_io.hpp"
+#include "util/error.hpp"
 #include "util/log.hpp"
 #include "util/thread_pool.hpp"
 
 namespace caml {
+
+namespace {
+
+/// The simulator config a cell would be characterized with — needed both
+/// by the fresh path and to reconstruct checkpointed cells identically.
+SimConfig effective_sim(const Technology& tech, const CharacterizeOptions& options) {
+  return options.use_technology_sim ? tech.sim : options.sim_override;
+}
+
+std::string artifact_path(const std::string& dir, const std::string& cell_name) {
+  return (std::filesystem::path(dir) / (cell_name + ".camodel")).string();
+}
+
+/// Rebuilds a CharacterizedCell from its checkpoint artifact. The model
+/// text round-trips exactly; canonical form and sim config are pure
+/// recomputations, so the result is bit-identical to characterize_cell.
+std::optional<CharacterizedCell> load_checkpointed_cell(const LibraryCell& cell,
+                                                        const Technology& tech,
+                                                        const CharacterizeOptions& options) {
+  const std::string path = artifact_path(options.checkpoint.dir, cell.cell.name());
+  try {
+    CharacterizedCell out;
+    out.source = cell;
+    out.model = read_ca_model_file(path, cell.cell);
+    out.sim = effective_sim(tech, options);
+    out.canonical = canonicalize(cell.cell, out.sim);
+    return out;
+  } catch (const Error& e) {
+    log_warn() << "checkpoint artifact for " << cell.cell.name()
+               << " is missing or corrupt (" << e.what() << "); re-characterizing";
+    return std::nullopt;
+  }
+}
+
+}  // namespace
 
 CharacterizedCell characterize_cell(const LibraryCell& cell, const Technology& tech,
                                     const CharacterizeOptions& options) {
@@ -13,7 +52,7 @@ CharacterizedCell characterize_cell(const LibraryCell& cell, const Technology& t
   gen.policy = options.policy.policy_for(cell.cell.num_inputs());
   gen.universe = options.universe;
   gen.injection = options.injection;
-  gen.sim = options.use_technology_sim ? tech.sim : options.sim_override;
+  gen.sim = effective_sim(tech, options);
 
   CharacterizedCell out;
   out.source = cell;
@@ -26,20 +65,45 @@ CharacterizedCell characterize_cell(const LibraryCell& cell, const Technology& t
 std::vector<CharacterizedCell> characterize_library(const Library& library,
                                                     const CharacterizeOptions& options) {
   const std::size_t total = library.cells.size();
+  std::optional<CheckpointJournal> journal;
+  if (options.checkpoint.enabled()) {
+    journal.emplace(options.checkpoint.dir, options.checkpoint.every);
+    if (options.checkpoint.resume) journal->load();
+  }
   // Each cell's characterization is a pure function of (cell, tech,
   // options), so the parallel map is bit-identical to the serial loop
   // for any thread count; parallel_map reassembles results in library
   // order. Progress counts completions (not positions) so the log stays
   // monotonic under concurrency, and the final N/N line always fires.
+  //
+  // With checkpointing, a cell's artifact is made durable before the
+  // journal records it (journal-after-data): a crash between the two
+  // only costs a re-simulation, never yields a journal entry without a
+  // verifiable artifact.
   std::atomic<std::size_t> done{0};
-  return parallel_map(library.cells, options.jobs, [&](const LibraryCell& cell) {
-    CharacterizedCell out = characterize_cell(cell, library.technology, options);
-    const std::size_t finished = done.fetch_add(1, std::memory_order_relaxed) + 1;
-    if (finished % 100 == 0 || finished == total) {
-      log_info() << library.name << ": characterized " << finished << "/" << total << " cells";
-    }
-    return out;
-  });
+  std::vector<CharacterizedCell> result =
+      parallel_map(library.cells, options.jobs, [&](const LibraryCell& cell) {
+        std::optional<CharacterizedCell> out;
+        if (journal && journal->completed(cell.cell.name())) {
+          out = load_checkpointed_cell(cell, library.technology, options);
+        }
+        if (!out) {
+          out = characterize_cell(cell, library.technology, options);
+          if (journal) {
+            write_ca_model_file(artifact_path(options.checkpoint.dir, cell.cell.name()),
+                                out->model, cell.cell);
+            journal->record(cell.cell.name());
+          }
+        }
+        const std::size_t finished = done.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (finished % 100 == 0 || finished == total) {
+          log_info() << library.name << ": characterized " << finished << "/" << total
+                     << " cells";
+        }
+        return std::move(*out);
+      });
+  if (journal) journal->flush();
+  return result;
 }
 
 }  // namespace caml

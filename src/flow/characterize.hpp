@@ -4,6 +4,7 @@
 
 #include "camatrix/canonical.hpp"
 #include "camodel/generate.hpp"
+#include "flow/checkpoint.hpp"
 #include "libgen/builder.hpp"
 
 namespace caml {
@@ -47,6 +48,15 @@ struct CharacterizeOptions {
   /// thread, 1 = serial). Results are identical for any value: cells are
   /// characterized independently and reassembled in library order.
   std::size_t jobs = 0;
+  /// Crash-safe progress: when enabled, each characterized cell is
+  /// persisted as a checksummed .camodel artifact in checkpoint.dir the
+  /// moment it completes, and a journal of completed cells is rewritten
+  /// atomically every checkpoint.every units. With checkpoint.resume,
+  /// cells whose artifact verifies are loaded back instead of
+  /// re-simulated — the returned vector is bit-identical to an
+  /// uninterrupted run (CA models round-trip exactly; the canonical form
+  /// and sim config are recomputed deterministically).
+  CheckpointOptions checkpoint;
 };
 
 /// Runs the conventional (simulation-based) generation flow over a whole

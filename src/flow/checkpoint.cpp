@@ -1,0 +1,122 @@
+#include "flow/checkpoint.hpp"
+
+#include <filesystem>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/io.hpp"
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace caml {
+
+CheckpointJournal::CheckpointJournal(std::string dir, std::size_t flush_every)
+    : dir_(std::move(dir)), every_(flush_every == 0 ? 1 : flush_every) {
+  std::filesystem::create_directories(dir_);
+}
+
+std::string CheckpointJournal::path() const {
+  return (std::filesystem::path(dir_) / kFileName).string();
+}
+
+void CheckpointJournal::load() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  done_.clear();
+  unflushed_ = 0;
+  // Sweep staging litter first: a crash between an atomic writer's write
+  // and its rename leaves `<name>.tmp.<pid>` behind. Those bytes were
+  // never published, so resume removes them — the resumed directory ends
+  // up byte-identical to an uninterrupted run's.
+  std::error_code ignored;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ignored)) {
+    if (entry.path().filename().string().find(".tmp.") != std::string::npos) {
+      std::filesystem::remove(entry.path(), ignored);
+    }
+  }
+  const std::string file = path();
+  if (!std::filesystem::exists(file)) return;
+  std::string payload;
+  try {
+    payload = io::read_checksummed_file(file, "journal");
+  } catch (const Error& e) {
+    log_warn() << "discarding unreadable checkpoint journal " << file << ": " << e.what();
+    return;
+  }
+  // Parse strictly; any malformed line discards the whole journal — the
+  // CRC passed, so damage here is a writer bug and the only safe answer
+  // is to redo the work the journal claimed.
+  std::map<std::string, std::string> parsed;
+  std::istringstream in(payload);
+  std::string line;
+  const std::string header_prefix = "CAMLJOURNAL v1 units=";
+  if (!std::getline(in, line) || line.rfind(header_prefix, 0) != 0) {
+    log_warn() << "discarding checkpoint journal " << file << ": bad header";
+    return;
+  }
+  const auto count = try_parse_uint64(line.substr(header_prefix.size()));
+  if (!count) {
+    log_warn() << "discarding checkpoint journal " << file << ": bad unit count";
+    return;
+  }
+  bool terminated = false;
+  while (std::getline(in, line)) {
+    if (line == "END") {
+      terminated = true;
+      break;
+    }
+    const std::size_t tab = line.find('\t');
+    if (tab == std::string::npos || tab == 0) {
+      log_warn() << "discarding checkpoint journal " << file << ": malformed unit line";
+      return;
+    }
+    parsed[line.substr(0, tab)] = line.substr(tab + 1);
+  }
+  if (!terminated || parsed.size() != *count) {
+    log_warn() << "discarding checkpoint journal " << file
+               << ": unit count does not match header";
+    return;
+  }
+  done_ = std::move(parsed);
+  log_info() << "resuming from checkpoint journal " << file << " (" << done_.size()
+             << " completed units)";
+}
+
+bool CheckpointJournal::completed(const std::string& unit) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return done_.count(unit) > 0;
+}
+
+std::string CheckpointJournal::payload(const std::string& unit) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = done_.find(unit);
+  return it == done_.end() ? std::string() : it->second;
+}
+
+void CheckpointJournal::record(const std::string& unit, std::string payload) {
+  CAML_ASSERT(unit.find_first_of("\t\n") == std::string::npos);
+  CAML_ASSERT(payload.find('\n') == std::string::npos);
+  std::lock_guard<std::mutex> lock(mutex_);
+  done_[unit] = std::move(payload);
+  if (++unflushed_ >= every_) flush_locked();
+}
+
+void CheckpointJournal::flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  flush_locked();
+}
+
+void CheckpointJournal::flush_locked() {
+  std::ostringstream out;
+  out << "CAMLJOURNAL v1 units=" << done_.size() << '\n';
+  for (const auto& [unit, payload] : done_) out << unit << '\t' << payload << '\n';
+  out << "END\n";
+  io::write_checksummed_file(path(), "journal", out.str(), "checkpoint");
+  unflushed_ = 0;
+}
+
+std::size_t CheckpointJournal::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return done_.size();
+}
+
+}  // namespace caml

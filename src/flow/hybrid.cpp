@@ -2,11 +2,63 @@
 
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <map>
+#include <optional>
+#include <sstream>
 
+#include "util/error.hpp"
 #include "util/log.hpp"
+#include "util/strings.hpp"
 
 namespace caml {
+
+namespace {
+
+/// Journal payload of one outcome. Doubles are hexfloat so replayed
+/// outcomes reproduce the recorded values bit-exactly.
+std::string encode_outcome(const HybridCellOutcome& o) {
+  std::ostringstream os;
+  os << static_cast<unsigned>(o.match) << ' ' << o.routed_to_ml << ' ' << o.degraded << ' '
+     << std::hexfloat << o.accuracy << ' ' << o.conventional_seconds << ' ' << o.ml_seconds;
+  return os.str();
+}
+
+std::optional<HybridCellOutcome> decode_outcome(const std::string& text) {
+  const std::vector<std::string> tok = split(text);
+  if (tok.size() != 6) return std::nullopt;
+  const auto flag = [](const std::string& t) -> std::optional<bool> {
+    if (t == "0") return false;
+    if (t == "1") return true;
+    return std::nullopt;
+  };
+  const auto real = [](const std::string& t) -> std::optional<double> {
+    char* end = nullptr;
+    const double value = std::strtod(t.c_str(), &end);
+    if (end == nullptr || *end != '\0' || end == t.c_str()) return std::nullopt;
+    return value;
+  };
+  const auto match = try_parse_uint64(tok[0]);
+  const auto routed = flag(tok[1]);
+  const auto degraded = flag(tok[2]);
+  const auto accuracy = real(tok[3]);
+  const auto conventional = real(tok[4]);
+  const auto ml = real(tok[5]);
+  if (!match || *match > static_cast<unsigned>(StructureMatch::kNew) || !routed ||
+      !degraded || !accuracy || !conventional || !ml) {
+    return std::nullopt;
+  }
+  HybridCellOutcome o;
+  o.match = static_cast<StructureMatch>(*match);
+  o.routed_to_ml = *routed;
+  o.degraded = *degraded;
+  o.accuracy = *accuracy;
+  o.conventional_seconds = *conventional;
+  o.ml_seconds = *ml;
+  return o;
+}
+
+}  // namespace
 
 double CostModel::seconds_per_simulation(std::size_t num_transistors) const {
   const double ratio = static_cast<double>(num_transistors) / reference_transistors;
@@ -27,6 +79,12 @@ std::size_t HybridReport::count_match(StructureMatch m) const {
 std::size_t HybridReport::count_routed_to_ml() const {
   std::size_t n = 0;
   for (const HybridCellOutcome& o : outcomes) n += o.routed_to_ml;
+  return n;
+}
+
+std::size_t HybridReport::count_degraded() const {
+  std::size_t n = 0;
+  for (const HybridCellOutcome& o : outcomes) n += o.degraded;
   return n;
 }
 
@@ -88,15 +146,44 @@ HybridReport run_hybrid_flow(const std::vector<CharacterizedCell>& training,
   std::map<GroupKey, double> training_seconds;
   std::map<GroupKey, std::size_t> cells_served;
 
+  std::optional<CheckpointJournal> journal;
+  if (options.checkpoint.enabled()) {
+    journal.emplace(options.checkpoint.dir, options.checkpoint.every);
+    if (options.checkpoint.resume) journal->load();
+  }
+
   HybridReport report;
+  // Which outcomes this process actually predicted (vs replayed from the
+  // journal) — only those take a share of this process's training time.
+  std::vector<char> predicted_live(targets.size(), 0);
   for (std::size_t i = 0; i < targets.size(); ++i) {
     const CharacterizedCell& cell = targets[i];
+    const GroupKey key{cell.num_inputs(), cell.num_transistors()};
+    const std::string unit = "target:" + std::to_string(i);
+
+    if (journal && journal->completed(unit)) {
+      if (std::optional<HybridCellOutcome> replayed = decode_outcome(journal->payload(unit))) {
+        // Replay: reproduce the recorded outcome and rebuild the feedback
+        // state the original run accumulated, so the remaining targets
+        // see the same structure index and training pools.
+        replayed->cell_index = i;
+        if (!replayed->routed_to_ml && options.feedback) {
+          index.add(cell.canonical);
+          pool[key].push_back(&cell);
+          classifiers.erase(key);
+        }
+        report.outcomes.push_back(*replayed);
+        continue;
+      }
+      log_warn() << "hybrid: discarding unreadable journal record for " << unit
+                 << "; re-running the target";
+    }
+
     HybridCellOutcome outcome;
     outcome.cell_index = i;
     outcome.match = index.classify(cell.canonical);
     outcome.conventional_seconds = options.cost.conventional_seconds(cell);
 
-    const GroupKey key{cell.num_inputs(), cell.num_transistors()};
     // A plain find: operator[] on the miss path would default-insert an
     // empty pool entry for every unseen group.
     const auto pool_it = pool.find(key);
@@ -104,18 +191,35 @@ HybridReport run_hybrid_flow(const std::vector<CharacterizedCell>& training,
     outcome.routed_to_ml = outcome.match != StructureMatch::kNew && have_training;
 
     if (outcome.routed_to_ml) {
-      auto& classifier = classifiers[key];
-      if (!classifier) {
+      try {
+        auto& classifier = classifiers[key];
+        if (!classifier) {
+          const auto t0 = Clock::now();
+          classifier = train_group_classifier(pool_it->second, options.ml);
+          training_seconds[key] += std::chrono::duration<double>(Clock::now() - t0).count();
+        }
         const auto t0 = Clock::now();
-        classifier = train_group_classifier(pool_it->second, options.ml);
-        training_seconds[key] += std::chrono::duration<double>(Clock::now() - t0).count();
+        const CaModel predicted = predict_ca_model(*classifier, cell, options.ml);
+        outcome.ml_seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+        outcome.accuracy = ca_model_agreement(cell.model, predicted);
+        ++cells_served[key];
+        predicted_live[i] = 1;
+      } catch (const Error& e) {
+        // Graceful degradation: a missing/corrupt/failed group model must
+        // cost a simulation, not the run. The cell takes the conventional
+        // route below; the broken classifier is dropped so the next cell
+        // of the group retrains from the (possibly extended) pool.
+        log_warn() << "hybrid: ML route failed for target " << i << " ("
+                   << cell.source.cell.name() << "): " << e.what()
+                   << "; falling back to conventional generation";
+        classifiers.erase(key);
+        outcome.routed_to_ml = false;
+        outcome.degraded = true;
+        outcome.ml_seconds = 0.0;
+        outcome.accuracy = 1.0;
       }
-      const auto t0 = Clock::now();
-      const CaModel predicted = predict_ca_model(*classifier, cell, options.ml);
-      outcome.ml_seconds = std::chrono::duration<double>(Clock::now() - t0).count();
-      outcome.accuracy = ca_model_agreement(cell.model, predicted);
-      ++cells_served[key];
-    } else {
+    }
+    if (!outcome.routed_to_ml) {
       // Conventional generation: the ground truth already embodies it;
       // only cost is accounted. With feedback the simulated cell
       // enriches both the structure index and the training pool.
@@ -126,11 +230,16 @@ HybridReport run_hybrid_flow(const std::vector<CharacterizedCell>& training,
       }
     }
     report.outcomes.push_back(outcome);
+    if (journal) journal->record(unit, encode_outcome(outcome));
   }
+  if (journal) journal->flush();
 
-  // Amortize each group's training time over the cells it served.
+  // Amortize each group's training time over the cells it served in
+  // this process. Replayed (journal-restored) outcomes keep their
+  // recorded ml_seconds: cells_served only counts live predictions, so a
+  // group served solely by replay never divides by zero here.
   for (HybridCellOutcome& o : report.outcomes) {
-    if (!o.routed_to_ml) continue;
+    if (!o.routed_to_ml || !predicted_live[o.cell_index]) continue;
     const GroupKey key{targets[o.cell_index].num_inputs(),
                        targets[o.cell_index].num_transistors()};
     o.ml_seconds += training_seconds[key] / static_cast<double>(cells_served[key]);

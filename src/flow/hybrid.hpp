@@ -1,5 +1,6 @@
 #pragma once
 
+#include "flow/checkpoint.hpp"
 #include "flow/ml_flow.hpp"
 #include "flow/structural.hpp"
 
@@ -26,6 +27,10 @@ struct HybridCellOutcome {
   std::size_t cell_index = 0;
   StructureMatch match = StructureMatch::kNew;
   bool routed_to_ml = false;
+  /// The ML route was selected but failed (classifier training or
+  /// inference threw), so the cell fell back to conventional generation.
+  /// Degradation is counted and logged, never fatal.
+  bool degraded = false;
   /// Prediction accuracy vs ground truth (1.0 for simulated cells,
   /// whose model is exact by construction).
   double accuracy = 1.0;
@@ -41,6 +46,8 @@ struct HybridReport {
 
   std::size_t count_match(StructureMatch m) const;
   std::size_t count_routed_to_ml() const;
+  /// Cells that fell back from ML to conventional generation.
+  std::size_t count_degraded() const;
 
   /// Total cost when every cell is simulated conventionally.
   double conventional_only_seconds() const;
@@ -61,6 +68,14 @@ struct HybridOptions {
   /// Fig. 7's feedback loop: cells routed to simulation join the
   /// training pool and the structure index for subsequent cells.
   bool feedback = true;
+  /// Crash-safe progress: each target's outcome is journaled as it
+  /// completes; with checkpoint.resume, recorded outcomes are replayed
+  /// (routing decisions and accuracies reproduced exactly, feedback
+  /// state reconstructed) and only the remaining targets run. Timing
+  /// fields of replayed outcomes keep their recorded values, which
+  /// exclude the final training-amortization share — wall-clock metrics
+  /// are inherently non-reproducible across processes anyway.
+  CheckpointOptions checkpoint;
 };
 
 /// Runs the hybrid generation flow for `targets` given an existing

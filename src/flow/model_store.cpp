@@ -2,8 +2,11 @@
 
 #include <type_traits>
 
+#include <sstream>
+
 #include "ml/forest_io.hpp"
 #include "util/error.hpp"
+#include "util/io.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
 
@@ -98,6 +101,24 @@ GroupModelStore GroupModelStore::load(std::istream& in) {
     throw ParseError("missing ENDMODELS", 0);
   }
   return store;
+}
+
+void GroupModelStore::save_file(const std::string& path) const {
+  std::ostringstream payload;
+  save(payload);
+  io::write_checksummed_file(path, "models", payload.str(), "store");
+}
+
+GroupModelStore GroupModelStore::load_file(const std::string& path) {
+  std::istringstream payload(io::read_checksummed_or_raw(path, "models"));
+  try {
+    return load(payload);
+  } catch (const ParseError& e) {
+    // The container CRC already vouched for the bytes, so a parse
+    // failure here means a writer bug or a legacy unframed file — either
+    // way, name the file.
+    throw ParseError::in_file(path, e);
+  }
 }
 
 }  // namespace caml

@@ -43,6 +43,15 @@ class GroupModelStore {
   void save(std::ostream& os) const;
   static GroupModelStore load(std::istream& in);
 
+  /// Durable file persistence: the store text wrapped in a checksummed
+  /// CAMLF1 container (kind "models") and published atomically — a
+  /// crash mid-save leaves the previous file intact, and a truncated or
+  /// bit-flipped file fails load_file with a ParseError naming the file
+  /// and offset instead of loading garbage. load_file also accepts a
+  /// legacy unframed store for backward compatibility.
+  void save_file(const std::string& path) const;
+  static GroupModelStore load_file(const std::string& path);
+
  private:
   std::map<GroupKey, RandomForest> models_;
   MatrixOptions matrix_;

@@ -2,6 +2,7 @@
 
 #include <istream>
 #include <ostream>
+#include <string>
 
 #include "ml/forest.hpp"
 
@@ -26,5 +27,14 @@ struct LoadedForest {
   std::size_t num_features = 0;
 };
 LoadedForest read_forest(std::istream& in);
+
+/// Durable single-forest file: the write_forest text wrapped in a
+/// checksummed CAMLF1 container (kind "forest") and published
+/// atomically. read_forest_file rejects truncated or bit-flipped files
+/// with a ParseError naming the file and offset; a legacy unframed
+/// forest file is still accepted.
+void write_forest_file(const std::string& path, const RandomForest& forest,
+                       std::size_t num_features);
+LoadedForest read_forest_file(const std::string& path);
 
 }  // namespace caml

@@ -21,6 +21,7 @@ Frame Client::roundtrip(MsgType request_type, const std::string& payload,
   request.request_id = next_id_++;
   request.payload = payload;
 
+  int overload_wait_spent_ms = 0;
   for (int attempt = 0;; ++attempt) {
     try {
       ensure_connected();
@@ -30,20 +31,38 @@ Frame Client::roundtrip(MsgType request_type, const std::string& payload,
         errno = 0;
         throw Error("connection lost: server closed the connection");
       }
+      if (response->type == MsgType::kError) {
+        // Backpressure rejects are written before the server reads the
+        // request, so they carry id 0 — still an answer to us (the
+        // connection serves exactly one in-flight request).
+        if (response->request_id != request.request_id && response->request_id != 0) {
+          throw Error("response id " + std::to_string(response->request_id) +
+                      " does not match request id " + std::to_string(request.request_id));
+        }
+        throw RemoteError(decode_error(response->payload));
+      }
       if (response->request_id != request.request_id) {
         throw Error("response id " + std::to_string(response->request_id) +
                     " does not match request id " + std::to_string(request.request_id));
-      }
-      if (response->type == MsgType::kError) {
-        throw RemoteError(decode_error(response->payload));
       }
       if (response->type != expected_type) {
         throw Error("unexpected response type " +
                     std::to_string(static_cast<unsigned>(response->type)));
       }
       return std::move(*response);
-    } catch (const RemoteError&) {
-      throw;  // structured server answer — never retried here
+    } catch (const RemoteError& e) {
+      if (e.code() != ErrorCode::kOverloaded) throw;
+      // The server closed the connection after the reject; reconnect on
+      // the next attempt. Honor its retry_after_ms hint, but never sleep
+      // past the total overload budget — a saturated server should turn
+      // into a caller-visible error, not an unbounded stall.
+      fd_.reset();
+      const int hint = e.retry_after_ms() > 0
+                           ? static_cast<int>(e.retry_after_ms())
+                           : options_.backoff_ms * (attempt + 1);
+      if (overload_wait_spent_ms + hint > options_.overload_retry_budget_ms) throw;
+      overload_wait_spent_ms += hint;
+      std::this_thread::sleep_for(std::chrono::milliseconds(hint));
     } catch (const Error& e) {
       fd_.reset();
       if (attempt >= options_.retries || !is_connection_lost_error(e.what())) throw;

@@ -18,10 +18,17 @@ struct ClientOptions {
   int connect_timeout_ms = 5000;
   /// Extra attempts after a lost connection (reset / refused / EOF).
   /// Safe because inference is pure: replaying a request cannot change
-  /// server state. Structured server errors are never retried.
+  /// server state. Structured server errors other than OVERLOADED are
+  /// never retried.
   int retries = 1;
   /// Backoff before attempt k is backoff_ms * k.
   int backoff_ms = 100;
+  /// Total sleep budget for retrying OVERLOADED rejects. Each retry
+  /// waits the server's retry_after_ms hint (falling back to the
+  /// connection-loss backoff when the hint is 0) and retries persist
+  /// until the next wait would exceed this budget, at which point the
+  /// RemoteError propagates. 0 disables overload retries entirely.
+  int overload_retry_budget_ms = 1000;
 };
 
 /// A structured error answered by the server (kError frame). code()

@@ -2,7 +2,10 @@
 
 #include <fcntl.h>
 #include <poll.h>
+#include <sys/socket.h>
 #include <unistd.h>
+
+#include <chrono>
 
 #include <algorithm>
 
@@ -46,9 +49,26 @@ Frame error_frame(std::uint64_t request_id, ErrorCode code, const std::string& m
 }  // namespace
 
 Server::Server(GroupModelStore store, ServerOptions options)
-    : store_(std::move(store)), options_(std::move(options)) {}
+    : store_(std::make_shared<const GroupModelStore>(std::move(store))),
+      options_(std::move(options)) {}
 
 Server::~Server() { stop(); }
+
+std::shared_ptr<const GroupModelStore> Server::store_snapshot() const {
+  std::lock_guard<std::mutex> lock(store_mutex_);
+  return store_;
+}
+
+void Server::reload(GroupModelStore store) {
+  auto fresh = std::make_shared<const GroupModelStore>(std::move(store));
+  {
+    std::lock_guard<std::mutex> lock(store_mutex_);
+    store_.swap(fresh);
+  }
+  stats_.record_reload();
+  log_info() << "model store reloaded: " << store_snapshot()->num_groups()
+             << " group models now serving";
+}
 
 void Server::start() {
   CAML_ASSERT(!started_);
@@ -71,7 +91,7 @@ void Server::start() {
   }
   acceptor_ = std::thread([this] { acceptor_loop(); });
   started_ = true;
-  log_info() << "serving " << store_.num_groups() << " group models on "
+  log_info() << "serving " << store_snapshot()->num_groups() << " group models on "
              << (options_.socket_path.empty()
                      ? "tcp 127.0.0.1:" + std::to_string(bound_port_)
                      : options_.socket_path)
@@ -155,6 +175,20 @@ void Server::reject_overloaded(Fd conn) {
                                             std::to_string(options_.retry_after_ms) + " ms",
                                         options_.retry_after_ms),
                 timeout);
+    // The client has usually written its request already; closing with
+    // unread bytes in the receive buffer turns into an RST that can
+    // destroy the reject frame before the client reads it. Half-close
+    // and drain (bounded by the same short deadline) so the frame
+    // arrives ahead of a clean FIN and the retry-after hint is actually
+    // delivered.
+    ::shutdown(conn.get(), SHUT_WR);
+    char sink[4096];
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout);
+    while (wait_readable(conn.get(), 50)) {
+      if (::read(conn.get(), sink, sizeof sink) <= 0) break;
+      if (std::chrono::steady_clock::now() >= deadline) break;
+    }
   } catch (const Error&) {
     // Client gone or unwritable — it was being rejected anyway.
   }
@@ -244,6 +278,9 @@ bool Server::handle_request(const Frame& request, Frame& response) {
 
 Frame Server::predict_response(const Frame& request) {
   const std::uint64_t id = request.request_id;
+  // One snapshot per request: has_group and predict must consult the
+  // same store even if a SIGHUP reload swaps it mid-request.
+  const std::shared_ptr<const GroupModelStore> store = store_snapshot();
   try {
     const std::vector<Cell> cells = SpiceParser().parse_string(request.payload);
     if (cells.size() != 1) {
@@ -254,7 +291,7 @@ Frame Server::predict_response(const Frame& request) {
     }
     const Cell& cell = cells.front();
     const GroupKey key{cell.num_inputs(), cell.num_transistors()};
-    if (!store_.has_group(key)) {
+    if (!store->has_group(key)) {
       stats_.record_error();
       return error_frame(id, ErrorCode::kNoGroup,
                          "no trained model for group (" + std::to_string(key.num_inputs) +
@@ -263,7 +300,7 @@ Frame Server::predict_response(const Frame& request) {
                              " needs conventional generation");
     }
     const CanonicalCell canonical = canonicalize(cell);
-    const CaModel predicted = store_.predict(
+    const CaModel predicted = store->predict(
         cell, canonical, options_.policy.policy_for(cell.num_inputs()), SimConfig{});
     Frame response;
     response.type = MsgType::kPredictOk;

@@ -60,6 +60,13 @@ struct ServerOptions {
 /// idempotent and also runs from the destructor. It is NOT
 /// async-signal-safe — signal handlers should write to a self-pipe and
 /// let the main thread call stop() (see `caml serve`).
+///
+/// Hot reload: reload() atomically swaps in a replacement store.
+/// Callers load + validate the new store first (off the serving
+/// threads) and only call reload() on success, so a corrupt file on
+/// disk never displaces the store that is already serving. In-flight
+/// requests finish on the snapshot they started with; subsequent
+/// requests see the new store.
 class Server {
  public:
   Server(GroupModelStore store, ServerOptions options);
@@ -70,6 +77,10 @@ class Server {
 
   void start();
   void stop();
+
+  /// Atomically replaces the model store (SIGHUP hot-reload). Safe to
+  /// call while serving; never blocks workers beyond a pointer swap.
+  void reload(GroupModelStore store);
 
   bool running() const { return started_ && !draining_; }
   /// Actual TCP port (resolves tcp_port == 0); 0 for Unix-domain mode.
@@ -88,8 +99,13 @@ class Server {
   bool handle_request(const Frame& request, Frame& response);
   Frame predict_response(const Frame& request);
   void reject_overloaded(Fd conn);
+  /// The store serving right now. Each request takes one snapshot and
+  /// uses it throughout, so a concurrent reload() can never swap the
+  /// models out from under a half-finished prediction.
+  std::shared_ptr<const GroupModelStore> store_snapshot() const;
 
-  const GroupModelStore store_;
+  std::shared_ptr<const GroupModelStore> store_;  // guarded by store_mutex_
+  mutable std::mutex store_mutex_;
   const ServerOptions options_;
 
   Fd listener_;

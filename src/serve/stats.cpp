@@ -50,6 +50,7 @@ StatsSnapshot ServeStats::snapshot() const {
   s.cells_predicted = cells_.load(std::memory_order_relaxed);
   s.rows_classified = rows_.load(std::memory_order_relaxed);
   s.queue_high_water = queue_high_water_.load(std::memory_order_relaxed);
+  s.reloads = reloads_.load(std::memory_order_relaxed);
   s.latency_max_ms =
       static_cast<double>(latency_max_us_.load(std::memory_order_relaxed)) / 1000.0;
 
@@ -89,6 +90,7 @@ std::string format_stats(const StatsSnapshot& s) {
      << "  cells_predicted      " << s.cells_predicted << '\n'
      << "  rows_classified      " << s.rows_classified << '\n'
      << "  queue_high_water     " << s.queue_high_water << '\n'
+     << "  reloads              " << s.reloads << '\n'
      << "  latency_p50_ms       " << format_fixed(s.latency_p50_ms, 3) << '\n'
      << "  latency_p99_ms       " << format_fixed(s.latency_p99_ms, 3) << '\n'
      << "  latency_max_ms       " << format_fixed(s.latency_max_ms, 3) << '\n';

@@ -17,6 +17,7 @@ struct StatsSnapshot {
   std::uint64_t cells_predicted = 0;
   std::uint64_t rows_classified = 0;   ///< CA-matrix rows pushed through the forests
   std::uint64_t queue_high_water = 0;  ///< max pending connections observed
+  std::uint64_t reloads = 0;           ///< successful SIGHUP store reloads
   std::uint64_t latency_count = 0;
   double latency_p50_ms = 0.0;
   double latency_p99_ms = 0.0;
@@ -44,6 +45,7 @@ class ServeStats {
     cells_.fetch_add(cells, std::memory_order_relaxed);
     rows_.fetch_add(rows, std::memory_order_relaxed);
   }
+  void record_reload() { reloads_.fetch_add(1, std::memory_order_relaxed); }
   void record_latency_us(std::int64_t us);
   /// Raises the queue high-water mark to `depth` if above it.
   void update_queue_depth(std::size_t depth);
@@ -65,6 +67,7 @@ class ServeStats {
   std::atomic<std::uint64_t> cells_{0};
   std::atomic<std::uint64_t> rows_{0};
   std::atomic<std::uint64_t> queue_high_water_{0};
+  std::atomic<std::uint64_t> reloads_{0};
   std::atomic<std::uint64_t> latency_max_us_{0};
   std::array<std::atomic<std::uint64_t>, kBuckets> latency_hist_{};
 };

@@ -19,9 +19,20 @@ class ParseError : public Error {
   ParseError(const std::string& what, std::size_t line)
       : Error("line " + std::to_string(line) + ": " + what), line_(line) {}
 
+  /// Prefixes a file name to an existing ParseError without re-stamping
+  /// the "line N:" header — file loaders use this so corrupt artifacts
+  /// fail loud naming the offending file.
+  static ParseError in_file(const std::string& file, const ParseError& inner) {
+    return ParseError(AlreadyFormatted{}, file + ": " + inner.what(), inner.line());
+  }
+
   std::size_t line() const { return line_; }
 
  private:
+  struct AlreadyFormatted {};
+  ParseError(AlreadyFormatted, const std::string& what, std::size_t line)
+      : Error(what), line_(line) {}
+
   std::size_t line_;
 };
 

@@ -1,0 +1,172 @@
+#include "util/fault.hpp"
+
+#if CAML_FAULT_INJECTION
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace caml::fault {
+
+namespace {
+
+struct State {
+  Spec spec;
+  bool armed = false;
+  std::size_t hits = 0;       // matching operations since arm
+  std::size_t triggered = 0;  // actual firings
+};
+
+std::mutex g_mutex;
+State g_state;
+std::once_flag g_env_once;
+
+Kind parse_kind(const std::string& name) {
+  if (name == "fail-write") return Kind::kFailWrite;
+  if (name == "short-write") return Kind::kShortWrite;
+  if (name == "torn-rename") return Kind::kTornRename;
+  if (name == "kill") return Kind::kKill;
+  if (name == "slow-io") return Kind::kSlowIo;
+  throw Error("CAML_FAULT: unknown fault kind '" + name +
+              "' (want fail-write | short-write | torn-rename | kill | slow-io)");
+}
+
+/// Parses CAML_FAULT once per process; an unset/empty variable leaves
+/// the harness disarmed. A malformed spec throws on the first hook hit
+/// (loud beats silently ignoring a typo in a crash test).
+void arm_from_env_locked() {
+  const char* env = std::getenv("CAML_FAULT");
+  if (env == nullptr || *env == '\0') return;
+  const std::vector<std::string> parts = split(env, ":");
+  if (parts.size() < 3 || parts.size() > 4) {
+    throw Error(std::string("CAML_FAULT: expected <point>:<kind>:<nth>[:<param>], got '") +
+                env + "'");
+  }
+  Spec spec;
+  spec.point = parts[0];
+  spec.kind = parse_kind(parts[1]);
+  const auto nth = try_parse_uint64(parts[2]);
+  if (!nth || *nth == 0) throw Error("CAML_FAULT: nth must be a positive integer");
+  spec.nth = static_cast<std::size_t>(*nth);
+  if (parts.size() == 4) {
+    const auto param = try_parse_uint64(parts[3]);
+    if (!param) throw Error("CAML_FAULT: param must be a non-negative integer");
+    spec.param = static_cast<std::size_t>(*param);
+  }
+  g_state.spec = spec;
+  g_state.armed = true;
+}
+
+bool point_matches(const std::string& pattern, const char* point) {
+  return pattern == "*" || pattern == point;
+}
+
+/// Counts the operation and decides whether the armed spec fires on it.
+/// Must be called with g_mutex held.
+bool op_fires_locked(const char* point, bool is_rename) {
+  std::call_once(g_env_once, [] { arm_from_env_locked(); });
+  if (!g_state.armed || !point_matches(g_state.spec.point, point)) return false;
+  // Kind/op-type compatibility: write kinds skip renames and vice versa,
+  // but kill and slow-io treat every persistence op as a crash/delay
+  // candidate.
+  const Kind kind = g_state.spec.kind;
+  const bool applicable = kind == Kind::kKill || kind == Kind::kSlowIo ||
+                          (is_rename ? kind == Kind::kTornRename
+                                     : kind == Kind::kFailWrite || kind == Kind::kShortWrite);
+  if (!applicable) return false;
+  ++g_state.hits;
+  // slow-io fires from the nth op on; the crash kinds fire exactly once.
+  if (kind == Kind::kSlowIo) return g_state.hits >= g_state.spec.nth;
+  return g_state.hits == g_state.spec.nth;
+}
+
+[[noreturn]] void kill_self() {
+  // A real crash: no unwinding, no destructors, no atexit. Exactly what
+  // the durability layer must survive.
+  ::kill(::getpid(), SIGKILL);
+  ::pause();  // unreachable; silences [[noreturn]] analysis
+  std::abort();
+}
+
+}  // namespace
+
+void arm(const Spec& spec) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  // Defeat a pending CAML_FAULT parse: the test API always wins.
+  std::call_once(g_env_once, [] {});
+  g_state = State{};
+  g_state.spec = spec;
+  g_state.armed = spec.kind != Kind::kNone;
+}
+
+void disarm() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::call_once(g_env_once, [] {});
+  g_state = State{};
+}
+
+std::size_t times_triggered() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  return g_state.triggered;
+}
+
+std::size_t times_hit() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  return g_state.hits;
+}
+
+WriteDecision before_write(const char* point, std::size_t n) {
+  std::unique_lock<std::mutex> lock(g_mutex);
+  if (!op_fires_locked(point, /*is_rename=*/false)) return {n, false};
+  ++g_state.triggered;
+  const Spec spec = g_state.spec;
+  lock.unlock();
+  switch (spec.kind) {
+    case Kind::kFailWrite:
+      throw Error(std::string("fault injection: failing write at '") + point + "' (op " +
+                  std::to_string(spec.nth) + ")");
+    case Kind::kShortWrite: {
+      const std::size_t keep = spec.param > 0 ? std::min(spec.param, n) : n / 2;
+      return {keep, true};
+    }
+    case Kind::kKill:
+      kill_self();
+    case Kind::kSlowIo:
+      std::this_thread::sleep_for(std::chrono::milliseconds(spec.param > 0 ? spec.param : 50));
+      return {n, false};
+    default:
+      return {n, false};
+  }
+}
+
+void before_rename(const char* point) {
+  std::unique_lock<std::mutex> lock(g_mutex);
+  if (!op_fires_locked(point, /*is_rename=*/true)) return;
+  ++g_state.triggered;
+  const Spec spec = g_state.spec;
+  lock.unlock();
+  switch (spec.kind) {
+    case Kind::kTornRename:
+      throw Error(std::string("fault injection: torn rename at '") + point + "' (op " +
+                  std::to_string(spec.nth) + ")");
+    case Kind::kKill:
+      kill_self();
+    case Kind::kSlowIo:
+      std::this_thread::sleep_for(std::chrono::milliseconds(spec.param > 0 ? spec.param : 50));
+      return;
+    default:
+      return;
+  }
+}
+
+}  // namespace caml::fault
+
+#endif  // CAML_FAULT_INJECTION

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace caml::fault {
+
+/// Deterministic fault-injection harness for the persistence paths.
+///
+/// Compiled in only under -DCAML_FAULT_INJECTION=ON; the default build
+/// gets inline no-op hooks (zero overhead, nothing to misconfigure in
+/// production). When compiled in, one process-wide fault spec is armed
+/// either through the test API (arm/disarm) or the CAML_FAULT
+/// environment variable:
+///
+///   CAML_FAULT=<point>:<kind>:<nth>[:<param>]
+///
+/// where <point> is an injection-point name ("checkpoint", "store", ...)
+/// or "*" for any point, <kind> is one of
+///
+///   fail-write   throw caml::Error instead of performing the nth write
+///   short-write  write only <param> bytes (default: half) then throw
+///   torn-rename  throw right before the nth rename (temp file written,
+///                target untouched — the classic torn-commit window)
+///   kill         raise SIGKILL at the nth write/rename (real crash;
+///                no destructors, no cleanup)
+///   slow-io      sleep <param> ms (default 50) at every matching
+///                operation from the nth on
+///
+/// and <nth> is the 1-based ordinal of the matching operation. Writes
+/// and renames share one operation counter per armed spec, so
+/// "*:kill:7" kills at the 7th persistence operation of the process —
+/// the knob the crash-safety harness sweeps.
+enum class Kind {
+  kNone,
+  kFailWrite,
+  kShortWrite,
+  kTornRename,
+  kKill,
+  kSlowIo,
+};
+
+struct Spec {
+  std::string point = "*";  ///< injection-point name, "*" matches all
+  Kind kind = Kind::kNone;
+  std::size_t nth = 1;    ///< 1-based ordinal of the triggering operation
+  std::size_t param = 0;  ///< short-write: bytes kept; slow-io: delay ms
+};
+
+/// What the caller of before_write must do: write `allow_bytes` of the
+/// requested span, then throw if `fail_after` (simulating a short write
+/// cut off by a crash).
+struct WriteDecision {
+  std::size_t allow_bytes;
+  bool fail_after;
+};
+
+/// True when the harness is compiled in.
+constexpr bool enabled() {
+#if CAML_FAULT_INJECTION
+  return true;
+#else
+  return false;
+#endif
+}
+
+#if CAML_FAULT_INJECTION
+
+/// Arms the process-wide spec (replacing any previous one, including one
+/// parsed from CAML_FAULT) and resets the operation counter.
+void arm(const Spec& spec);
+/// Disarms and resets counters.
+void disarm();
+/// How many times the armed spec actually fired.
+std::size_t times_triggered();
+/// Operations observed since arming (matching the point pattern).
+std::size_t times_hit();
+
+/// Hook before writing `n` bytes at `point`. May throw caml::Error
+/// (fail-write), truncate (short-write), sleep (slow-io) or SIGKILL the
+/// process (kill).
+WriteDecision before_write(const char* point, std::size_t n);
+/// Hook before the commit rename at `point`. May throw (torn-rename),
+/// sleep or SIGKILL.
+void before_rename(const char* point);
+
+#else
+
+inline void arm(const Spec&) {}
+inline void disarm() {}
+inline std::size_t times_triggered() { return 0; }
+inline std::size_t times_hit() { return 0; }
+inline WriteDecision before_write(const char*, std::size_t n) { return {n, false}; }
+inline void before_rename(const char*) {}
+
+#endif
+
+}  // namespace caml::fault

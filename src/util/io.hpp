@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace caml::io {
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) of `data` — the checksum
+/// every CAMLF1 container carries over its payload.
+std::uint32_t crc32(std::string_view data);
+
+/// Reads a whole file into memory. Throws caml::Error when the file
+/// cannot be opened or read.
+std::string read_file(const std::string& path);
+
+/// All-or-nothing file replacement: buffers the payload in memory and,
+/// on commit(), writes it to `<path>.tmp.<pid>`, fsyncs, renames over
+/// `path` and fsyncs the parent directory. A crash (or injected fault)
+/// at any point leaves the previous file intact — readers only ever see
+/// the old bytes or the complete new bytes, never a torn mix.
+///
+/// `fault_point` names this writer's fault-injection site (see
+/// util/fault.hpp); the default tags generic artifact writes.
+class AtomicFileWriter {
+ public:
+  explicit AtomicFileWriter(std::string path, std::string fault_point = "atomic");
+  /// Removes the temp file if commit() was never reached or failed.
+  ~AtomicFileWriter();
+
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+
+  /// Buffer to stream the new contents into.
+  std::ostream& stream() { return buffer_; }
+
+  /// Durably publishes the buffered bytes. Throws caml::Error on any
+  /// I/O failure (the target is left untouched). At most one commit.
+  void commit();
+
+  /// Discards the buffered bytes and removes the temp file (no-op when
+  /// nothing was staged). Called by the destructor.
+  void abort() noexcept;
+
+ private:
+  std::string path_;
+  std::string tmp_;
+  std::string point_;
+  std::ostringstream buffer_;
+  bool committed_ = false;
+};
+
+/// One-shot atomic write of `payload` to `path` (no container framing).
+void write_file_atomic(const std::string& path, std::string_view payload,
+                       const std::string& fault_point = "atomic");
+
+/// Checksummed container framing for durable artifacts. The on-disk
+/// layout is a single header line followed by the raw payload bytes:
+///
+///   CAMLF1 <kind> len=<payload-bytes> crc32=<8-hex-digits>\n
+///   <payload>
+///
+/// `kind` tags the payload type ("models", "camodel", "forest",
+/// "journal") so loading the wrong artifact into a parser fails loud,
+/// and the CRC turns silent truncation or bit rot into a ParseError
+/// naming the file and byte offset instead of garbage models.
+inline constexpr std::string_view kContainerMagic = "CAMLF1";
+
+/// Frames `payload` (header + payload bytes) without touching disk.
+std::string frame_checksummed(std::string_view kind, std::string_view payload);
+
+/// True when `bytes` starts with the container magic — used by loaders
+/// that also accept legacy unframed files.
+bool is_checksummed(std::string_view bytes);
+
+/// Validates the container (magic, kind, declared length, CRC) and
+/// returns the payload. Throws caml::ParseError describing the failure,
+/// the offending file and the byte offset.
+std::string unwrap_checksummed(std::string_view bytes, std::string_view kind,
+                               const std::string& path_for_errors);
+
+/// frame + atomic write in one step.
+void write_checksummed_file(const std::string& path, std::string_view kind,
+                            std::string_view payload,
+                            const std::string& fault_point = "atomic");
+
+/// read + validate + unwrap in one step.
+std::string read_checksummed_file(const std::string& path, std::string_view kind);
+
+/// Reads a file that is either a validated CAMLF1 container of `kind` or
+/// a legacy unframed artifact (returned verbatim, unvalidated) — the
+/// backward-compatible load path for stores written before framing.
+std::string read_checksummed_or_raw(const std::string& path, std::string_view kind);
+
+}  // namespace caml::io

@@ -360,6 +360,104 @@ TEST(ServeClient, RemoteErrorsAreNotRetriedAsTransport) {
   }
 }
 
+TEST(ServeServer, ReloadSwapsStoreAtomicallyWhileServing) {
+  ServerOptions options;
+  options.socket_path = temp_socket("reload");
+  options.jobs = 2;
+  Server server(shared_store(), options);
+  server.start();
+
+  ClientOptions copts;
+  copts.socket_path = options.socket_path;
+  Client client(copts);
+
+  const Technology tech = technology_28soi();
+  const LibraryCell inv = build_function("INV", tech, {1, StructureVariant::kWide}, 31);
+  const std::string inv_netlist =
+      SpiceWriter().to_string(build_function("INV", tech, {1, StructureVariant::kWide}, 32).cell);
+
+  // The initial store only covers the NAND2 group: INV gets NO_GROUP.
+  try {
+    client.predict_cell(inv_netlist);
+    FAIL() << "expected NO_GROUP before the reload";
+  } catch (const RemoteError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kNoGroup);
+  }
+  EXPECT_FALSE(client.predict_cell(SpiceWriter().to_string(make_target_nand2())).empty());
+
+  // Hot-swap in a store that also covers the INV group — on the same
+  // connection, without restarting the server.
+  std::vector<CharacterizedCell> training;
+  training.push_back(
+      characterize(build_function("NAND2", tech, {1, StructureVariant::kWide}, 1), tech));
+  training.push_back(characterize(inv, tech));
+  MlOptions ml;
+  ml.forest.num_trees = 8;
+  server.reload(GroupModelStore::train(training, ml));
+
+  EXPECT_FALSE(client.predict_cell(inv_netlist).empty());
+  EXPECT_FALSE(client.predict_cell(SpiceWriter().to_string(make_target_nand2())).empty());
+  EXPECT_EQ(server.stats().reloads, 1u);
+  server.stop();
+}
+
+TEST(ServeClient, OverloadRetriesHonorHintAndBudgetCap) {
+  ServerOptions options;
+  options.socket_path = temp_socket("retrybudget");
+  options.jobs = 1;       // one worker to occupy
+  options.max_queue = 1;  // one pending slot beyond it
+  options.retry_after_ms = 40;
+  // Long enough to stay saturated for the whole retry dance (~500 ms),
+  // short enough that stop()'s drain of the blocked worker is quick.
+  options.read_timeout_ms = 1500;
+  Server server(shared_store(), options);
+  server.start();
+
+  // Saturate exactly like BackpressureRejectsWhenQueueFull: the worker
+  // blocks on a partial header, one connection fills the queue.
+  const Fd busy = connect_unix(options.socket_path, 2000);
+  const std::string partial = encode_frame(Frame{}).substr(0, 4);
+  write_all(busy.get(), partial.data(), partial.size(), 2000);
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  const Fd queued = connect_unix(options.socket_path, 2000);
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  // Budget of 100 ms with a 40 ms hint: the client sleeps 40+40, and the
+  // third wait would exceed the budget — the OVERLOADED error (carried
+  // on a request-id-0 frame, since the server never read the request)
+  // surfaces as a RemoteError with the hint attached.
+  ClientOptions copts;
+  copts.socket_path = options.socket_path;
+  copts.overload_retry_budget_ms = 100;
+  Client client(copts);
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    client.ping();
+    FAIL() << "expected OVERLOADED to surface after the budget is spent";
+  } catch (const RemoteError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kOverloaded);
+    EXPECT_EQ(e.retry_after_ms(), 40u);
+  }
+  const auto waited = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+  EXPECT_GE(waited, 80) << "client must honor the server's retry-after hint";
+  EXPECT_GE(server.stats().rejected_overload, 3u);
+
+  // A zero budget disables overload retries: the reject surfaces
+  // immediately.
+  ClientOptions no_retry = copts;
+  no_retry.overload_retry_budget_ms = 0;
+  Client impatient(no_retry);
+  const auto t1 = std::chrono::steady_clock::now();
+  EXPECT_THROW(impatient.ping(), RemoteError);
+  const auto fast = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        std::chrono::steady_clock::now() - t1)
+                        .count();
+  EXPECT_LT(fast, 40);
+  server.stop();
+}
+
 TEST(ServeServer, StopIsIdempotentAndRestartsCleanly) {
   ServerOptions options;
   options.socket_path = temp_socket("restart");

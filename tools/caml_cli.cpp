@@ -15,6 +15,8 @@
 //   --jobs N                            worker threads (default: one per
 //                                       hardware thread; 1 = serial)
 //   --inter-shorts                      include inter-transistor bridges
+//   --checkpoint-every N                journal flush cadence (characterize)
+//   --resume                            skip units a journal records done
 #include <csignal>
 #include <filesystem>
 #include <fstream>
@@ -27,12 +29,14 @@
 
 #include "camodel/model_io.hpp"
 #include "camodel/pattern_selection.hpp"
+#include "flow/checkpoint.hpp"
 #include "flow/model_store.hpp"
 #include "netlist/spice_parser.hpp"
 #include "netlist/spice_writer.hpp"
 #include "serve/client.hpp"
 #include "serve/server.hpp"
 #include "util/error.hpp"
+#include "util/io.hpp"
 #include "util/log.hpp"
 #include "util/net.hpp"
 #include "util/strings.hpp"
@@ -51,6 +55,9 @@ struct Args {
   std::size_t trees = 20;
   std::size_t jobs = std::thread::hardware_concurrency();
   bool inter_shorts = false;
+  // characterize crash safety
+  std::size_t checkpoint_every = 16;
+  bool resume = false;
   // serve / query
   std::string socket;
   std::uint16_t port = 0;
@@ -63,6 +70,7 @@ struct Args {
   std::cerr <<
       "usage:\n"
       "  caml characterize <lib.sp> -o <dir> [--policy P] [--inter-shorts] [--jobs N]\n"
+      "                    [--checkpoint-every N] [--resume]\n"
       "  caml canonicalize <lib.sp>\n"
       "  caml train <lib.sp> <camodel-dir> -o <models.caml> [--trees N] [--jobs N]\n"
       "  caml predict <lib.sp> -m <models.caml> -o <dir> [--policy P] [--jobs N]\n"
@@ -73,9 +81,15 @@ struct Args {
       "cells with <= 4 inputs, single-input-change above)\n"
       "--jobs N: worker threads (default: one per hardware thread;\n"
       "1 = serial). Outputs are identical for every thread count.\n"
+      "characterize journals its progress to <dir>/checkpoint.journal\n"
+      "(atomic flush every --checkpoint-every cells, default 16); after a\n"
+      "crash, --resume skips the recorded cells and the final directory is\n"
+      "byte-identical to an uninterrupted run.\n"
       "serve: loads the trained models once and answers query requests\n"
       "over a Unix-domain socket (--socket) or loopback TCP (--port).\n"
-      "SIGUSR1 dumps the serve_stats block; SIGINT/SIGTERM shut down\n"
+      "SIGUSR1 dumps the serve_stats block; SIGHUP reloads the model file\n"
+      "(validated off the serving threads, old models kept on failure);\n"
+      "SIGINT/SIGTERM shut down\n"
       "gracefully (in-flight requests finish). --max-queue bounds the\n"
       "accepted-connection backlog; beyond it clients get an OVERLOADED\n"
       "reject with a retry-after hint instead of unbounded queueing.\n"
@@ -114,6 +128,8 @@ Args parse_args(int argc, char** argv) {
     }
     else if (a == "--max-queue") args.max_queue = count_value();
     else if (a == "--ping") args.ping = true;
+    else if (a == "--checkpoint-every") args.checkpoint_every = count_value();
+    else if (a == "--resume") args.resume = true;
     else if (a.rfind('-', 0) == 0) usage("unknown option " + a);
     else args.positional.push_back(a);
   }
@@ -150,20 +166,44 @@ int cmd_characterize(const Args& args) {
   }
   std::filesystem::create_directories(args.out);
   const std::vector<Cell> cells = load_cells(args.positional[0]);
-  // Generation (the simulation-heavy part) runs on the worker pool;
-  // files and report lines are written serially in netlist order, so the
-  // output is identical for every --jobs value.
+  CheckpointJournal journal(args.out, args.checkpoint_every);
+  if (args.resume) {
+    journal.load();
+    if (journal.size() > 0) {
+      std::cerr << "resuming: journal records " << journal.size() << " completed cells\n";
+    }
+  }
+  // Generation (the simulation-heavy part) runs on the worker pool. A
+  // worker publishes its cell's checksummed artifact atomically and only
+  // then journals it (journal-after-data), so a crash at any instant
+  // leaves a directory --resume can trust: journaled cells are loaded
+  // back (unreadable artifacts are simply re-characterized), the rest
+  // re-run, and the final directory — journal included, since it flushes
+  // sorted — is byte-identical to an uninterrupted run. Report lines are
+  // written serially in netlist order, so stdout is identical for every
+  // --jobs value too.
   const std::vector<CaModel> models = parallel_map(cells, args.jobs, [&](const Cell& cell) {
+    const std::string path = args.out + "/" + cell.name() + ".camodel";
+    if (args.resume && journal.completed(cell.name())) {
+      try {
+        return read_ca_model_file(path, cell);
+      } catch (const Error& e) {
+        log_warn() << "checkpoint artifact for " << cell.name() << " is unusable ("
+                   << e.what() << "); re-characterizing";
+      }
+    }
     GenerationOptions options;
     options.policy = policy_for(args, cell);
     options.universe.inter_transistor_shorts = args.inter_shorts;
-    return generate_ca_model(cell, options);
+    CaModel model = generate_ca_model(cell, options);
+    write_ca_model_file(path, model, cell);
+    journal.record(cell.name());
+    return model;
   });
+  journal.flush();
   for (std::size_t i = 0; i < cells.size(); ++i) {
     const Cell& cell = cells[i];
     const CaModel& model = models[i];
-    std::ofstream os(args.out + "/" + cell.name() + ".camodel");
-    write_ca_model(os, model, cell);
     std::cout << cell.name() << ": " << model.defects.size() << " defects, "
               << model.count_class(DefectClass::kStatic) << " static / "
               << model.count_class(DefectClass::kDynamic) << " dynamic / "
@@ -198,14 +238,13 @@ int cmd_train(const Args& args) {
   std::vector<CharacterizedCell> training;
   for (const Cell& cell : cells) {
     const std::string path = args.positional[1] + "/" + cell.name() + ".camodel";
-    std::ifstream is(path);
-    if (!is) {
+    if (!std::filesystem::exists(path)) {
       std::cerr << "skipping " << cell.name() << ": no model at " << path << '\n';
       continue;
     }
     CharacterizedCell cc;
     cc.source.cell = cell;
-    cc.model = read_ca_model(is, cell);
+    cc.model = read_ca_model_file(path, cell);  // framed or legacy raw
     cc.canonical = canonicalize(cell);
     training.push_back(std::move(cc));
   }
@@ -216,9 +255,7 @@ int cmd_train(const Args& args) {
   options.forest.num_trees = args.trees;
   options.forest.jobs = args.jobs;
   const GroupModelStore store = GroupModelStore::train(training, options);
-  std::ofstream os(args.out);
-  if (!os) throw Error("cannot write " + args.out);
-  store.save(os);
+  store.save_file(args.out);
   std::cout << "wrote " << store.num_groups() << " group models to " << args.out << '\n';
   return 0;
 }
@@ -227,9 +264,7 @@ int cmd_predict(const Args& args) {
   if (args.positional.size() != 1 || args.models.empty() || args.out.empty()) {
     usage("predict needs a netlist, -m <models> and -o <dir>");
   }
-  std::ifstream ms(args.models);
-  if (!ms) throw Error("cannot read " + args.models);
-  const GroupModelStore store = GroupModelStore::load(ms);
+  const GroupModelStore store = GroupModelStore::load_file(args.models);
   std::cerr << "loaded " << store.num_groups() << " group models\n";
   std::filesystem::create_directories(args.out);
 
@@ -269,8 +304,10 @@ int cmd_predict(const Args& args) {
   for (std::size_t i = 0; i < cells.size(); ++i) {
     const Outcome& out = outcomes[i];
     if (out.ok) {
-      std::ofstream os(args.out + "/" + cells[i].name() + ".camodel");
-      os << out.camodel_text;
+      // Raw .camodel text (byte-compatible with `caml query`), but
+      // published atomically so a crash never leaves a torn file.
+      io::write_file_atomic(args.out + "/" + cells[i].name() + ".camodel",
+                            out.camodel_text);
       ++predicted_cells;
     } else {
       ++skipped;
@@ -296,11 +333,19 @@ int cmd_serve(const Args& args) {
   if (args.positional.size() != 1 || (args.socket.empty() && args.port == 0)) {
     usage("serve needs <models.caml> and --socket PATH (or --port N)");
   }
-  std::ifstream ms(args.positional[0]);
-  if (!ms) throw Error("cannot read " + args.positional[0]);
-  GroupModelStore store = GroupModelStore::load(ms);
-  std::cerr << "loaded " << store.num_groups() << " group models from "
-            << args.positional[0] << '\n';
+  const std::string store_path = args.positional[0];
+  std::optional<GroupModelStore> store;
+  try {
+    store.emplace(GroupModelStore::load_file(store_path));
+  } catch (const Error& e) {
+    // Structured startup rejection: a store that fails checksum or parse
+    // validation must never start serving. Exit code 3 distinguishes
+    // "bad model store" from generic failures for supervisors.
+    std::cerr << "error: refusing to serve " << store_path << ": " << e.what() << '\n';
+    return 3;
+  }
+  std::cerr << "loaded " << store->num_groups() << " group models from " << store_path
+            << '\n';
   Log::set_level(LogLevel::kInfo);
 
   serve::ServerOptions options;
@@ -308,7 +353,8 @@ int cmd_serve(const Args& args) {
   options.tcp_port = args.port;
   options.jobs = args.jobs;
   options.max_queue = args.max_queue;
-  serve::Server server(std::move(store), options);
+  serve::Server server(std::move(*store), options);
+  store.reset();
 
   Pipe signal_pipe = make_pipe();
   g_signal_pipe_wr = signal_pipe.wr.get();
@@ -319,6 +365,7 @@ int cmd_serve(const Args& args) {
   sigaction(SIGINT, &sa, nullptr);
   sigaction(SIGTERM, &sa, nullptr);
   sigaction(SIGUSR1, &sa, nullptr);
+  sigaction(SIGHUP, &sa, nullptr);
 
   server.start();
   if (server.port() != 0) {
@@ -330,6 +377,17 @@ int cmd_serve(const Args& args) {
     if (::read(signal_pipe.rd.get(), &sig, 1) != 1) continue;
     if (sig == SIGUSR1) {
       std::cerr << serve::format_stats(server.stats());
+      continue;
+    }
+    if (sig == SIGHUP) {
+      // Hot reload: load + validate on this thread (workers keep serving
+      // the current store), swap in only on success.
+      try {
+        server.reload(GroupModelStore::load_file(store_path));
+      } catch (const Error& e) {
+        log_warn() << "reload of " << store_path
+                   << " failed; keeping the current models: " << e.what();
+      }
       continue;
     }
     break;  // SIGINT / SIGTERM
@@ -376,8 +434,7 @@ int cmd_query(const Args& args) {
       if (args.out.empty()) {
         std::cout << camodel;
       } else {
-        std::ofstream os(args.out + "/" + cell.name() + ".camodel");
-        os << camodel;
+        io::write_file_atomic(args.out + "/" + cell.name() + ".camodel", camodel);
         std::cout << cell.name() << ": predicted\n";
       }
       ++predicted;
@@ -396,12 +453,11 @@ int cmd_patterns(const Args& args) {
   if (args.positional.size() != 2) usage("patterns needs a netlist and a camodel directory");
   for (const Cell& cell : load_cells(args.positional[0])) {
     const std::string path = args.positional[1] + "/" + cell.name() + ".camodel";
-    std::ifstream is(path);
-    if (!is) {
+    if (!std::filesystem::exists(path)) {
       std::cerr << "skipping " << cell.name() << ": no model at " << path << '\n';
       continue;
     }
-    const CaModel model = read_ca_model(is, cell);
+    const CaModel model = read_ca_model_file(path, cell);  // framed or legacy raw
     const PatternSelection sel = select_patterns(model);
     std::cout << cell.name() << ": " << sel.stimuli.size() << " patterns cover "
               << model.defects.size() - sel.undetected.size() << "/" << model.defects.size()
