@@ -1,7 +1,9 @@
 // E12 — parallel scaling of the two hot paths: library characterization
 // (characterize_library) and forest training (RandomForest::fit). For
 // each thread count the same workload is re-run and the wall-clock
-// speedup over the serial (jobs=1) baseline is reported, plus a
+// speedup over the serial (jobs=1) baseline is reported, alongside the
+// per-unit (cell / tree) p50 and p99 latency pulled from the registry
+// histograms the flows record into (snapshot-diffed per run), plus a
 // determinism check that every thread count produced bit-identical
 // output. Run on a multi-core host to see the scaling; on one core the
 // table degenerates to ~1.0x across the board.
@@ -15,6 +17,7 @@
 #include "camodel/model_io.hpp"
 #include "libgen/builder.hpp"
 #include "ml/forest_io.hpp"
+#include "obs/metrics.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
@@ -25,6 +28,14 @@ using Clock = std::chrono::steady_clock;
 
 double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// The distribution a single run added to a registry histogram: snapshot
+/// before and after, diff. Registry metrics are process-monotonic, so
+/// the diff isolates this run from earlier sweep iterations.
+obs::HistogramSnapshot run_delta(const obs::Histogram& h,
+                                 const obs::HistogramSnapshot& before) {
+  return h.snapshot().diff(before);
 }
 
 Library make_workload_library() {
@@ -70,16 +81,22 @@ int main() {
   char_table.new_row();
   char_table.cell("jobs");
   char_table.cell("seconds");
+  char_table.cell("cell p50 ms");
+  char_table.cell("cell p99 ms");
   char_table.cell("speedup");
+  const obs::Histogram& cell_us =
+      obs::Registry::global().histogram("caml_characterize_cell_us");
   std::string baseline_fingerprint;
   double baseline_seconds = 0.0;
   bool identical = true;
   for (std::size_t jobs : job_counts) {
     CharacterizeOptions options;
     options.jobs = jobs;
+    const obs::HistogramSnapshot before = cell_us.snapshot();
     const auto t0 = Clock::now();
     const std::vector<CharacterizedCell> cells = characterize_library(lib, options);
     const double elapsed = seconds_since(t0);
+    const obs::HistogramSnapshot cell_lat = run_delta(cell_us, before);
     const std::string fingerprint = characterization_fingerprint(cells);
     if (jobs == 1) {
       baseline_fingerprint = fingerprint;
@@ -89,6 +106,8 @@ int main() {
     char_table.new_row();
     char_table.cell(std::to_string(jobs));
     char_table.cell(elapsed, 3);
+    char_table.cell(cell_lat.percentile(0.50) / 1000.0, 2);
+    char_table.cell(cell_lat.percentile(0.99) / 1000.0, 2);
     char_table.cell(baseline_seconds / elapsed, 2);
   }
   char_table.print(std::cout);
@@ -102,7 +121,11 @@ int main() {
   fit_table.new_row();
   fit_table.cell("jobs");
   fit_table.cell("seconds");
+  fit_table.cell("tree p50 ms");
+  fit_table.cell("tree p99 ms");
   fit_table.cell("speedup");
+  const obs::Histogram& tree_us =
+      obs::Registry::global().histogram("caml_forest_tree_fit_us");
   std::string forest_baseline;
   double forest_baseline_seconds = 0.0;
   bool forests_identical = true;
@@ -111,9 +134,11 @@ int main() {
     params.num_trees = 48;
     params.jobs = jobs;
     RandomForest forest(params);
+    const obs::HistogramSnapshot before = tree_us.snapshot();
     const auto t0 = Clock::now();
     forest.fit(train);
     const double elapsed = seconds_since(t0);
+    const obs::HistogramSnapshot tree_lat = run_delta(tree_us, before);
     std::ostringstream os;
     write_forest(os, forest, train.num_features());
     if (jobs == 1) {
@@ -124,6 +149,8 @@ int main() {
     fit_table.new_row();
     fit_table.cell(std::to_string(jobs));
     fit_table.cell(elapsed, 3);
+    fit_table.cell(tree_lat.percentile(0.50) / 1000.0, 2);
+    fit_table.cell(tree_lat.percentile(0.99) / 1000.0, 2);
     fit_table.cell(forest_baseline_seconds / elapsed, 2);
   }
   fit_table.print(std::cout);

@@ -1,11 +1,13 @@
 // E13 — throughput of the serve daemon: an in-process Server answers
 // kPredictCell requests from a fixed pool of concurrent clients while
 // the worker-thread count sweeps 1/2/4/8. Reported: wall-clock
-// requests/sec per configuration and the speedup over one worker, plus
+// requests/sec per configuration, client-observed p50/p99 latency (from
+// an obs::Histogram the client threads record into), and the speedup over one worker, plus
 // a determinism check that every configuration produced byte-identical
 // predictions. Run on a multi-core host to see the scaling.
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <filesystem>
 #include <iostream>
@@ -17,9 +19,11 @@
 #include "flow/model_store.hpp"
 #include "libgen/builder.hpp"
 #include "netlist/spice_writer.hpp"
+#include "obs/metrics.hpp"
 #include "serve/client.hpp"
 #include "serve/server.hpp"
 #include "util/table.hpp"
+#include "util/timing.hpp"
 
 namespace {
 
@@ -67,6 +71,8 @@ int main() {
   table.cell("requests");
   table.cell("seconds");
   table.cell("req/s");
+  table.cell("p50 ms");
+  table.cell("p99 ms");
   table.cell("speedup");
 
   double baseline_seconds = 0.0;
@@ -83,6 +89,7 @@ int main() {
 
     std::vector<std::string> first_model(kClients);
     std::vector<std::size_t> completed(kClients, 0);
+    obs::Histogram latency;  // client-observed round-trip, microseconds
     const auto t0 = Clock::now();
     std::vector<std::thread> clients;
     clients.reserve(kClients);
@@ -93,7 +100,10 @@ int main() {
         serve::Client client(copts);
         for (std::size_t r = 0; r < kRequestsPerClient; ++r) {
           try {
+            const Stopwatch watch;
             const std::string model = client.predict_cell(netlist);
+            latency.record(static_cast<std::uint64_t>(
+                std::max<std::int64_t>(watch.elapsed_us(), 0)));
             if (r == 0) first_model[c] = model;
             ++completed[c];
           } catch (const Error& e) {
@@ -117,11 +127,14 @@ int main() {
     all_ok = all_ok && total == kClients * kRequestsPerClient;
     if (workers == 1) baseline_seconds = elapsed;
 
+    const obs::HistogramSnapshot lat = latency.snapshot();
     table.new_row();
     table.cell(std::to_string(workers));
     table.cell(std::to_string(total));
     table.cell(elapsed, 3);
     table.cell(static_cast<double>(total) / elapsed, 1);
+    table.cell(lat.percentile(0.50) / 1000.0, 2);
+    table.cell(lat.percentile(0.99) / 1000.0, 2);
     table.cell(baseline_seconds / elapsed, 2);
   }
   table.print(std::cout);

@@ -1,10 +1,12 @@
 #include "camodel/generate.hpp"
 
+#include "obs/trace.hpp"
 #include "sim/evaluator.hpp"
 
 namespace caml {
 
 CaModel generate_ca_model(const Cell& cell, const GenerationOptions& options) {
+  CAML_TRACE_SPAN("generate_ca_model");
   CaModel model;
   model.cell_name = cell.name();
   model.num_inputs = cell.num_inputs();
@@ -15,6 +17,7 @@ CaModel generate_ca_model(const Cell& cell, const GenerationOptions& options) {
   model.golden_responses = golden.responses;
 
   const std::vector<Defect> universe = enumerate_defects(cell, options.universe);
+  CAML_TRACE_SPAN_ITEMS("simulate", universe.size() * model.stimuli.size());
   model.defects.reserve(universe.size());
   for (const Defect& defect : universe) {
     const Cell faulty_cell = inject_defect(cell, defect, options.injection);

@@ -5,9 +5,12 @@
 #include <optional>
 
 #include "camodel/model_io.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 #include "util/thread_pool.hpp"
+#include "util/timing.hpp"
 
 namespace caml {
 
@@ -48,6 +51,8 @@ std::optional<CharacterizedCell> load_checkpointed_cell(const LibraryCell& cell,
 
 CharacterizedCell characterize_cell(const LibraryCell& cell, const Technology& tech,
                                     const CharacterizeOptions& options) {
+  obs::TraceSpan span("characterize_cell");
+  span.attr("cell", cell.cell.name());
   GenerationOptions gen;
   gen.policy = options.policy.policy_for(cell.cell.num_inputs());
   gen.universe = options.universe;
@@ -80,9 +85,19 @@ std::vector<CharacterizedCell> characterize_library(const Library& library,
   // journal records it (journal-after-data): a crash between the two
   // only costs a re-simulation, never yields a journal entry without a
   // verifiable artifact.
+  // Progress logging is time-gated (not every-N): under a high --jobs
+  // count a per-cell (or per-100-cells) line would serialize workers on
+  // the log mutex. The final N/N line is emitted unconditionally.
+  CAML_TRACE_SPAN_ITEMS("characterize_library", total);
+  static obs::Counter& cells_counter = obs::Registry::global().counter(
+      "caml_cells_characterized_total", "Cells characterized by the conventional flow");
+  static obs::Histogram& cell_us = obs::Registry::global().histogram(
+      "caml_characterize_cell_us", "Per-cell characterization latency in microseconds");
+  LogRateLimiter progress_gate(500'000);
   std::atomic<std::size_t> done{0};
   std::vector<CharacterizedCell> result =
       parallel_map(library.cells, options.jobs, [&](const LibraryCell& cell) {
+        const Stopwatch watch;
         std::optional<CharacterizedCell> out;
         if (journal && journal->completed(cell.cell.name())) {
           out = load_checkpointed_cell(cell, library.technology, options);
@@ -95,8 +110,10 @@ std::vector<CharacterizedCell> characterize_library(const Library& library,
             journal->record(cell.cell.name());
           }
         }
+        cells_counter.add();
+        cell_us.record(static_cast<std::uint64_t>(std::max<std::int64_t>(watch.elapsed_us(), 0)));
         const std::size_t finished = done.fetch_add(1, std::memory_order_relaxed) + 1;
-        if (finished % 100 == 0 || finished == total) {
+        if (finished == total || progress_gate.allow(monotonic_us())) {
           log_info() << library.name << ": characterized " << finished << "/" << total
                      << " cells";
         }

@@ -3,6 +3,7 @@
 #include <filesystem>
 #include <sstream>
 
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/io.hpp"
 #include "util/log.hpp"
@@ -106,6 +107,7 @@ void CheckpointJournal::flush() {
 }
 
 void CheckpointJournal::flush_locked() {
+  CAML_TRACE_SPAN_ITEMS("checkpoint_flush", done_.size());
   std::ostringstream out;
   out << "CAMLJOURNAL v1 units=" << done_.size() << '\n';
   for (const auto& [unit, payload] : done_) out << unit << '\t' << payload << '\n';

@@ -7,11 +7,41 @@
 #include <optional>
 #include <sstream>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
 
 namespace caml {
+
+namespace {
+
+/// Hybrid-flow routing counters: how many targets took the ML shortcut,
+/// how many were simulated conventionally, and how many degraded (ML
+/// route attempted but failed over to simulation).
+struct HybridMetrics {
+  obs::Counter& routed_ml;
+  obs::Counter& routed_conventional;
+  obs::Counter& degraded;
+  obs::Counter& replayed;
+
+  static HybridMetrics& get() {
+    static HybridMetrics m{
+        obs::Registry::global().counter("caml_hybrid_routed_ml_total",
+                                        "Targets served by the ML prediction route"),
+        obs::Registry::global().counter("caml_hybrid_routed_conventional_total",
+                                        "Targets sent to conventional generation"),
+        obs::Registry::global().counter("caml_hybrid_degraded_total",
+                                        "Targets that fell back after an ML-route failure"),
+        obs::Registry::global().counter("caml_hybrid_replayed_total",
+                                        "Targets replayed from a checkpoint journal"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 namespace {
 
@@ -133,6 +163,8 @@ HybridReport run_hybrid_flow(const std::vector<CharacterizedCell>& training,
                              const HybridOptions& options) {
   using Clock = std::chrono::steady_clock;
 
+  CAML_TRACE_SPAN_ITEMS("hybrid_flow", targets.size());
+  HybridMetrics& metrics = HybridMetrics::get();
   StructureIndex index(training);
   // Training pool per group, extended by feedback.
   GroupMap train_groups = group_cells(training);
@@ -172,6 +204,7 @@ HybridReport run_hybrid_flow(const std::vector<CharacterizedCell>& training,
           pool[key].push_back(&cell);
           classifiers.erase(key);
         }
+        metrics.replayed.add();
         report.outcomes.push_back(*replayed);
         continue;
       }
@@ -229,6 +262,8 @@ HybridReport run_hybrid_flow(const std::vector<CharacterizedCell>& training,
         classifiers.erase(key);  // stale: retrain on next use
       }
     }
+    (outcome.routed_to_ml ? metrics.routed_ml : metrics.routed_conventional).add();
+    if (outcome.degraded) metrics.degraded.add();
     report.outcomes.push_back(outcome);
     if (journal) journal->record(unit, encode_outcome(outcome));
   }

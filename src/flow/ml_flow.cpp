@@ -1,6 +1,7 @@
 #include "flow/ml_flow.hpp"
 
 #include "defect/universe.hpp"
+#include "obs/trace.hpp"
 #include "sim/evaluator.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
@@ -14,6 +15,7 @@ std::unique_ptr<Classifier> MlOptions::new_classifier() const {
 
 Dataset build_training_set(const std::vector<const CharacterizedCell*>& train_cells,
                            const MlOptions& options) {
+  CAML_TRACE_SPAN_ITEMS("matrix_build", train_cells.size());
   CAML_ASSERT(!train_cells.empty());
   const CharacterizedCell& first = *train_cells.front();
   const std::size_t features =
@@ -45,6 +47,7 @@ Dataset build_training_set(const std::vector<const CharacterizedCell*>& train_ce
 
 std::unique_ptr<Classifier> train_group_classifier(
     const std::vector<const CharacterizedCell*>& train_cells, const MlOptions& options) {
+  CAML_TRACE_SPAN_ITEMS("train_group", train_cells.size());
   const Dataset data = build_training_set(train_cells, options);
   std::unique_ptr<Classifier> classifier = options.new_classifier();
   classifier->fit(data);
@@ -59,8 +62,12 @@ CaModel predict_from_defects(const Classifier& classifier, const Cell& cell,
                              const CanonicalCell& canonical, StimulusPolicy policy,
                              const SimConfig& sim, const MatrixOptions& matrix_options,
                              std::vector<Defect> defects) {
-  const CaMatrix matrix =
-      build_unlabeled_matrix(cell, defects, policy, canonical, sim, matrix_options);
+  obs::TraceSpan span("predict_ca_model");
+  span.attr("cell", cell.name());
+  const CaMatrix matrix = [&] {
+    CAML_TRACE_SPAN_ITEMS("matrix_build", defects.size());
+    return build_unlabeled_matrix(cell, defects, policy, canonical, sim, matrix_options);
+  }();
 
   CaModel predicted;
   predicted.cell_name = cell.name();

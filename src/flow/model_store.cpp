@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "ml/forest_io.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/io.hpp"
 #include "util/log.hpp"
@@ -29,6 +30,7 @@ GroupModelStore GroupModelStore::train(const std::vector<CharacterizedCell>& tra
   store.matrix_ = options.matrix;
   const GroupMap groups = group_cells(training);
   for (const auto& [key, members] : groups) {
+    CAML_TRACE_SPAN_ITEMS("train_group", members.size());
     std::vector<const CharacterizedCell*> cells;
     for (std::size_t m : members) cells.push_back(&training[m]);
     const Dataset data = build_training_set(cells, options);

@@ -2,12 +2,41 @@
 
 #include <cmath>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
+#include "util/timing.hpp"
 
 namespace caml {
 
+namespace {
+
+/// Forest observability: per-tree fit latency feeds the profile of
+/// training runs; batch-size and row counters characterize inference
+/// traffic (serve daemon and offline predict alike).
+struct ForestMetrics {
+  obs::Histogram& tree_fit_us;
+  obs::Histogram& batch_rows;
+  obs::Counter& rows_predicted;
+
+  static ForestMetrics& get() {
+    static ForestMetrics m{
+        obs::Registry::global().histogram("caml_forest_tree_fit_us",
+                                          "Per-tree fit latency in microseconds"),
+        obs::Registry::global().histogram("caml_forest_batch_rows",
+                                          "Rows per predict_proba_batch call"),
+        obs::Registry::global().counter("caml_forest_rows_predicted_total",
+                                        "Rows classified across all batch predictions"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
+
 void RandomForest::fit(const Dataset& data) {
+  CAML_TRACE_SPAN_ITEMS("forest_fit", params_.num_trees);
   CAML_ASSERT(data.num_rows() > 0);
   trees_.clear();
   num_features_ = data.num_features();
@@ -53,7 +82,10 @@ void RandomForest::fit(const Dataset& data) {
   // Trees only read the shared dataset and mutate their own state, so
   // the fits are independent.
   parallel_for(params_.num_trees, params_.jobs, [&](std::size_t t) {
+    const Stopwatch watch;
     trees_[t].fit_indices(data, std::move(draws[t]));
+    ForestMetrics::get().tree_fit_us.record(
+        static_cast<std::uint64_t>(std::max<std::int64_t>(watch.elapsed_us(), 0)));
   });
 }
 
@@ -77,6 +109,10 @@ std::uint8_t RandomForest::predict(const std::int8_t* row) const {
 std::vector<double> RandomForest::predict_proba_batch(const std::int8_t* rows, std::size_t n,
                                                       std::size_t stride) const {
   CAML_ASSERT(!trees_.empty());
+  CAML_TRACE_SPAN_ITEMS("predict", n);
+  ForestMetrics& metrics = ForestMetrics::get();
+  metrics.batch_rows.record(n);
+  metrics.rows_predicted.add(n);
   // Tree-major: the outer loop visits each tree once and classifies all
   // rows through it, so a tree's node array stays cache-resident across
   // the whole batch. Per row the votes still accumulate in tree order,

@@ -1,0 +1,210 @@
+#include "obs/metrics.hpp"
+
+#include <bit>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace caml::obs {
+
+std::size_t Histogram::bucket_for(std::uint64_t v) {
+  // Buckets 0..7 hold the exact values 0..7; above that each octave
+  // [2^m, 2^(m+1)) splits into 8 sub-buckets keyed by the 3 bits after
+  // the leading 1.
+  if (v < kSubBuckets) return static_cast<std::size_t>(v);
+  const int msb = 63 - std::countl_zero(v);
+  const std::size_t sub = static_cast<std::size_t>((v >> (msb - 3)) & 7);
+  const std::size_t bucket = kSubBuckets * static_cast<std::size_t>(msb - 3) + kSubBuckets + sub;
+  return bucket < kBuckets ? bucket : kBuckets - 1;
+}
+
+double Histogram::bucket_upper(std::size_t bucket) {
+  if (bucket < kSubBuckets) return static_cast<double>(bucket);
+  const std::size_t m = 3 + (bucket - kSubBuckets) / kSubBuckets;
+  const std::size_t sub = (bucket - kSubBuckets) % kSubBuckets;
+  return static_cast<double>(((sub + 9) << (m - 3)) - 1);
+}
+
+void Histogram::record(std::uint64_t v) {
+  buckets_[bucket_for(v)].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  std::uint64_t prev = max_.load(std::memory_order_relaxed);
+  while (v > prev && !max_.compare_exchange_weak(prev, v, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot s;
+  s.buckets.resize(kBuckets);
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    s.buckets[b] = buckets_[b].load(std::memory_order_relaxed);
+    s.count += s.buckets[b];
+  }
+  s.sum = sum_.load(std::memory_order_relaxed);
+  s.max = max_.load(std::memory_order_relaxed);
+  return s;
+}
+
+double HistogramSnapshot::percentile(double q) const {
+  if (count == 0) return 0.0;
+  const std::uint64_t target =
+      static_cast<std::uint64_t>(q * static_cast<double>(count - 1)) + 1;
+  std::uint64_t cum = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    cum += buckets[b];
+    if (cum >= target) return Histogram::bucket_upper(b);
+  }
+  return Histogram::bucket_upper(Histogram::kBuckets - 1);
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  if (buckets.size() < other.buckets.size()) buckets.resize(other.buckets.size());
+  for (std::size_t b = 0; b < other.buckets.size(); ++b) buckets[b] += other.buckets[b];
+  count += other.count;
+  sum += other.sum;
+  max = std::max(max, other.max);
+}
+
+HistogramSnapshot HistogramSnapshot::diff(const HistogramSnapshot& earlier) const {
+  HistogramSnapshot out;
+  out.buckets.resize(buckets.size());
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    const std::uint64_t before = b < earlier.buckets.size() ? earlier.buckets[b] : 0;
+    CAML_ASSERT(buckets[b] >= before);
+    out.buckets[b] = buckets[b] - before;
+    out.count += out.buckets[b];
+  }
+  out.sum = sum - earlier.sum;
+  out.max = max;
+  return out;
+}
+
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  for (const auto& [name, v] : other.counters) counters[name] += v;
+  for (const auto& [name, v] : other.gauges) gauges[name] += v;
+  for (const auto& [name, h] : other.histograms) histograms[name].merge(h);
+  for (const auto& [name, text] : other.help) help.emplace(name, text);
+}
+
+namespace {
+
+void expose_preamble(std::ostringstream& os, const std::string& name, const char* type,
+                     const std::map<std::string, std::string>& help) {
+  const auto it = help.find(name);
+  if (it != help.end() && !it->second.empty()) {
+    os << "# HELP " << name << ' ' << it->second << '\n';
+  }
+  os << "# TYPE " << name << ' ' << type << '\n';
+}
+
+/// Formats a bucket upper bound: the bounds are integers by
+/// construction, so avoid the noise of scientific notation.
+std::string le_label(double upper) {
+  return std::to_string(static_cast<std::uint64_t>(upper));
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::to_text() const {
+  std::ostringstream os;
+  for (const auto& [name, v] : counters) {
+    expose_preamble(os, name, "counter", help);
+    os << name << ' ' << v << '\n';
+  }
+  for (const auto& [name, v] : gauges) {
+    expose_preamble(os, name, "gauge", help);
+    os << name << ' ' << v << '\n';
+  }
+  for (const auto& [name, h] : histograms) {
+    expose_preamble(os, name, "histogram", help);
+    // Cumulative counts; empty buckets are skipped (the cumulative value
+    // is unchanged there), +Inf always emitted.
+    std::uint64_t cum = 0;
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      if (h.buckets[b] == 0) continue;
+      cum += h.buckets[b];
+      os << name << "_bucket{le=\"" << le_label(Histogram::bucket_upper(b)) << "\"} " << cum
+         << '\n';
+    }
+    os << name << "_bucket{le=\"+Inf\"} " << h.count << '\n';
+    os << name << "_sum " << h.sum << '\n';
+    os << name << "_count " << h.count << '\n';
+  }
+  return os.str();
+}
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+namespace {
+
+bool valid_metric_name(const std::string& name) {
+  if (name.empty()) return false;
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+    const bool digit = c >= '0' && c <= '9';
+    if (!alpha && !(digit && i > 0)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void Registry::note_registered(const std::string& name, const std::string& help) {
+  if (!valid_metric_name(name)) throw Error("invalid metric name '" + name + "'");
+  if (!help.empty()) help_.emplace(name, help);
+}
+
+Counter& Registry::counter(const std::string& name, const std::string& help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (gauges_.count(name) || histograms_.count(name)) {
+    throw Error("metric '" + name + "' already registered with a different type");
+  }
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    note_registered(name, help);
+    it = counters_.emplace(name, std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(const std::string& name, const std::string& help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (counters_.count(name) || histograms_.count(name)) {
+    throw Error("metric '" + name + "' already registered with a different type");
+  }
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    note_registered(name, help);
+    it = gauges_.emplace(name, std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(const std::string& name, const std::string& help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (counters_.count(name) || gauges_.count(name)) {
+    throw Error("metric '" + name + "' already registered with a different type");
+  }
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    note_registered(name, help);
+    it = histograms_.emplace(name, std::make_unique<Histogram>()).first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot s;
+  for (const auto& [name, c] : counters_) s.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) s.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) s.histograms[name] = h->snapshot();
+  s.help = help_;
+  return s;
+}
+
+}  // namespace caml::obs

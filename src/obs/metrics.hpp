@@ -1,0 +1,144 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace caml::obs {
+
+/// Monotonically increasing event count. All mutators are relaxed
+/// atomics — safe from any thread, never a lock on the hot path.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Instantaneous signed level (queue depth, high-water mark). set/add
+/// are relaxed; update_max raises the value monotonically (CAS loop).
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  /// Raises the gauge to `v` if above the current value.
+  void update_max(std::int64_t v) {
+    std::int64_t prev = value_.load(std::memory_order_relaxed);
+    while (v > prev && !value_.compare_exchange_weak(prev, v, std::memory_order_relaxed)) {
+    }
+  }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Point-in-time copy of a Histogram, safe to format, compare and merge.
+/// merge() is associative and commutative (bucket-wise sums, max of
+/// maxima), so snapshots taken on different shards/processes can be
+/// combined in any order.
+struct HistogramSnapshot {
+  std::vector<std::uint64_t> buckets;  ///< per-bucket counts (kBuckets wide)
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;  ///< sum of recorded values
+  std::uint64_t max = 0;  ///< largest recorded value (exact, not bucketed)
+
+  /// Value at quantile q in [0, 1], exact to within one log-scale bucket
+  /// (~9% relative error). 0 when empty.
+  double percentile(double q) const;
+  void merge(const HistogramSnapshot& other);
+  /// Bucket-wise difference against an earlier snapshot of the same
+  /// histogram — the distribution of values recorded in between. `max`
+  /// is carried over from this snapshot (maxima do not subtract).
+  HistogramSnapshot diff(const HistogramSnapshot& earlier) const;
+
+  bool operator==(const HistogramSnapshot&) const = default;
+};
+
+/// Log-scaled histogram: 8 sub-buckets per octave, values 0..7 exact,
+/// upper range ~2^40 (≈ 12 days when recording microseconds). record()
+/// is three relaxed atomic ops — lock-free, no allocation. One
+/// implementation serves request latencies, task durations, batch sizes
+/// and anything else with a long-tailed distribution.
+class Histogram {
+ public:
+  static constexpr std::size_t kOctaves = 40;
+  static constexpr std::size_t kSubBuckets = 8;
+  static constexpr std::size_t kBuckets = kOctaves * kSubBuckets;
+
+  /// Bucket index holding value `v`.
+  static std::size_t bucket_for(std::uint64_t v);
+  /// Inclusive upper bound of a bucket.
+  static double bucket_upper(std::size_t bucket);
+
+  void record(std::uint64_t v);
+  HistogramSnapshot snapshot() const;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// Point-in-time copy of a whole Registry. merge() combines snapshots
+/// from different registries (or the same one at different times) —
+/// counters and gauges sum, histograms merge bucket-wise; associative
+/// and commutative, so shard rollups are order-independent.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+  /// Help strings keyed by metric name (first registration wins).
+  std::map<std::string, std::string> help;
+
+  void merge(const MetricsSnapshot& other);
+
+  /// Prometheus-compatible text exposition: # HELP / # TYPE lines, then
+  /// samples; histograms emit cumulative le="..." buckets plus _sum and
+  /// _count. Deterministic (name-sorted) output.
+  std::string to_text() const;
+
+  bool operator==(const MetricsSnapshot&) const = default;
+};
+
+/// Named metrics registry. Registration (counter/gauge/histogram) takes
+/// a mutex and returns a stable reference — call it once at setup (or
+/// through a function-local static) and mutate through the reference;
+/// the mutation path is lock-free. Re-registering a name returns the
+/// existing metric; a name registered as a different type throws.
+///
+/// Registry::global() is the process-wide instance every subsystem
+/// registers into (names prefixed caml_); independent instances exist
+/// for tests and shard-local aggregation.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  static Registry& global();
+
+  Counter& counter(const std::string& name, const std::string& help = "");
+  Gauge& gauge(const std::string& name, const std::string& help = "");
+  Histogram& histogram(const std::string& name, const std::string& help = "");
+
+  MetricsSnapshot snapshot() const;
+
+ private:
+  void note_registered(const std::string& name, const std::string& help);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::string> help_;
+};
+
+}  // namespace caml::obs

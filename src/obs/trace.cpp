@@ -1,0 +1,263 @@
+#include "obs/trace.hpp"
+
+#include <time.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iomanip>
+#include <map>
+#include <mutex>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/timing.hpp"
+
+namespace caml::obs {
+
+namespace detail {
+std::atomic<unsigned> g_mode{0};
+}  // namespace detail
+
+namespace {
+
+constexpr unsigned kTraceBit = 1u;
+constexpr unsigned kProfileBit = 2u;
+
+/// Per-thread CPU clock in microseconds (profiling only — never on the
+/// disabled path).
+std::int64_t thread_cpu_us() {
+  timespec ts{};
+  if (::clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
+  return static_cast<std::int64_t>(ts.tv_sec) * 1'000'000 + ts.tv_nsec / 1'000;
+}
+
+struct TraceEvent {
+  const char* name;
+  std::int64_t ts_us;   ///< relative to trace_start
+  std::int64_t dur_us;
+  std::uint32_t tid;
+  std::vector<std::pair<std::string, std::string>> args;  ///< values pre-rendered as JSON
+};
+
+/// Shared trace/profile state. Spans append under the mutex at *close*
+/// time only (one lock per completed span, none while the span runs);
+/// the disabled path never takes it.
+struct Collector {
+  std::mutex mutex;
+  std::vector<TraceEvent> events;
+  std::int64_t t0_us = 0;
+  std::uint64_t dropped = 0;
+  std::atomic<std::uint32_t> next_tid{0};
+  std::map<std::string, StageStats> stages;
+
+  /// Bounded buffer: a forgotten long-running trace degrades into
+  /// counting drops instead of eating the heap.
+  static constexpr std::size_t kMaxEvents = 1u << 20;
+
+  static Collector& get() {
+    static Collector instance;
+    return instance;
+  }
+};
+
+std::uint32_t this_thread_tid() {
+  thread_local const std::uint32_t tid =
+      Collector::get().next_tid.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+void set_mode_bit(unsigned bit, bool on) {
+  if (on) {
+    detail::g_mode.fetch_or(bit, std::memory_order_relaxed);
+  } else {
+    detail::g_mode.fetch_and(~bit, std::memory_order_relaxed);
+  }
+}
+
+void json_escape_into(std::string& out, const std::string& text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+std::string json_string(const std::string& text) {
+  std::string out = "\"";
+  json_escape_into(out, text);
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+bool trace_active() { return (detail::mode() & kTraceBit) != 0; }
+bool profile_active() { return (detail::mode() & kProfileBit) != 0; }
+
+void trace_start() {
+  Collector& c = Collector::get();
+  std::lock_guard<std::mutex> lock(c.mutex);
+  c.events.clear();
+  c.dropped = 0;
+  c.t0_us = monotonic_us();
+  set_mode_bit(kTraceBit, true);
+}
+
+std::string trace_stop_json() {
+  set_mode_bit(kTraceBit, false);
+  Collector& c = Collector::get();
+  std::lock_guard<std::mutex> lock(c.mutex);
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : c.events) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "{\"name\":";
+    out += json_string(e.name);
+    out += ",\"cat\":\"caml\",\"ph\":\"X\",\"pid\":1,\"tid\":";
+    out += std::to_string(e.tid);
+    out += ",\"ts\":";
+    out += std::to_string(e.ts_us);
+    out += ",\"dur\":";
+    out += std::to_string(e.dur_us);
+    if (!e.args.empty()) {
+      out += ",\"args\":{";
+      for (std::size_t a = 0; a < e.args.size(); ++a) {
+        if (a > 0) out += ',';
+        out += json_string(e.args[a].first);
+        out += ':';
+        out += e.args[a].second;  // already a JSON token
+      }
+      out += '}';
+    }
+    out += '}';
+  }
+  out += "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped_events\":" +
+         std::to_string(c.dropped) + "}}";
+  c.events.clear();
+  return out;
+}
+
+void trace_stop_write(const std::string& path) {
+  const std::string json = trace_stop_json();
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os || !(os << json) || !os.flush()) {
+    throw Error("cannot write trace file " + path);
+  }
+}
+
+std::uint64_t trace_dropped_events() {
+  Collector& c = Collector::get();
+  std::lock_guard<std::mutex> lock(c.mutex);
+  return c.dropped;
+}
+
+void profile_start() {
+  Collector& c = Collector::get();
+  std::lock_guard<std::mutex> lock(c.mutex);
+  c.stages.clear();
+  set_mode_bit(kProfileBit, true);
+}
+
+void profile_stop() { set_mode_bit(kProfileBit, false); }
+
+std::vector<std::pair<std::string, StageStats>> profile_snapshot() {
+  Collector& c = Collector::get();
+  std::vector<std::pair<std::string, StageStats>> out;
+  {
+    std::lock_guard<std::mutex> lock(c.mutex);
+    out.assign(c.stages.begin(), c.stages.end());
+  }
+  std::stable_sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.second.wall_us > b.second.wall_us;
+  });
+  return out;
+}
+
+std::string profile_summary() {
+  const auto stages = profile_snapshot();
+  if (stages.empty()) return std::string();
+  std::size_t name_width = 5;
+  for (const auto& [name, stats] : stages) name_width = std::max(name_width, name.size());
+  std::ostringstream os;
+  os << "profile (wall = summed span time; overlapping spans exceed elapsed):\n";
+  os << "  " << std::left << std::setw(static_cast<int>(name_width)) << "stage" << std::right
+     << std::setw(10) << "calls" << std::setw(12) << "wall_s" << std::setw(12) << "cpu_s"
+     << std::setw(12) << "items" << std::setw(14) << "items_per_s" << '\n';
+  for (const auto& [name, stats] : stages) {
+    const double wall_s = static_cast<double>(stats.wall_us) / 1e6;
+    const double cpu_s = static_cast<double>(stats.cpu_us) / 1e6;
+    os << "  " << std::left << std::setw(static_cast<int>(name_width)) << name << std::right
+       << std::setw(10) << stats.calls << std::setw(12) << std::fixed << std::setprecision(3)
+       << wall_s << std::setw(12) << cpu_s << std::setw(12) << stats.items << std::setw(14)
+       << std::setprecision(1)
+       << (stats.items == 0 || wall_s <= 0.0 ? 0.0
+                                             : static_cast<double>(stats.items) / wall_s)
+       << '\n';
+  }
+  return os.str();
+}
+
+void TraceSpan::begin(const char* name, std::uint64_t items, unsigned mode) {
+  name_ = name;
+  items_ = items;
+  tracing_ = (mode & kTraceBit) != 0;
+  profiling_ = (mode & kProfileBit) != 0;
+  start_us_ = monotonic_us();
+  if (profiling_) cpu_start_us_ = thread_cpu_us();
+}
+
+void TraceSpan::end() {
+  const std::int64_t end_us = monotonic_us();
+  const std::int64_t wall = end_us - start_us_;
+  Collector& c = Collector::get();
+  if (tracing_) {
+    if (items_ > 0) args_.emplace_back("items", std::to_string(items_));
+    TraceEvent e;
+    e.name = name_;
+    e.ts_us = start_us_ - c.t0_us;
+    e.dur_us = wall;
+    e.tid = this_thread_tid();
+    e.args = std::move(args_);
+    std::lock_guard<std::mutex> lock(c.mutex);
+    if (c.events.size() < Collector::kMaxEvents) {
+      c.events.push_back(std::move(e));
+    } else {
+      ++c.dropped;
+    }
+  }
+  if (profiling_) {
+    const std::int64_t cpu = thread_cpu_us() - cpu_start_us_;
+    std::lock_guard<std::mutex> lock(c.mutex);
+    StageStats& s = c.stages[name_];
+    s.calls += 1;
+    s.wall_us += static_cast<std::uint64_t>(std::max<std::int64_t>(wall, 0));
+    s.cpu_us += static_cast<std::uint64_t>(std::max<std::int64_t>(cpu, 0));
+    s.items += items_;
+  }
+}
+
+void TraceSpan::attr(const char* key, const std::string& value) {
+  if (!tracing_) return;
+  args_.emplace_back(key, json_string(value));
+}
+
+void TraceSpan::attr(const char* key, std::int64_t value) {
+  if (!tracing_) return;
+  args_.emplace_back(key, std::to_string(value));
+}
+
+}  // namespace caml::obs

@@ -1,0 +1,134 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace caml::obs {
+
+// ---------------------------------------------------------------------------
+// Tracing: CAML_TRACE_SPAN(name) opens an RAII scope that, while tracing
+// is enabled, records one complete ("ph":"X") event — name, start, wall
+// duration, a small stable thread id, optional attributes — for export
+// as Chrome trace-event JSON (load in chrome://tracing or
+// https://ui.perfetto.dev). Span names must be string literals (static
+// storage); attribute values are copied.
+//
+// Determinism contract: spans only *observe* — they never touch RNG
+// streams, data, or control flow, so every model/prediction output is
+// byte-identical with tracing enabled or disabled (tested). Disabled,
+// a span costs one relaxed atomic load and a branch.
+// ---------------------------------------------------------------------------
+
+/// True while trace events are being collected.
+bool trace_active();
+
+/// Starts (or restarts) collection; clears previously buffered events.
+void trace_start();
+
+/// Stops collection and renders the buffered events as a Chrome
+/// trace-event JSON document ("traceEvents" array). Clears the buffer.
+std::string trace_stop_json();
+
+/// trace_stop_json() written to `path` (plain file write; throws
+/// caml::Error when the file cannot be written).
+void trace_stop_write(const std::string& path);
+
+/// Events discarded because the in-memory cap was reached during the
+/// current (or last) collection; 0 in healthy runs. Also exported in the
+/// JSON under otherData.dropped_events.
+std::uint64_t trace_dropped_events();
+
+// ---------------------------------------------------------------------------
+// Profiling: the same spans feed per-stage rollups — calls, summed wall
+// and thread-CPU time, item throughput — aggregated by span name while
+// profiling is enabled, printed as an end-of-run summary table
+// (CLI --profile). Wall time is summed across spans, so concurrent
+// spans of one stage can exceed elapsed process time (it is busy time,
+// not a timeline).
+// ---------------------------------------------------------------------------
+
+/// True while per-stage rollups are being aggregated.
+bool profile_active();
+
+/// Starts (or restarts) aggregation; clears previous rollups.
+void profile_start();
+
+/// Stops aggregation (rollups remain readable until profile_start()).
+void profile_stop();
+
+/// Aggregated stats of one stage (span name).
+struct StageStats {
+  std::uint64_t calls = 0;
+  std::uint64_t wall_us = 0;
+  std::uint64_t cpu_us = 0;
+  std::uint64_t items = 0;
+};
+
+/// All stage rollups, sorted by descending wall time.
+std::vector<std::pair<std::string, StageStats>> profile_snapshot();
+
+/// Fixed-width summary table of profile_snapshot() — the end-of-run
+/// report printed by the CLI under --profile. Empty string when no
+/// stage completed.
+std::string profile_summary();
+
+namespace detail {
+/// Bit 0: tracing, bit 1: profiling. A single flag word keeps the
+/// disabled-span fast path to one relaxed load.
+extern std::atomic<unsigned> g_mode;
+inline unsigned mode() { return g_mode.load(std::memory_order_relaxed); }
+}  // namespace detail
+
+/// RAII tracing/profiling scope. Construct through CAML_TRACE_SPAN /
+/// CAML_TRACE_SPAN_ITEMS; `name` must point to static storage.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, std::uint64_t items = 0) {
+    const unsigned mode = detail::mode();
+    if (mode == 0) return;
+    begin(name, items, mode);
+  }
+  ~TraceSpan() {
+    if (tracing_ || profiling_) end();
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Attach a key/value attribute (exported in the event's "args").
+  /// No-ops unless tracing is active.
+  void attr(const char* key, const std::string& value);
+  void attr(const char* key, std::int64_t value);
+
+ private:
+  void begin(const char* name, std::uint64_t items, unsigned mode);
+  void end();
+
+  const char* name_ = nullptr;
+  std::int64_t start_us_ = 0;
+  std::int64_t cpu_start_us_ = 0;
+  std::uint64_t items_ = 0;
+  bool tracing_ = false;
+  bool profiling_ = false;
+  /// Values pre-rendered as JSON tokens (quoted strings / bare numbers).
+  std::vector<std::pair<std::string, std::string>> args_;
+};
+
+#define CAML_OBS_CAT2(a, b) a##b
+#define CAML_OBS_CAT(a, b) CAML_OBS_CAT2(a, b)
+
+/// Opens a tracing/profiling span covering the rest of the enclosing
+/// scope. `name` must be a string literal.
+#define CAML_TRACE_SPAN(name) \
+  ::caml::obs::TraceSpan CAML_OBS_CAT(caml_trace_span_, __LINE__)(name)
+
+/// Like CAML_TRACE_SPAN, also crediting `items` units of work to the
+/// stage's throughput rollup (and the event's "items" attribute).
+#define CAML_TRACE_SPAN_ITEMS(name, items) \
+  ::caml::obs::TraceSpan CAML_OBS_CAT(caml_trace_span_, __LINE__)( \
+      name, static_cast<std::uint64_t>(items))
+
+}  // namespace caml::obs

@@ -78,4 +78,8 @@ std::string Client::predict_cell(const std::string& netlist_text) {
 
 void Client::ping() { roundtrip(MsgType::kPing, "", MsgType::kPong); }
 
+std::string Client::stats() {
+  return roundtrip(MsgType::kStats, "", MsgType::kStatsOk).payload;
+}
+
 }  // namespace caml::serve

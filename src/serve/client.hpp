@@ -66,6 +66,11 @@ class Client {
   /// Liveness probe (kPing/kPong round trip).
   void ping();
 
+  /// Fetches the server's unified observability snapshot (kStats): the
+  /// process-wide metrics registry rendered as Prometheus-compatible
+  /// text exposition.
+  std::string stats();
+
   void close() { fd_.reset(); }
   bool connected() const { return fd_.valid(); }
 

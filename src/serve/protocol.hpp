@@ -21,9 +21,11 @@ namespace caml::serve {
 ///       20     n  payload
 ///
 /// Request payloads: kPredictCell carries the UTF-8 SPICE/CDL text of
-/// exactly one .SUBCKT. kPing carries nothing. Response payloads:
-/// kPredictOk carries the predicted `.camodel` text; kError carries an
-/// ErrorBody (see encode_error); kPong carries nothing.
+/// exactly one .SUBCKT. kPing and kStats carry nothing. Response
+/// payloads: kPredictOk carries the predicted `.camodel` text; kError
+/// carries an ErrorBody (see encode_error); kPong carries nothing;
+/// kStatsOk carries the unified metrics snapshot as Prometheus-
+/// compatible text exposition (see obs::MetricsSnapshot::to_text).
 inline constexpr std::uint32_t kMagic = 0x514D4143u;  // "CAMQ" little-endian
 inline constexpr std::uint16_t kProtocolVersion = 1;
 inline constexpr std::size_t kHeaderSize = 20;
@@ -38,6 +40,8 @@ enum class MsgType : std::uint16_t {
   kError = 3,        ///< response: payload is an ErrorBody
   kPing = 4,         ///< request: liveness / readiness probe
   kPong = 5,         ///< response to kPing
+  kStats = 6,        ///< request: unified observability snapshot
+  kStatsOk = 7,      ///< response: payload is the text exposition
 };
 
 /// Structured error codes carried in kError payloads.

@@ -11,6 +11,8 @@
 
 #include "camodel/model_io.hpp"
 #include "netlist/spice_parser.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 #include "util/timing.hpp"
 
@@ -235,6 +237,7 @@ void Server::handle_connection(Fd conn) {
 
     const Stopwatch watch;
     Frame response;
+    CAML_TRACE_SPAN("serve_request");
     const bool keep_open = handle_request(*request, response);
     try {
       write_frame(conn.get(), response, options_.write_timeout_ms);
@@ -266,6 +269,15 @@ bool Server::handle_request(const Frame& request, Frame& response) {
     case MsgType::kPredictCell:
       response = predict_response(request);
       return true;
+    case MsgType::kStats: {
+      // Unified snapshot: every subsystem's caml_* metrics (serve, pool,
+      // flows, forests) from the process-wide registry.
+      stats_.record_stats_request();
+      response.type = MsgType::kStatsOk;
+      response.request_id = request.request_id;
+      response.payload = obs::Registry::global().snapshot().to_text();
+      return true;
+    }
     default: {
       stats_.record_error();
       response = error_frame(request.request_id, ErrorCode::kBadRequest,

@@ -1,39 +1,60 @@
 #include "serve/stats.hpp"
 
-#include <bit>
 #include <sstream>
 
 #include "util/strings.hpp"
 
 namespace caml::serve {
 
-std::size_t ServeStats::bucket_for(std::uint64_t us) {
-  // Buckets 0..7 hold the exact values 0..7 us; above that each octave
-  // [2^m, 2^(m+1)) splits into 8 sub-buckets keyed by the 3 bits after
-  // the leading 1.
-  if (us < kSubBuckets) return static_cast<std::size_t>(us);
-  const int msb = 63 - std::countl_zero(us);
-  const std::size_t sub = static_cast<std::size_t>((us >> (msb - 3)) & 7);
-  const std::size_t bucket = kSubBuckets * static_cast<std::size_t>(msb - 3) + kSubBuckets + sub;
-  return bucket < kBuckets ? bucket : kBuckets - 1;
-}
+namespace {
 
-double ServeStats::bucket_upper_us(std::size_t bucket) {
-  if (bucket < kSubBuckets) return static_cast<double>(bucket);
-  const std::size_t m = 3 + (bucket - kSubBuckets) / kSubBuckets;
-  const std::size_t sub = (bucket - kSubBuckets) % kSubBuckets;
-  return static_cast<double>(((sub + 9) << (m - 3)) - 1);
-}
+obs::Registry& reg() { return obs::Registry::global(); }
+
+}  // namespace
+
+ServeStats::ServeStats()
+    : connections_(reg().counter("caml_serve_connections_total",
+                                 "Connections accepted by the serve daemon")),
+      ok_(reg().counter("caml_serve_requests_ok_total",
+                        "Predictions answered kPredictOk")),
+      errors_(reg().counter("caml_serve_requests_error_total",
+                            "Structured kError answers (excluding overload rejects)")),
+      rejected_(reg().counter("caml_serve_rejected_overload_total",
+                              "Backpressure rejects at the acceptor")),
+      pings_(reg().counter("caml_serve_pings_total", "kPing probes answered")),
+      stats_requests_(reg().counter("caml_serve_stats_requests_total",
+                                    "kStats snapshots served")),
+      cells_(reg().counter("caml_serve_cells_predicted_total",
+                           "Cells predicted over the serve protocol")),
+      rows_(reg().counter("caml_serve_rows_classified_total",
+                          "CA-matrix rows pushed through the forests while serving")),
+      reloads_(reg().counter("caml_serve_reloads_total",
+                             "Successful SIGHUP store reloads")),
+      queue_high_water_gauge_(reg().gauge("caml_serve_queue_high_water",
+                                          "Max pending connections observed")),
+      latency_(reg().histogram("caml_serve_request_latency_us",
+                               "Per-request handle+respond latency in microseconds")),
+      base_connections_(connections_.value()),
+      base_ok_(ok_.value()),
+      base_errors_(errors_.value()),
+      base_rejected_(rejected_.value()),
+      base_pings_(pings_.value()),
+      base_stats_requests_(stats_requests_.value()),
+      base_cells_(cells_.value()),
+      base_rows_(rows_.value()),
+      base_reloads_(reloads_.value()),
+      base_latency_(latency_.snapshot()) {}
 
 void ServeStats::record_latency_us(std::int64_t us) {
   const std::uint64_t v = us < 0 ? 0 : static_cast<std::uint64_t>(us);
-  latency_hist_[bucket_for(v)].fetch_add(1, std::memory_order_relaxed);
+  latency_.record(v);
   std::uint64_t prev = latency_max_us_.load(std::memory_order_relaxed);
   while (v > prev && !latency_max_us_.compare_exchange_weak(prev, v, std::memory_order_relaxed)) {
   }
 }
 
 void ServeStats::update_queue_depth(std::size_t depth) {
+  queue_high_water_gauge_.update_max(static_cast<std::int64_t>(depth));
   std::uint64_t prev = queue_high_water_.load(std::memory_order_relaxed);
   while (depth > prev &&
          !queue_high_water_.compare_exchange_weak(prev, depth, std::memory_order_relaxed)) {
@@ -42,38 +63,24 @@ void ServeStats::update_queue_depth(std::size_t depth) {
 
 StatsSnapshot ServeStats::snapshot() const {
   StatsSnapshot s;
-  s.connections_accepted = connections_.load(std::memory_order_relaxed);
-  s.requests_ok = ok_.load(std::memory_order_relaxed);
-  s.requests_error = errors_.load(std::memory_order_relaxed);
-  s.rejected_overload = rejected_.load(std::memory_order_relaxed);
-  s.pings = pings_.load(std::memory_order_relaxed);
-  s.cells_predicted = cells_.load(std::memory_order_relaxed);
-  s.rows_classified = rows_.load(std::memory_order_relaxed);
+  s.connections_accepted = connections_.value() - base_connections_;
+  s.requests_ok = ok_.value() - base_ok_;
+  s.requests_error = errors_.value() - base_errors_;
+  s.rejected_overload = rejected_.value() - base_rejected_;
+  s.pings = pings_.value() - base_pings_;
+  s.stats_requests = stats_requests_.value() - base_stats_requests_;
+  s.cells_predicted = cells_.value() - base_cells_;
+  s.rows_classified = rows_.value() - base_rows_;
   s.queue_high_water = queue_high_water_.load(std::memory_order_relaxed);
-  s.reloads = reloads_.load(std::memory_order_relaxed);
+  s.reloads = reloads_.value() - base_reloads_;
   s.latency_max_ms =
       static_cast<double>(latency_max_us_.load(std::memory_order_relaxed)) / 1000.0;
 
-  std::array<std::uint64_t, kBuckets> hist;
-  std::uint64_t total = 0;
-  for (std::size_t b = 0; b < kBuckets; ++b) {
-    hist[b] = latency_hist_[b].load(std::memory_order_relaxed);
-    total += hist[b];
-  }
-  s.latency_count = total;
-  if (total > 0) {
-    const auto percentile = [&](double q) {
-      const std::uint64_t target =
-          static_cast<std::uint64_t>(q * static_cast<double>(total - 1)) + 1;
-      std::uint64_t cum = 0;
-      for (std::size_t b = 0; b < kBuckets; ++b) {
-        cum += hist[b];
-        if (cum >= target) return bucket_upper_us(b) / 1000.0;
-      }
-      return bucket_upper_us(kBuckets - 1) / 1000.0;
-    };
-    s.latency_p50_ms = percentile(0.50);
-    s.latency_p99_ms = percentile(0.99);
+  const obs::HistogramSnapshot lat = latency_.snapshot().diff(base_latency_);
+  s.latency_count = lat.count;
+  if (lat.count > 0) {
+    s.latency_p50_ms = lat.percentile(0.50) / 1000.0;
+    s.latency_p99_ms = lat.percentile(0.99) / 1000.0;
   }
   return s;
 }
@@ -87,6 +94,7 @@ std::string format_stats(const StatsSnapshot& s) {
      << "  requests_error       " << s.requests_error << '\n'
      << "  rejected_overload    " << s.rejected_overload << '\n'
      << "  pings                " << s.pings << '\n'
+     << "  stats_requests       " << s.stats_requests << '\n'
      << "  cells_predicted      " << s.cells_predicted << '\n'
      << "  rows_classified      " << s.rows_classified << '\n'
      << "  queue_high_water     " << s.queue_high_water << '\n'

@@ -1,9 +1,10 @@
 #pragma once
 
-#include <array>
 #include <atomic>
 #include <cstdint>
 #include <string>
+
+#include "obs/metrics.hpp"
 
 namespace caml::serve {
 
@@ -14,6 +15,7 @@ struct StatsSnapshot {
   std::uint64_t requests_error = 0;    ///< structured kError answers (excl. rejects)
   std::uint64_t rejected_overload = 0; ///< backpressure rejects at the acceptor
   std::uint64_t pings = 0;
+  std::uint64_t stats_requests = 0;    ///< kStats snapshots served
   std::uint64_t cells_predicted = 0;
   std::uint64_t rows_classified = 0;   ///< CA-matrix rows pushed through the forests
   std::uint64_t queue_high_water = 0;  ///< max pending connections observed
@@ -23,29 +25,39 @@ struct StatsSnapshot {
   double latency_p99_ms = 0.0;
   double latency_max_ms = 0.0;
 
-  std::uint64_t requests_served() const { return requests_ok + requests_error + pings; }
+  std::uint64_t requests_served() const {
+    return requests_ok + requests_error + pings + stats_requests;
+  }
 };
 
-/// Lock-free counters for the serve daemon. All mutators are safe to
-/// call concurrently from any worker; snapshot() may race individual
-/// increments (counters are read one by one) but never tears a single
-/// counter — fine for monitoring output.
+/// Serve counters, kept in the process-wide obs::Registry (metric names
+/// caml_serve_*) so the SIGUSR1 dump, the STATS request and `caml query
+/// --stats` all expose one unified snapshot. The registry metrics are
+/// process-global and monotonic; each ServeStats instance additionally
+/// remembers the registry values at its construction and reports deltas,
+/// so per-server snapshots keep exact per-instance semantics (tests spin
+/// up many servers in one process).
 ///
-/// Latency is kept in a log-scaled histogram (8 sub-buckets per octave
-/// of microseconds), so p50/p99 are exact to within ~9% of the true
-/// value with O(1) memory and no per-request allocation.
+/// All mutators are lock-free (relaxed atomics in obs::Counter /
+/// obs::Histogram); snapshot() may race individual increments but never
+/// tears a single counter — fine for monitoring output. Latency lives in
+/// the shared obs::Histogram (log-scaled, 8 sub-buckets per octave of
+/// microseconds): p50/p99 are exact to within ~9% with O(1) memory.
 class ServeStats {
  public:
-  void record_connection() { connections_.fetch_add(1, std::memory_order_relaxed); }
-  void record_ping() { pings_.fetch_add(1, std::memory_order_relaxed); }
-  void record_reject() { rejected_.fetch_add(1, std::memory_order_relaxed); }
-  void record_error() { errors_.fetch_add(1, std::memory_order_relaxed); }
+  ServeStats();
+
+  void record_connection() { connections_.add(); }
+  void record_ping() { pings_.add(); }
+  void record_stats_request() { stats_requests_.add(); }
+  void record_reject() { rejected_.add(); }
+  void record_error() { errors_.add(); }
   void record_ok(std::uint64_t cells, std::uint64_t rows) {
-    ok_.fetch_add(1, std::memory_order_relaxed);
-    cells_.fetch_add(cells, std::memory_order_relaxed);
-    rows_.fetch_add(rows, std::memory_order_relaxed);
+    ok_.add();
+    cells_.add(cells);
+    rows_.add(rows);
   }
-  void record_reload() { reloads_.fetch_add(1, std::memory_order_relaxed); }
+  void record_reload() { reloads_.add(); }
   void record_latency_us(std::int64_t us);
   /// Raises the queue high-water mark to `depth` if above it.
   void update_queue_depth(std::size_t depth);
@@ -53,23 +65,34 @@ class ServeStats {
   StatsSnapshot snapshot() const;
 
  private:
-  static constexpr std::size_t kOctaves = 40;     // up to ~2^40 us ≈ 12 days
-  static constexpr std::size_t kSubBuckets = 8;   // per octave
-  static constexpr std::size_t kBuckets = kOctaves * kSubBuckets;
-  static std::size_t bucket_for(std::uint64_t us);
-  static double bucket_upper_us(std::size_t bucket);
+  obs::Counter& connections_;
+  obs::Counter& ok_;
+  obs::Counter& errors_;
+  obs::Counter& rejected_;
+  obs::Counter& pings_;
+  obs::Counter& stats_requests_;
+  obs::Counter& cells_;
+  obs::Counter& rows_;
+  obs::Counter& reloads_;
+  obs::Gauge& queue_high_water_gauge_;
+  obs::Histogram& latency_;
 
-  std::atomic<std::uint64_t> connections_{0};
-  std::atomic<std::uint64_t> ok_{0};
-  std::atomic<std::uint64_t> errors_{0};
-  std::atomic<std::uint64_t> rejected_{0};
-  std::atomic<std::uint64_t> pings_{0};
-  std::atomic<std::uint64_t> cells_{0};
-  std::atomic<std::uint64_t> rows_{0};
+  // Registry values at construction: snapshot() reports deltas.
+  std::uint64_t base_connections_;
+  std::uint64_t base_ok_;
+  std::uint64_t base_errors_;
+  std::uint64_t base_rejected_;
+  std::uint64_t base_pings_;
+  std::uint64_t base_stats_requests_;
+  std::uint64_t base_cells_;
+  std::uint64_t base_rows_;
+  std::uint64_t base_reloads_;
+  obs::HistogramSnapshot base_latency_;
+
+  // Maxima are per-instance (they do not subtract); the global gauge
+  // still tracks the process-wide high water.
   std::atomic<std::uint64_t> queue_high_water_{0};
-  std::atomic<std::uint64_t> reloads_{0};
   std::atomic<std::uint64_t> latency_max_us_{0};
-  std::array<std::atomic<std::uint64_t>, kBuckets> latency_hist_{};
 };
 
 /// The `serve_stats` block dumped on SIGUSR1 and at shutdown.

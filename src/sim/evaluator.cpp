@@ -1,5 +1,6 @@
 #include "sim/evaluator.hpp"
 
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace caml {
@@ -15,6 +16,7 @@ bool transistor_active(const Transistor& t, Sig gate_value) {
 
 GoldenResult simulate_golden(const Cell& cell, const std::vector<Stimulus>& stimuli,
                              const SimConfig& config) {
+  CAML_TRACE_SPAN_ITEMS("golden_sim", stimuli.size());
   GoldenResult result;
   result.responses.reserve(stimuli.size());
   result.initial_responses.reserve(stimuli.size());

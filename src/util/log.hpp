@@ -1,5 +1,8 @@
 #pragma once
 
+#include <atomic>
+#include <cstdint>
+#include <limits>
 #include <sstream>
 #include <string>
 
@@ -35,6 +38,29 @@ class LogLine {
   std::ostringstream stream_;
 };
 }  // namespace detail
+
+/// Time-based throttle for progress logging from concurrent workers:
+/// allow() grants at most one success per interval, lock-free, so a
+/// high --jobs run never serializes its workers on the log mutex just
+/// to print progress. Callers pass the current monotonic time (e.g.
+/// monotonic_us()); losers of the CAS race simply skip their line.
+/// The first call always succeeds.
+class LogRateLimiter {
+ public:
+  explicit LogRateLimiter(std::int64_t min_interval_us)
+      : interval_us_(min_interval_us) {}
+
+  bool allow(std::int64_t now_us) {
+    std::int64_t prev = last_us_.load(std::memory_order_relaxed);
+    if (prev != kNever && now_us - prev < interval_us_) return false;
+    return last_us_.compare_exchange_strong(prev, now_us, std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr std::int64_t kNever = std::numeric_limits<std::int64_t>::min();
+  std::int64_t interval_us_;
+  std::atomic<std::int64_t> last_us_{kNever};
+};
 
 inline detail::LogLine log_debug() { return detail::LogLine(LogLevel::kDebug); }
 inline detail::LogLine log_info() { return detail::LogLine(LogLevel::kInfo); }

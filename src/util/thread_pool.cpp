@@ -1,8 +1,38 @@
 #include "util/thread_pool.hpp"
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
+#include "util/timing.hpp"
 
 namespace caml {
+
+namespace {
+
+/// Process-wide pool metrics, shared by every ThreadPool instance:
+/// total tasks, per-task latency, summed busy time (worker utilization =
+/// busy_us / (workers x wall)), and the deepest queue observed.
+struct PoolMetrics {
+  obs::Counter& tasks;
+  obs::Counter& busy_us;
+  obs::Histogram& task_us;
+  obs::Gauge& queue_high_water;
+
+  static PoolMetrics& get() {
+    static PoolMetrics m{
+        obs::Registry::global().counter("caml_pool_tasks_total",
+                                        "Tasks executed by ThreadPool workers"),
+        obs::Registry::global().counter("caml_pool_busy_us_total",
+                                        "Summed wall time workers spent running tasks"),
+        obs::Registry::global().histogram("caml_pool_task_us",
+                                          "Per-task execution latency in microseconds"),
+        obs::Registry::global().gauge("caml_pool_queue_depth_high_water",
+                                      "Deepest pending-task queue observed"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   CAML_ASSERT(num_threads > 0);
@@ -33,8 +63,18 @@ void ThreadPool::worker_loop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
+    PoolMetrics& metrics = PoolMetrics::get();
+    const Stopwatch watch;
     task();
+    const std::int64_t elapsed = watch.elapsed_us();
+    metrics.tasks.add();
+    metrics.busy_us.add(static_cast<std::uint64_t>(elapsed < 0 ? 0 : elapsed));
+    metrics.task_us.record(static_cast<std::uint64_t>(elapsed < 0 ? 0 : elapsed));
   }
+}
+
+void ThreadPool::note_queue_depth(std::size_t depth) {
+  PoolMetrics::get().queue_high_water.update_max(static_cast<std::int64_t>(depth));
 }
 
 std::size_t resolve_jobs(std::size_t jobs) {

@@ -45,6 +45,7 @@ class ThreadPool {
     {
       std::lock_guard<std::mutex> lock(mutex_);
       tasks_.push([task] { (*task)(); });
+      note_queue_depth(tasks_.size());
     }
     cv_.notify_one();
     return out;
@@ -52,6 +53,9 @@ class ThreadPool {
 
  private:
   void worker_loop();
+  /// Feeds the caml_pool_* observability metrics (queue-depth high
+  /// water); called under mutex_ from submit().
+  static void note_queue_depth(std::size_t depth);
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;

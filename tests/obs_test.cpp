@@ -1,0 +1,433 @@
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "camodel/generate.hpp"
+#include "camodel/model_io.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "test_support.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+#include "util/timing.hpp"
+
+namespace caml {
+namespace {
+
+using obs::Counter;
+using obs::Gauge;
+using obs::Histogram;
+using obs::HistogramSnapshot;
+using obs::MetricsSnapshot;
+using obs::Registry;
+
+// ---------------------------------------------------------------------------
+// Counters / gauges under concurrency. The Obs* suites are part of the
+// TSan sweep (scripts/check_tsan.sh), so these tests double as data-race
+// checks on the lock-free mutation paths.
+
+TEST(ObsCounter, ConcurrentIncrementsAreExact) {
+  constexpr std::size_t kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20000;
+  Counter counter;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) counter.add();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter.value(), kThreads * kPerThread);
+}
+
+TEST(ObsGauge, UpdateMaxIsMonotonicUnderConcurrency) {
+  constexpr std::size_t kThreads = 8;
+  Gauge gauge;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&gauge, t] {
+      for (std::int64_t v = 0; v <= 1000; ++v) {
+        gauge.update_max(static_cast<std::int64_t>(t) * 1000 + v);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(gauge.value(), 8000);  // max thread (7) * 1000 + max v (1000)
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+TEST(ObsHistogram, SmallValuesAreExact) {
+  Histogram h;
+  for (std::uint64_t v = 0; v < 8; ++v) h.record(v);
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 8u);
+  EXPECT_EQ(s.sum, 28u);
+  EXPECT_EQ(s.max, 7u);
+  for (std::uint64_t v = 0; v < 8; ++v) EXPECT_EQ(s.buckets[v], 1u);
+}
+
+TEST(ObsHistogram, BucketBoundsAreConsistent) {
+  // Every value maps into a bucket whose upper bound is >= the value and
+  // within ~9% of it (1/8 sub-bucket resolution above the exact range).
+  for (std::uint64_t v : {8ull, 9ull, 100ull, 1000ull, 4095ull, 4096ull, 1234567ull,
+                          (1ull << 32), (1ull << 40) - 1}) {
+    const std::size_t b = Histogram::bucket_for(v);
+    const double upper = Histogram::bucket_upper(b);
+    EXPECT_GE(upper, static_cast<double>(v)) << "value " << v;
+    EXPECT_LE(upper, static_cast<double>(v) * 1.1251) << "value " << v;
+    if (b > 0) {
+      EXPECT_LT(Histogram::bucket_upper(b - 1), static_cast<double>(v)) << "value " << v;
+    }
+  }
+}
+
+TEST(ObsHistogram, ConcurrentRecordsKeepExactCountAndSum) {
+  constexpr std::size_t kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20000;
+  Histogram h;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) h.record(t * 1000 + (i % 97));
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, kThreads * kPerThread);
+  EXPECT_EQ(s.max, 7096u);  // max thread (7) * 1000 + max residue (96)
+}
+
+TEST(ObsHistogram, PercentilesBracketTheDistribution) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.record(v);
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_NEAR(s.percentile(0.5), 500.0, 500.0 * 0.13);
+  EXPECT_NEAR(s.percentile(0.99), 990.0, 990.0 * 0.13);
+  EXPECT_GE(s.percentile(1.0), 1000.0 * 0.89);
+  EXPECT_EQ(s.percentile(0.0), 1.0);
+  EXPECT_EQ(HistogramSnapshot{}.percentile(0.5), 0.0);
+}
+
+TEST(ObsHistogram, DiffIsolatesTheDelta) {
+  Histogram h;
+  h.record(10);
+  h.record(20);
+  const HistogramSnapshot before = h.snapshot();
+  h.record(30);
+  h.record(40);
+  const HistogramSnapshot delta = h.snapshot().diff(before);
+  EXPECT_EQ(delta.count, 2u);
+  EXPECT_EQ(delta.sum, 70u);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot merge
+
+MetricsSnapshot snapshot_of(std::uint64_t c, std::int64_t g,
+                            std::vector<std::uint64_t> values) {
+  Registry r;
+  r.counter("caml_test_counter").add(c);
+  r.gauge("caml_test_gauge").add(g);
+  Histogram& h = r.histogram("caml_test_hist", "help text");
+  for (std::uint64_t v : values) h.record(v);
+  return r.snapshot();
+}
+
+TEST(ObsSnapshot, MergeIsAssociativeAndCommutative) {
+  const MetricsSnapshot a = snapshot_of(1, 10, {5, 500});
+  const MetricsSnapshot b = snapshot_of(2, 20, {50});
+  const MetricsSnapshot c = snapshot_of(3, 30, {1, 2, 3, 5000000});
+
+  MetricsSnapshot ab_c = a;
+  ab_c.merge(b);
+  ab_c.merge(c);
+
+  MetricsSnapshot bc = b;
+  bc.merge(c);
+  MetricsSnapshot a_bc = a;
+  a_bc.merge(bc);
+
+  MetricsSnapshot cba = c;
+  cba.merge(b);
+  cba.merge(a);
+
+  EXPECT_EQ(ab_c, a_bc);
+  EXPECT_EQ(ab_c, cba);
+  EXPECT_EQ(ab_c.counters.at("caml_test_counter"), 6u);
+  EXPECT_EQ(ab_c.gauges.at("caml_test_gauge"), 60);
+  EXPECT_EQ(ab_c.histograms.at("caml_test_hist").count, 7u);
+  EXPECT_EQ(ab_c.histograms.at("caml_test_hist").max, 5000000u);
+}
+
+TEST(ObsSnapshot, TextExpositionIsPrometheusShaped) {
+  Registry r;
+  r.counter("caml_demo_total", "Demo events").add(3);
+  r.gauge("caml_demo_depth").set(-2);
+  Histogram& h = r.histogram("caml_demo_us", "Demo latency");
+  h.record(4);
+  h.record(100);
+  const std::string text = r.snapshot().to_text();
+
+  EXPECT_NE(text.find("# HELP caml_demo_total Demo events\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE caml_demo_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("caml_demo_total 3\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE caml_demo_depth gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("caml_demo_depth -2\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE caml_demo_us histogram\n"), std::string::npos);
+  EXPECT_NE(text.find("caml_demo_us_bucket{le=\"4\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("caml_demo_us_bucket{le=\"+Inf\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("caml_demo_us_sum 104\n"), std::string::npos);
+  EXPECT_NE(text.find("caml_demo_us_count 2\n"), std::string::npos);
+  // Deterministic: a second render is byte-identical.
+  EXPECT_EQ(text, r.snapshot().to_text());
+}
+
+TEST(ObsRegistry, NamesAreStableAndTypeChecked) {
+  Registry r;
+  Counter& c1 = r.counter("caml_thing_total");
+  Counter& c2 = r.counter("caml_thing_total");
+  EXPECT_EQ(&c1, &c2);
+  EXPECT_THROW(r.gauge("caml_thing_total"), Error);
+  EXPECT_THROW(r.histogram("caml_thing_total"), Error);
+  EXPECT_THROW(r.counter("bad name"), Error);
+  EXPECT_THROW(r.counter("0starts_with_digit"), Error);
+  EXPECT_THROW(r.counter(""), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Tracing + profiling
+
+/// Minimal JSON well-formedness checker (objects, arrays, strings with
+/// escapes, numbers, literals) — enough to prove the exported trace
+/// parses back, without a JSON dependency.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : text_(text) {}
+
+  bool valid() {
+    pos_ = 0;
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    for (;;) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    for (;;) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (static_cast<unsigned char>(text_[pos_]) < 0x20) return false;  // raw control
+      if (text_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+        const char e = text_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= text_.size() || !std::isxdigit(static_cast<unsigned char>(text_[pos_]))) {
+              return false;
+            }
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' && e != 'n' &&
+                   e != 'r' && e != 't') {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    if (peek() == '.') {
+      ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool literal(const char* word) {
+    for (const char* p = word; *p; ++p, ++pos_) {
+      if (pos_ >= text_.size() || text_[pos_] != *p) return false;
+    }
+    return true;
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+TEST(ObsTrace, DisabledByDefaultAndSpansAreFree) {
+  ASSERT_FALSE(obs::trace_active());
+  CAML_TRACE_SPAN("never_recorded");
+  // Nothing observable: starting a trace afterwards must not see it.
+  obs::trace_start();
+  const std::string json = obs::trace_stop_json();
+  EXPECT_EQ(json.find("never_recorded"), std::string::npos);
+}
+
+TEST(ObsTrace, ExportsWellFormedChromeJson) {
+  obs::trace_start();
+  ASSERT_TRUE(obs::trace_active());
+  {
+    obs::TraceSpan outer("outer_stage");
+    outer.attr("cell", std::string("NAND2 \"quoted\"\n"));
+    outer.attr("rows", std::int64_t{42});
+    CAML_TRACE_SPAN_ITEMS("inner_stage", 7);
+  }
+  std::thread([] { CAML_TRACE_SPAN("worker_stage"); }).join();
+  const std::string json = obs::trace_stop_json();
+  EXPECT_FALSE(obs::trace_active());
+
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"outer_stage\""), std::string::npos);
+  EXPECT_NE(json.find("\"inner_stage\""), std::string::npos);
+  EXPECT_NE(json.find("\"worker_stage\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"items\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"rows\":42"), std::string::npos);
+  EXPECT_NE(json.find("\"dropped_events\":0"), std::string::npos);
+  EXPECT_EQ(obs::trace_dropped_events(), 0u);
+}
+
+TEST(ObsProfile, RollupsAggregateByStage) {
+  obs::profile_start();
+  for (int i = 0; i < 3; ++i) {
+    CAML_TRACE_SPAN_ITEMS("profiled_stage", 10);
+  }
+  obs::profile_stop();
+  bool found = false;
+  for (const auto& [name, stats] : obs::profile_snapshot()) {
+    if (name != "profiled_stage") continue;
+    found = true;
+    EXPECT_EQ(stats.calls, 3u);
+    EXPECT_EQ(stats.items, 30u);
+  }
+  EXPECT_TRUE(found);
+  const std::string summary = obs::profile_summary();
+  EXPECT_NE(summary.find("profiled_stage"), std::string::npos);
+  // A fresh profile clears the rollups.
+  obs::profile_start();
+  obs::profile_stop();
+  EXPECT_TRUE(obs::profile_snapshot().empty());
+}
+
+TEST(ObsTrace, ModelOutputsAreByteIdenticalWithObsOnAndOff) {
+  const Cell cell = testing::make_nand2();
+  GenerationOptions options;
+
+  const CaModel baseline = generate_ca_model(cell, options);
+  const std::string baseline_text = ca_model_to_string(baseline, cell);
+
+  obs::trace_start();
+  obs::profile_start();
+  const CaModel traced = generate_ca_model(cell, options);
+  const std::string traced_text = ca_model_to_string(traced, cell);
+  const std::string json = obs::trace_stop_json();
+  obs::profile_stop();
+
+  EXPECT_EQ(traced_text, baseline_text);
+  // The traced run actually recorded the generation stages.
+  EXPECT_NE(json.find("\"generate_ca_model\""), std::string::npos);
+  EXPECT_NE(json.find("\"golden_sim\""), std::string::npos);
+  EXPECT_NE(json.find("\"simulate\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Log rate limiter
+
+TEST(ObsRateLimiter, GatesByInterval) {
+  LogRateLimiter gate(1000);
+  EXPECT_TRUE(gate.allow(5000));    // first call always passes
+  EXPECT_FALSE(gate.allow(5500));   // inside the interval
+  EXPECT_FALSE(gate.allow(5999));
+  EXPECT_TRUE(gate.allow(6000));    // interval elapsed
+  EXPECT_FALSE(gate.allow(6001));
+}
+
+TEST(ObsRateLimiter, ConcurrentCallersGetAtMostOneGrantPerInterval) {
+  constexpr std::size_t kThreads = 8;
+  LogRateLimiter gate(1'000'000'000);  // one grant, ever, within this test
+  std::atomic<std::size_t> granted{0};
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 1000; ++i) {
+        if (gate.allow(monotonic_us())) granted.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(granted.load(), 1u);
+}
+
+}  // namespace
+}  // namespace caml

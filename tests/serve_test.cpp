@@ -215,6 +215,36 @@ TEST(ServeServer, TcpLoopbackWorks) {
   server.stop();
 }
 
+TEST(ServeServer, StatsRequestReturnsUnifiedRegistrySnapshot) {
+  ServerOptions options;
+  options.socket_path = temp_socket("stats");
+  options.jobs = 1;
+  Server server(shared_store(), options);
+  server.start();
+
+  ClientOptions copts;
+  copts.socket_path = options.socket_path;
+  Client client(copts);
+  client.predict_cell(SpiceWriter().to_string(make_target_nand2()));
+  const std::string text = client.stats();
+
+  // The payload is the process-wide registry exposition: serve metrics
+  // and the instrumented pipeline stages it exercised are all present.
+  EXPECT_NE(text.find("# TYPE caml_serve_requests_ok_total counter"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE caml_serve_request_latency_us histogram"), std::string::npos);
+  EXPECT_NE(text.find("caml_serve_request_latency_us_count"), std::string::npos);
+  EXPECT_NE(text.find("caml_forest_rows_predicted_total"), std::string::npos);
+
+  // The per-server snapshot counts the STATS request itself, and the
+  // delta semantics keep the counts exact for this server instance even
+  // though the registry is process-global.
+  const serve::StatsSnapshot stats = server.stats();
+  EXPECT_EQ(stats.requests_ok, 1u);
+  EXPECT_EQ(stats.stats_requests, 1u);
+  EXPECT_EQ(stats.requests_error, 0u);
+  server.stop();
+}
+
 TEST(ServeServer, NoGroupIsStructuredErrorAndServerSurvives) {
   const Technology tech = technology_28soi();
   // INV is a (1 input, 2 transistor) group — absent from the NAND2-only

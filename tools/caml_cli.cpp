@@ -17,6 +17,8 @@
 //   --inter-shorts                      include inter-transistor bridges
 //   --checkpoint-every N                journal flush cadence (characterize)
 //   --resume                            skip units a journal records done
+//   --trace FILE                        write a Chrome-trace JSON of the run
+//   --profile                           print a per-stage timing table on exit
 #include <csignal>
 #include <filesystem>
 #include <fstream>
@@ -33,6 +35,8 @@
 #include "flow/model_store.hpp"
 #include "netlist/spice_parser.hpp"
 #include "netlist/spice_writer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/client.hpp"
 #include "serve/server.hpp"
 #include "util/error.hpp"
@@ -63,6 +67,10 @@ struct Args {
   std::uint16_t port = 0;
   std::size_t max_queue = 64;
   bool ping = false;
+  bool stats = false;
+  // observability
+  std::string trace_path;
+  bool profile = false;
 };
 
 [[noreturn]] void usage(const std::string& error = "") {
@@ -76,7 +84,7 @@ struct Args {
       "  caml predict <lib.sp> -m <models.caml> -o <dir> [--policy P] [--jobs N]\n"
       "  caml patterns <lib.sp> <camodel-dir>\n"
       "  caml serve <models.caml> --socket PATH [--port N] [--jobs N] [--max-queue N]\n"
-      "  caml query <cell.sp> --socket PATH [--port N] [-o <dir>] [--ping]\n"
+      "  caml query <cell.sp> --socket PATH [--port N] [-o <dir>] [--ping] [--stats]\n"
       "policies: static | single | exhaustive (default: exhaustive for\n"
       "cells with <= 4 inputs, single-input-change above)\n"
       "--jobs N: worker threads (default: one per hardware thread;\n"
@@ -94,7 +102,13 @@ struct Args {
       "accepted-connection backlog; beyond it clients get an OVERLOADED\n"
       "reject with a retry-after hint instead of unbounded queueing.\n"
       "query: sends each cell of <cell.sp> to a running daemon; writes\n"
-      "predicted .camodel files to -o (or stdout). --ping just probes.\n";
+      "predicted .camodel files to -o (or stdout). --ping just probes;\n"
+      "--stats dumps the daemon's unified metrics snapshot (Prometheus\n"
+      "text exposition) and exits.\n"
+      "--trace FILE records every instrumented stage as a Chrome-trace\n"
+      "JSON (open in chrome://tracing or Perfetto). --profile prints a\n"
+      "per-stage wall/CPU/throughput table on exit. Both only observe:\n"
+      "outputs are byte-identical with or without them.\n";
   std::exit(2);
 }
 
@@ -128,8 +142,11 @@ Args parse_args(int argc, char** argv) {
     }
     else if (a == "--max-queue") args.max_queue = count_value();
     else if (a == "--ping") args.ping = true;
+    else if (a == "--stats") args.stats = true;
     else if (a == "--checkpoint-every") args.checkpoint_every = count_value();
     else if (a == "--resume") args.resume = true;
+    else if (a == "--trace") args.trace_path = value();
+    else if (a == "--profile") args.profile = true;
     else if (a.rfind('-', 0) == 0) usage("unknown option " + a);
     else args.positional.push_back(a);
   }
@@ -183,6 +200,8 @@ int cmd_characterize(const Args& args) {
   // written serially in netlist order, so stdout is identical for every
   // --jobs value too.
   const std::vector<CaModel> models = parallel_map(cells, args.jobs, [&](const Cell& cell) {
+    obs::TraceSpan span("characterize_cell");
+    span.attr("cell", cell.name());
     const std::string path = args.out + "/" + cell.name() + ".camodel";
     if (args.resume && journal.completed(cell.name())) {
       try {
@@ -376,7 +395,10 @@ int cmd_serve(const Args& args) {
     unsigned char sig = 0;
     if (::read(signal_pipe.rd.get(), &sig, 1) != 1) continue;
     if (sig == SIGUSR1) {
+      // Per-server view first, then the unified process-wide registry
+      // (same text a STATS request or `caml query --stats` returns).
       std::cerr << serve::format_stats(server.stats());
+      std::cerr << obs::Registry::global().snapshot().to_text();
       continue;
     }
     if (sig == SIGHUP) {
@@ -410,6 +432,11 @@ int cmd_query(const Args& args) {
     if (!args.positional.empty()) usage("--ping takes no netlist");
     client.ping();
     std::cout << "pong\n";
+    return 0;
+  }
+  if (args.stats) {
+    if (!args.positional.empty()) usage("--stats takes no netlist");
+    std::cout << client.stats();
     return 0;
   }
   if (args.positional.size() != 1) usage("query needs a netlist and --socket/--port");
@@ -472,19 +499,50 @@ int cmd_patterns(const Args& args) {
 
 }  // namespace
 
+namespace {
+
+int dispatch(const Args& args) {
+  if (args.command == "characterize") return cmd_characterize(args);
+  if (args.command == "canonicalize") return cmd_canonicalize(args);
+  if (args.command == "train") return cmd_train(args);
+  if (args.command == "predict") return cmd_predict(args);
+  if (args.command == "patterns") return cmd_patterns(args);
+  if (args.command == "serve") return cmd_serve(args);
+  if (args.command == "query") return cmd_query(args);
+  usage("unknown command " + args.command);
+}
+
+/// Flushes observability artifacts; runs on every exit path (success,
+/// caml::Error, usage() would have exited before collection started).
+void finish_obs(const Args& args) {
+  if (!args.trace_path.empty()) {
+    try {
+      obs::trace_stop_write(args.trace_path);
+      std::cerr << "wrote trace to " << args.trace_path;
+      if (const std::uint64_t dropped = obs::trace_dropped_events(); dropped > 0) {
+        std::cerr << " (" << dropped << " events dropped past the buffer cap)";
+      }
+      std::cerr << '\n';
+    } catch (const caml::Error& e) {
+      std::cerr << "error: trace write failed: " << e.what() << '\n';
+    }
+  }
+  if (args.profile) std::cerr << obs::profile_summary();
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+  if (!args.trace_path.empty()) obs::trace_start();
+  if (args.profile) obs::profile_start();
   try {
-    const Args args = parse_args(argc, argv);
-    if (args.command == "characterize") return cmd_characterize(args);
-    if (args.command == "canonicalize") return cmd_canonicalize(args);
-    if (args.command == "train") return cmd_train(args);
-    if (args.command == "predict") return cmd_predict(args);
-    if (args.command == "patterns") return cmd_patterns(args);
-    if (args.command == "serve") return cmd_serve(args);
-    if (args.command == "query") return cmd_query(args);
-    usage("unknown command " + args.command);
+    const int rc = dispatch(args);
+    finish_obs(args);
+    return rc;
   } catch (const caml::Error& e) {
     std::cerr << "error: " << e.what() << '\n';
+    finish_obs(args);
     return 1;
   }
 }
