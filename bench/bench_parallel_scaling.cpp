@@ -8,6 +8,7 @@
 // output. Run on a multi-core host to see the scaling; on one core the
 // table degenerates to ~1.0x across the board.
 #include <chrono>
+#include <cstring>
 #include <iostream>
 #include <sstream>
 #include <thread>
@@ -38,12 +39,18 @@ obs::HistogramSnapshot run_delta(const obs::Histogram& h,
   return h.snapshot().diff(before);
 }
 
-Library make_workload_library() {
+Library make_workload_library(bool quick) {
   LibraryComposition comp;
-  comp.functions = {"INV", "BUF", "NAND2", "NOR2", "AND2", "OR2",
-                    "AOI21", "OAI21", "AOI22", "OAI22", "XOR2", "NAND3"};
-  comp.drives = {{1, StructureVariant::kWide}, {2, StructureVariant::kMerged}};
-  comp.flavors = {{"", 1.0}, {"LP", 0.85}};
+  if (quick) {
+    comp.functions = {"INV", "NAND2", "NOR2", "AOI21"};
+    comp.drives = {{1, StructureVariant::kWide}};
+    comp.flavors = {{"", 1.0}};
+  } else {
+    comp.functions = {"INV", "BUF", "NAND2", "NOR2", "AND2", "OR2",
+                      "AOI21", "OAI21", "AOI22", "OAI22", "XOR2", "NAND3"};
+    comp.drives = {{1, StructureVariant::kWide}, {2, StructureVariant::kMerged}};
+    comp.flavors = {{"", 1.0}, {"LP", 0.85}};
+  }
   return build_library(technology_28soi(), comp);
 }
 
@@ -68,13 +75,21 @@ Dataset make_forest_workload(std::size_t rows) {
 
 }  // namespace
 
-int main() {
-  const std::vector<std::size_t> job_counts = {1, 2, 4, 8};
+int main(int argc, char** argv) {
+  // --quick: a seconds-scale smoke of the same sweep (smaller library,
+  // fewer rows/trees, jobs 1-2) used by scripts/run_bench.sh --quick and
+  // the cmake verify target; the determinism checks still run.
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  const std::vector<std::size_t> job_counts =
+      quick ? std::vector<std::size_t>{1, 2} : std::vector<std::size_t>{1, 2, 4, 8};
   std::cout << "parallel scaling (hardware threads: "
-            << std::thread::hardware_concurrency() << ")\n\n";
+            << std::thread::hardware_concurrency() << (quick ? ", quick mode" : "") << ")\n\n";
 
   // --- Library characterization ---------------------------------------
-  const Library lib = make_workload_library();
+  const Library lib = make_workload_library(quick);
   std::cout << "characterize_library: " << lib.cells.size() << " cells, library "
             << lib.name << '\n';
   TextTable char_table;
@@ -115,8 +130,10 @@ int main() {
             << (identical ? "yes" : "NO — DETERMINISM BUG") << "\n\n";
 
   // --- Forest training --------------------------------------------------
-  const Dataset train = make_forest_workload(60000);
-  std::cout << "RandomForest::fit: " << train.num_rows() << " distinct rows, 48 trees\n";
+  const Dataset train = make_forest_workload(quick ? 8000 : 60000);
+  const std::size_t num_trees = quick ? 12 : 48;
+  std::cout << "RandomForest::fit: " << train.num_rows() << " distinct rows, " << num_trees
+            << " trees\n";
   TextTable fit_table;
   fit_table.new_row();
   fit_table.cell("jobs");
@@ -131,7 +148,7 @@ int main() {
   bool forests_identical = true;
   for (std::size_t jobs : job_counts) {
     ForestParams params;
-    params.num_trees = 48;
+    params.num_trees = num_trees;
     params.jobs = jobs;
     RandomForest forest(params);
     const obs::HistogramSnapshot before = tree_us.snapshot();

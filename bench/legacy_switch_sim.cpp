@@ -1,0 +1,204 @@
+// Frozen pre-PR-5 simulator used only as the bench_simulator baseline.
+// Deliberately byte-for-byte the seed algorithm (including its per-call
+// allocations); do not "fix" or optimize it — see legacy_switch_sim.hpp.
+#include "legacy_switch_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace caml {
+
+LegacySwitchSim::LegacySwitchSim(const Cell& cell, SimConfig config) : cell_(&cell), config_(config) {
+  device_strength_.reserve(cell.num_transistors());
+  for (const Transistor& t : cell.transistors()) {
+    device_strength_.push_back(config_.device_strength(t));
+  }
+  channel_adj_.assign(cell.num_nets(), {});
+  for (std::size_t ti = 0; ti < cell.num_transistors(); ++ti) {
+    const Transistor& t = cell.transistor(static_cast<TransistorId>(ti));
+    channel_adj_[static_cast<std::size_t>(t.drain)].push_back(static_cast<TransistorId>(ti));
+    channel_adj_[static_cast<std::size_t>(t.source)].push_back(static_cast<TransistorId>(ti));
+  }
+  value_.assign(cell.num_nets(), Sig::kZ);
+  strength_.assign(cell.num_nets(), 0);
+  retained_.assign(cell.num_nets(), Sig::kZ);
+  driven_.assign(cell.num_nets(), false);
+  pinned_x_.assign(cell.num_nets(), false);
+}
+
+void LegacySwitchSim::reset() {
+  std::fill(retained_.begin(), retained_.end(), Sig::kZ);
+  std::fill(value_.begin(), value_.end(), Sig::kZ);
+  std::fill(strength_.begin(), strength_.end(), 0);
+  oscillated_ = false;
+}
+
+LegacySwitchSim::Conduction LegacySwitchSim::conduction_of(TransistorId id) const {
+  const Transistor& t = cell_->transistor(id);
+  const Sig g = value_[static_cast<std::size_t>(t.gate)];
+  switch (g) {
+    case Sig::kZero: return t.type == MosType::kPmos ? Conduction::kOn : Conduction::kOff;
+    case Sig::kOne: return t.type == MosType::kNmos ? Conduction::kOn : Conduction::kOff;
+    case Sig::kX: return Conduction::kUnknown;
+    case Sig::kZ: return Conduction::kOff;  // truly floating gate: no channel
+  }
+  throw Error("invalid Sig");
+}
+
+namespace {
+
+/// Join of two values meeting at the same strength.
+Sig join(Sig a, Sig b) {
+  if (a == b) return a;
+  if (a == Sig::kZ) return b;
+  if (b == Sig::kZ) return a;
+  return Sig::kX;
+}
+
+}  // namespace
+
+void LegacySwitchSim::propagate() {
+  const Cell& cell = *cell_;
+  const std::size_t nets = cell.num_nets();
+
+  // Conduction states are frozen for this propagation (the outer solve
+  // loop re-evaluates them between propagations).
+  std::vector<Conduction> cond(cell.num_transistors());
+  for (std::size_t ti = 0; ti < cell.num_transistors(); ++ti) {
+    cond[ti] = conduction_of(static_cast<TransistorId>(ti));
+  }
+
+  // Initialize every net from its sources: driven nets at drive
+  // strength, oscillation-pinned nets at drive strength (X), floating
+  // nets at their retained charge.
+  for (std::size_t n = 0; n < nets; ++n) {
+    if (driven_[n]) {
+      strength_[n] = config_.drive_strength;
+    } else if (pinned_x_[n]) {
+      value_[n] = Sig::kX;
+      strength_[n] = config_.drive_strength;
+    } else if (retained_[n] != Sig::kZ) {
+      value_[n] = retained_[n];
+      strength_[n] = config_.charge_strength;
+    } else {
+      value_[n] = Sig::kZ;
+      strength_[n] = 0;
+    }
+  }
+
+  // Worklist relaxation over a monotone lattice: a net's strength only
+  // rises, and at its top strength the value only degrades towards X.
+  // Each net re-enters the worklist a bounded number of times, so the
+  // fixpoint is reached unconditionally — pass-transistor cycles cannot
+  // oscillate here.
+  std::vector<std::uint8_t> queued(nets, 1);
+  std::vector<std::size_t> worklist;
+  worklist.reserve(nets * 2);
+  for (std::size_t n = 0; n < nets; ++n) worklist.push_back(n);
+
+  const auto offer = [&](std::size_t to, Sig v, int s) -> bool {
+    if (driven_[to] || pinned_x_[to]) return false;  // fixed nets
+    if (v == Sig::kZ || s <= 0) return false;        // nothing to offer
+    if (s > strength_[to]) {
+      strength_[to] = s;
+      value_[to] = v;
+      return true;
+    }
+    if (s == strength_[to]) {
+      const Sig joined = join(value_[to], v);
+      if (joined != value_[to]) {
+        value_[to] = joined;
+        return true;
+      }
+    }
+    return false;
+  };
+
+  while (!worklist.empty()) {
+    const std::size_t n = worklist.back();
+    worklist.pop_back();
+    queued[n] = 0;
+    if (value_[n] == Sig::kZ) continue;
+    for (const TransistorId ti : channel_adj_[n]) {
+      const auto t_idx = static_cast<std::size_t>(ti);
+      if (cond[t_idx] == Conduction::kOff) continue;
+      const Transistor& t = cell.transistor(ti);
+      const auto other = static_cast<std::size_t>(
+          static_cast<std::size_t>(t.drain) == n ? t.source : t.drain);
+      const Sig v = cond[t_idx] == Conduction::kUnknown ? Sig::kX : value_[n];
+      const int s = std::min(strength_[n], device_strength_[t_idx]);
+      if (offer(other, v, s) && !queued[other]) {
+        queued[other] = 1;
+        worklist.push_back(other);
+      }
+    }
+  }
+}
+
+bool LegacySwitchSim::solve(std::size_t cap) {
+  std::vector<Sig> previous;
+  for (std::size_t iter = 0; iter < cap; ++iter) {
+    previous = value_;
+    propagate();
+    if (value_ == previous && iter > 0) return true;
+    // iter 0 always runs a second time: the first propagation computed
+    // conduction from the pre-solve values.
+  }
+  return false;
+}
+
+Sig LegacySwitchSim::apply(InputPattern pattern) {
+  const Cell& cell = *cell_;
+  // The previous steady state becomes the retained charge.
+  retained_ = value_;
+  std::fill(driven_.begin(), driven_.end(), false);
+  std::fill(pinned_x_.begin(), pinned_x_.end(), false);
+  oscillated_ = false;
+
+  const auto drive = [&](NetId net, Sig v) {
+    value_[static_cast<std::size_t>(net)] = v;
+    driven_[static_cast<std::size_t>(net)] = true;
+  };
+  drive(cell.vdd(), Sig::kOne);
+  drive(cell.vss(), Sig::kZero);
+  const auto& inputs = cell.inputs();
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    drive(inputs[i], sig_from_bool((pattern >> i) & 1u));
+  }
+
+  // Conduction changes at most once per transistor per settled stage in
+  // feedforward cells; the cap only matters for genuine feedback loops.
+  const std::size_t cap = 2 * cell.num_transistors() + 8;
+  if (!solve(cap)) {
+    // Conduction-level oscillation (e.g. a gate-drain short forming an
+    // inverting loop): pin the nets still moving to X and re-solve.
+    oscillated_ = true;
+    std::vector<Sig> before = value_;
+    propagate();
+    for (std::size_t n = 0; n < cell.num_nets(); ++n) {
+      if (value_[n] != before[n]) pinned_x_[n] = true;
+    }
+    if (!solve(cap)) {
+      // Multi-phase oscillation: pessimize every floating net.
+      for (std::size_t n = 0; n < cell.num_nets(); ++n) {
+        if (!driven_[n]) pinned_x_[n] = true;
+      }
+      propagate();
+    }
+  }
+  return net_value(cell.output());
+}
+
+Sig LegacySwitchSim::run(const Stimulus& stimulus) {
+  CAML_ASSERT(stimulus.num_inputs() == cell_->num_inputs());
+  reset();
+  Sig out = apply(stimulus.initial_pattern());
+  if (!stimulus.is_static()) out = apply(stimulus.final_pattern());
+  return out;
+}
+
+Sig LegacySwitchSim::net_value(NetId net) const { return value_.at(static_cast<std::size_t>(net)); }
+
+}  // namespace caml

@@ -1,0 +1,74 @@
+#pragma once
+
+// Frozen copy of the pre-PR-5 switch-level simulator, kept ONLY as the
+// benchmark baseline for the zero-allocation defect kernel (see
+// bench_simulator defect_sweep_copy/*). The live kernel in
+// sim/switch_sim.hpp shares none of this code; this reference keeps the
+// "2x over the pre-PR kernel" comparison honest even as the library
+// kernel keeps improving, because the library's own solve() speedups
+// would otherwise leak into the baseline. Byte-equivalence of the two
+// kernels' outputs is asserted by tests/kernel_identity_test.cpp against
+// goldens generated from this exact algorithm.
+
+#include <vector>
+
+#include "logic/stimulus.hpp"
+#include "logic/wave.hpp"
+#include "netlist/cell.hpp"
+#include "sim/switch_sim.hpp"  // SimConfig
+
+namespace caml {
+
+/// The seed SwitchSim: per-construction full adjacency build, a fresh
+/// conduction vector and worklist allocation per propagation, full
+/// conduction re-evaluation every solve iteration, and a confirming
+/// propagation to detect convergence.
+class LegacySwitchSim {
+ public:
+  explicit LegacySwitchSim(const Cell& cell, SimConfig config = {});
+
+  const Cell& cell() const { return *cell_; }
+  const SimConfig& config() const { return config_; }
+
+  /// Forget all stored charge (all non-driven nets return to Z).
+  void reset();
+
+  /// Apply an input pattern and settle to steady state. Returns the cell
+  /// output value. Stored charge from the previous steady state is kept.
+  Sig apply(InputPattern pattern);
+
+  /// Full stimulus from a cold start: reset, apply the initial pattern,
+  /// then (for dynamic stimuli) the final pattern. Returns the final
+  /// output value.
+  Sig run(const Stimulus& stimulus);
+
+  /// Steady-state value of any net after the last apply().
+  Sig net_value(NetId net) const;
+
+  /// True if the last apply() hit the sweep cap (oscillation detected and
+  /// contained by pinning to X).
+  bool last_solve_oscillated() const { return oscillated_; }
+
+ private:
+  enum class Conduction : std::uint8_t { kOff, kOn, kUnknown };
+
+  Conduction conduction_of(TransistorId id) const;
+
+  void propagate();
+  bool solve(std::size_t cap);
+
+  const Cell* cell_;
+  SimConfig config_;
+  std::vector<int> device_strength_;
+  /// channel_adj_[net] = transistors whose source or drain touches net.
+  std::vector<std::vector<TransistorId>> channel_adj_;
+
+  std::vector<Sig> value_;       ///< current net values
+  std::vector<int> strength_;    ///< strength backing each value
+  std::vector<Sig> retained_;    ///< steady value of previous pattern (charge)
+  std::vector<bool> driven_;     ///< fixed by input/rail this pattern
+  std::vector<bool> pinned_x_;   ///< oscillation containment
+  bool oscillated_ = false;
+};
+
+}  // namespace caml

@@ -1,0 +1,175 @@
+#!/usr/bin/env bash
+# PR-5 performance snapshot: builds the Release benchmarks and runs
+#   - bench_simulator      (defect-sweep kernel: frozen pre-PR baseline
+#                           vs. zero-allocation overlay kernel),
+#   - bench_parallel_scaling (characterize_library / forest fit),
+#   - bench_serve_throughput (daemon request latency),
+# then distills the numbers that matter — cells/s, defect-sims/s,
+# baseline-vs-kernel speedup, p50/p99 latencies — into BENCH_PR5.json.
+#
+# Every workload is seeded deterministically inside the benches
+# (cell builder Rng(7), forest dataset Rng(2024), stimulus enumeration
+# is exhaustive), so runs are comparable across checkouts.
+#
+# Usage: scripts/run_bench.sh [--quick] [BUILD_DIR]
+#   --quick   seconds-scale smoke of the same pipeline (used by the
+#             cmake `verify` target); still emits BENCH_PR5.json.
+# The JSON lands in BUILD_DIR/BENCH_PR5.json.
+set -eu
+
+QUICK=0
+BUILD_DIR=""
+for arg in "$@"; do
+  case "$arg" in
+    --quick) QUICK=1 ;;
+    *) BUILD_DIR="$arg" ;;
+  esac
+done
+BUILD_DIR="${BUILD_DIR:-build}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+cmake -B "$BUILD_DIR" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$BUILD_DIR" -j --target \
+  bench_simulator bench_parallel_scaling bench_serve_throughput >/dev/null
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+if [ "$QUICK" -eq 1 ]; then
+  SIM_ARGS="--benchmark_filter=defect_sweep --benchmark_min_time=0.05s"
+  SCALING_ARGS="--quick"
+else
+  SIM_ARGS="--benchmark_min_time=1s"
+  SCALING_ARGS=""
+fi
+
+echo "== bench_simulator =="
+# shellcheck disable=SC2086
+"$BUILD_DIR/bench/bench_simulator" $SIM_ARGS \
+  --benchmark_format=console --benchmark_out_format=json \
+  --benchmark_out="$WORK/simulator.json" | tee "$WORK/simulator.txt"
+
+echo
+echo "== bench_parallel_scaling =="
+# shellcheck disable=SC2086
+"$BUILD_DIR/bench/bench_parallel_scaling" $SCALING_ARGS | tee "$WORK/scaling.txt"
+
+echo
+echo "== bench_serve_throughput =="
+"$BUILD_DIR/bench/bench_serve_throughput" | tee "$WORK/serve.txt"
+
+python3 - "$WORK" "$BUILD_DIR/BENCH_PR5.json" "$QUICK" <<'EOF'
+import json, re, sys
+
+work, out_path, quick = sys.argv[1], sys.argv[2], sys.argv[3] == "1"
+
+report = {"quick_mode": quick, "benchmarks": {}}
+
+# --- bench_simulator: google-benchmark JSON counters ------------------
+with open(f"{work}/simulator.json") as f:
+    sim = json.load(f)
+report["context"] = {
+    "host_cpus": sim["context"]["num_cpus"],
+    "build_type": sim["context"].get("library_build_type", "unknown"),
+}
+sweeps = {}
+for b in sim["benchmarks"]:
+    name = b["name"]
+    if "defect_sweep" not in name:
+        continue
+    sweeps[name] = {
+        "ns_per_defect": b["real_time"],
+        "defect_sims_per_s": b.get("defect_sims_per_s"),
+        "defect_p50_us": b.get("defect_p50_us"),
+        "defect_p99_us": b.get("defect_p99_us"),
+        "stimuli": b.get("stimuli"),
+        "defects": b.get("defects"),
+    }
+report["benchmarks"]["defect_sweep"] = sweeps
+
+# Kernel speedup per cell: frozen pre-PR baseline vs. overlay kernel.
+speedups = {}
+for name, row in sweeps.items():
+    m = re.match(r"defect_sweep/(.*)", name)
+    if not m:
+        continue
+    legacy = sweeps.get(f"defect_sweep_copy/{m.group(1)}")
+    if legacy and row["defect_sims_per_s"] and legacy["defect_sims_per_s"]:
+        speedups[m.group(1)] = round(
+            row["defect_sims_per_s"] / legacy["defect_sims_per_s"], 2)
+report["benchmarks"]["kernel_speedup_vs_prepr"] = speedups
+
+# --- bench_parallel_scaling: text tables ------------------------------
+def parse_rows(text, header_key):
+    """Rows of the TextTable that follows the line containing header_key."""
+    lines = text.splitlines()
+    rows = []
+    grab = False
+    for ln in lines:
+        if header_key in ln:
+            grab = True
+            continue
+        if grab and ln.startswith("|") and "jobs" not in ln and "workers" not in ln:
+            cells = [c.strip() for c in ln.strip("|").split("|")]
+            rows.append(cells)
+        elif grab and rows and not ln.startswith(("|", "+")):
+            break
+    return rows
+
+scaling = open(f"{work}/scaling.txt").read()
+m = re.search(r"characterize_library: (\d+) cells", scaling)
+num_cells = int(m.group(1)) if m else 0
+char_rows = parse_rows(scaling, "characterize_library")
+char = {}
+for cells in char_rows:
+    jobs, seconds, p50, p99, speedup = cells[:5]
+    char[f"jobs_{jobs}"] = {
+        "seconds": float(seconds),
+        "cells_per_s": round(num_cells / float(seconds), 2) if float(seconds) else None,
+        "cell_p50_ms": float(p50),
+        "cell_p99_ms": float(p99),
+        "speedup": float(speedup),
+    }
+report["benchmarks"]["characterize"] = char
+report["benchmarks"]["characterize"]["models_identical"] = \
+    "models identical across thread counts: yes" in scaling
+
+forest_rows = parse_rows(scaling, "RandomForest::fit")
+forest = {}
+for cells in forest_rows:
+    jobs, seconds, p50, p99, speedup = cells[:5]
+    forest[f"jobs_{jobs}"] = {
+        "seconds": float(seconds),
+        "tree_p50_ms": float(p50),
+        "tree_p99_ms": float(p99),
+        "speedup": float(speedup),
+    }
+report["benchmarks"]["forest_fit"] = forest
+report["benchmarks"]["forest_fit"]["forests_identical"] = \
+    "forests identical across thread counts: yes" in scaling
+
+# --- bench_serve_throughput -------------------------------------------
+serve = open(f"{work}/serve.txt").read()
+serve_rows = parse_rows(serve, "workers")
+srv = {}
+for cells in serve_rows:
+    workers, requests, seconds, rps, p50, p99, speedup = cells[:7]
+    srv[f"workers_{workers}"] = {
+        "requests_per_s": float(rps),
+        "p50_ms": float(p50),
+        "p99_ms": float(p99),
+    }
+report["benchmarks"]["serve"] = srv
+
+with open(out_path, "w") as f:
+    json.dump(report, f, indent=2)
+    f.write("\n")
+print(f"\nwrote {out_path}")
+
+# Sanity gates: the kernel claim of this PR and both determinism checks.
+if not quick:
+    for cell, ratio in report["benchmarks"]["kernel_speedup_vs_prepr"].items():
+        assert ratio >= 2.0, f"kernel speedup regressed below 2x on {cell}: {ratio}"
+assert report["benchmarks"]["characterize"]["models_identical"]
+assert report["benchmarks"]["forest_fit"]["forests_identical"]
+EOF

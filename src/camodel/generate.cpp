@@ -1,12 +1,17 @@
 #include "camodel/generate.hpp"
 
+#include "defect/overlay.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sim/evaluator.hpp"
+#include "util/timing.hpp"
 
 namespace caml {
 
 CaModel generate_ca_model(const Cell& cell, const GenerationOptions& options) {
   CAML_TRACE_SPAN("generate_ca_model");
+  static obs::Histogram& defect_us = obs::Registry::global().histogram(
+      "caml_defect_sim_us", "Per-defect simulation latency (all stimuli) in microseconds");
   CaModel model;
   model.cell_name = cell.name();
   model.num_inputs = cell.num_inputs();
@@ -18,20 +23,36 @@ CaModel generate_ca_model(const Cell& cell, const GenerationOptions& options) {
 
   const std::vector<Defect> universe = enumerate_defects(cell, options.universe);
   CAML_TRACE_SPAN_ITEMS("simulate", universe.size() * model.stimuli.size());
-  model.defects.reserve(universe.size());
-  for (const Defect& defect : universe) {
-    const Cell faulty_cell = inject_defect(cell, defect, options.injection);
-    SwitchSim sim(faulty_cell, options.sim);
-    CaDefectEntry entry;
-    entry.defect = defect;
-    entry.detection.resize(model.stimuli.size());
+
+  // The defect loop is the hot path of the whole conventional flow. All
+  // output storage is sized up front and one (overlay, simulator) pair is
+  // reused across defects, so the steady-state loop below performs zero
+  // heap allocations: apply() rewires the working cell in place, rebind()
+  // re-derives the simulator's CSR structure into reused buffers, and
+  // revert() restores the base cell.
+  model.defects.resize(universe.size());
+  for (std::size_t d = 0; d < universe.size(); ++d) {
+    model.defects[d].defect = universe[d];
+    model.defects[d].detection.resize(model.stimuli.size());
+  }
+  DefectOverlay overlay(cell, options.injection);
+  SwitchSim sim(overlay.cell(), options.sim);
+  sim.reserve(cell.num_nets() + DefectOverlay::kMaxExtraNets,
+              cell.num_transistors() + DefectOverlay::kMaxExtraTransistors);
+  std::vector<Sig> faulty(model.stimuli.size());
+  for (std::size_t d = 0; d < universe.size(); ++d) {
+    const Stopwatch watch;
+    CaDefectEntry& entry = model.defects[d];
+    overlay.apply(entry.defect);
+    sim.rebind();
+    sim.run_batch(model.stimuli, faulty.data());
     for (std::size_t s = 0; s < model.stimuli.size(); ++s) {
-      const Sig faulty = sim.run(model.stimuli[s]);
       const Sig good = model.golden_responses[s];
       entry.detection[s] =
-          static_cast<std::uint8_t>(sig_is_binary(faulty) && faulty != good ? 1 : 0);
+          static_cast<std::uint8_t>(sig_is_binary(faulty[s]) && faulty[s] != good ? 1 : 0);
     }
-    model.defects.push_back(std::move(entry));
+    overlay.revert();
+    defect_us.record(static_cast<std::uint64_t>(std::max<std::int64_t>(watch.elapsed_us(), 0)));
   }
   model.classify();
   return model;

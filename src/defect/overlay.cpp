@@ -1,0 +1,89 @@
+#include "defect/overlay.hpp"
+
+#include "util/error.hpp"
+
+namespace caml {
+
+DefectOverlay::DefectOverlay(const Cell& base, InjectionConfig config)
+    : cell_(base), config_(config) {
+  cell_.reserve(base.num_nets() + kMaxExtraNets, base.num_transistors() + kMaxExtraTransistors);
+}
+
+void DefectOverlay::apply(const Defect& defect) {
+  if (applied_) throw Error("DefectOverlay: apply() while a defect is already applied");
+  const auto num = static_cast<TransistorId>(cell_.num_transistors());
+  if (defect.a.transistor < 0 || defect.a.transistor >= num || defect.b.transistor < 0 ||
+      defect.b.transistor >= num) {
+    throw Error("defect references a transistor outside cell " + cell_.name());
+  }
+
+  // Same bridge geometry as inject_defect(); the fixed SSO-sized names
+  // keep the hot path free of string allocations (bridge/net names are
+  // never part of any simulation result).
+  const auto add_bridge = [&](NetId na, NetId nb, double width, const char* name) {
+    Transistor bridge;
+    bridge.name = name;
+    bridge.type = MosType::kNmos;
+    bridge.gate = cell_.vdd();  // always conducting
+    bridge.drain = na;
+    bridge.source = nb;
+    bridge.bulk = cell_.vss();
+    bridge.width_um = width;
+    bridge.length_um = config_.short_length_um;
+    cell_.add_transistor(std::move(bridge));
+    added_bridge_ = true;
+  };
+
+  switch (defect.kind) {
+    case DefectKind::kOpen: {
+      const NetId original = cell_.transistor(defect.a.transistor).terminal(defect.a.terminal);
+      const NetId floating = cell_.add_net("__overlay_open", NetKind::kInternal);
+      added_net_ = true;
+      cell_.transistor(defect.a.transistor).set_terminal(defect.a.terminal, floating);
+      moved_terminal_ = true;
+      moved_ = defect.a;
+      original_net_ = original;
+      if (defect.strength == DefectStrength::kResistive) {
+        // A leaky break: the detached terminal keeps a weak path to its
+        // original net.
+        add_bridge(original, floating, config_.resistive_open_width_um, "__open_residual");
+      }
+      break;
+    }
+    case DefectKind::kShort: {
+      const NetId na = cell_.transistor(defect.a.transistor).terminal(defect.a.terminal);
+      const NetId nb = cell_.transistor(defect.b.transistor).terminal(defect.b.terminal);
+      if (na == nb) {
+        throw Error("short defect between already-connected nets in cell " + cell_.name());
+      }
+      add_bridge(na, nb,
+                 defect.strength == DefectStrength::kResistive ? config_.resistive_short_width_um
+                                                               : config_.short_width_um,
+                 "__short_bridge");
+      break;
+    }
+  }
+  applied_ = true;
+}
+
+void DefectOverlay::revert() {
+  if (!applied_) return;
+  // Strict LIFO: the bridge (if any) references the floating net (if
+  // any), so it goes first.
+  if (added_bridge_) {
+    cell_.remove_last_transistor();
+    added_bridge_ = false;
+  }
+  if (moved_terminal_) {
+    cell_.transistor(moved_.transistor).set_terminal(moved_.terminal, original_net_);
+    moved_terminal_ = false;
+    original_net_ = kNoNet;
+  }
+  if (added_net_) {
+    cell_.remove_last_net();
+    added_net_ = false;
+  }
+  applied_ = false;
+}
+
+}  // namespace caml

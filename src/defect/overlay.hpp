@@ -1,0 +1,77 @@
+#pragma once
+
+#include "defect/defect.hpp"
+#include "defect/injector.hpp"
+#include "netlist/cell.hpp"
+
+namespace caml {
+
+/// In-place, revertible defect injection on one reusable working copy of
+/// a cell — the zero-allocation replacement for the per-defect
+/// inject_defect() cell copy in the characterization hot loop.
+///
+/// The overlay owns a single copy of the base cell with net/transistor
+/// storage pre-reserved for the at-most-one extra net and one extra
+/// bridge device any defect adds, so apply()/revert() perform no heap
+/// allocation. The realized netlist transformation is identical to
+/// inject_defect() (same bridge geometry, same rewiring; only the names
+/// of the transient net/bridge differ, which no simulation result
+/// depends on):
+///  - hard terminal open: the terminal is re-attached to a fresh
+///    floating net,
+///  - resistive open: as above, plus a weak residual bridge back to the
+///    original net,
+///  - short: a bridge device between the two terminal nets — strong for
+///    hard shorts, weak for resistive ones.
+///
+/// Usage, one (cell, worker) pair per thread:
+///   DefectOverlay overlay(cell, config);
+///   SwitchSim sim(overlay.cell(), sim_config);
+///   sim.reserve(cell.num_nets() + DefectOverlay::kMaxExtraNets,
+///               cell.num_transistors() + DefectOverlay::kMaxExtraTransistors);
+///   for (const Defect& d : universe) {
+///     overlay.apply(d);
+///     sim.rebind();
+///     ... sim.run(...) per stimulus ...
+///     overlay.revert();
+///   }
+///
+/// apply() throws caml::Error exactly when inject_defect() would (invalid
+/// transistor reference, short between already-connected nets) and
+/// leaves the working cell unchanged in that case.
+class DefectOverlay {
+ public:
+  /// Upper bound on how much a single applied defect grows the cell.
+  static constexpr std::size_t kMaxExtraNets = 1;
+  static constexpr std::size_t kMaxExtraTransistors = 1;
+
+  explicit DefectOverlay(const Cell& base, InjectionConfig config = {});
+
+  /// The working cell: the base cell, plus the applied defect while one
+  /// is active. Mutated in place by apply()/revert().
+  const Cell& cell() const { return cell_; }
+
+  bool applied() const { return applied_; }
+
+  /// Applies a defect in place. Throws caml::Error if a defect is
+  /// already applied or if the defect is invalid for this cell (working
+  /// cell left unchanged).
+  void apply(const Defect& defect);
+
+  /// Reverts the applied defect, restoring the working cell to the base
+  /// cell exactly. No-op when nothing is applied.
+  void revert();
+
+ private:
+  Cell cell_;
+  InjectionConfig config_;
+  bool applied_ = false;
+  // Undo log of the one applied defect.
+  bool moved_terminal_ = false;
+  TerminalRef moved_{0, Terminal::kDrain};
+  NetId original_net_ = kNoNet;
+  bool added_net_ = false;
+  bool added_bridge_ = false;
+};
+
+}  // namespace caml

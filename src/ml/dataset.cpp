@@ -77,6 +77,19 @@ Dataset Dataset::subtract_deduplicated(const Dataset& other) const {
   return out;
 }
 
+ColumnView::ColumnView(const Dataset& data)
+    : num_rows_(data.num_rows()), num_features_(data.num_features()) {
+  data_.resize(num_rows_ * num_features_);
+  // Row-major pass over the source (sequential reads), scattering into
+  // the per-feature columns.
+  for (std::size_t r = 0; r < num_rows_; ++r) {
+    const std::int8_t* row = data.row(r);
+    for (std::size_t f = 0; f < num_features_; ++f) {
+      data_[f * num_rows_ + r] = row[f];
+    }
+  }
+}
+
 std::uint64_t Dataset::total_weight() const {
   std::uint64_t w = 0;
   for (std::uint32_t x : weights_) w += x;

@@ -84,4 +84,30 @@ class Dataset {
   std::unordered_map<std::string, std::size_t> dedup_index_;
 };
 
+/// Column-major (feature-major) transpose of a Dataset's feature block.
+///
+/// The tree learner's histogram fill reads one feature across many rows;
+/// on the row-major Dataset those reads are strided by num_features(),
+/// so every access touches a new cache line. A ColumnView stores each
+/// feature's values contiguously — column(f)[r] is the value of feature
+/// f in row r — turning the fill into a sequential-ish walk of one
+/// num_rows()-byte array. Built once per training run (RandomForest::fit
+/// shares one view across all trees) and read-only afterwards, so
+/// concurrent tree fits can share it freely.
+class ColumnView {
+ public:
+  explicit ColumnView(const Dataset& data);
+
+  std::size_t num_rows() const { return num_rows_; }
+  std::size_t num_features() const { return num_features_; }
+
+  /// Contiguous values of one feature, indexed by row.
+  const std::int8_t* column(std::size_t f) const { return data_.data() + f * num_rows_; }
+
+ private:
+  std::size_t num_rows_;
+  std::size_t num_features_;
+  std::vector<std::int8_t> data_;
+};
+
 }  // namespace caml

@@ -13,9 +13,10 @@ namespace caml {
 
 void DecisionTree::save(std::ostream& os) const {
   os << "TREE nodes=" << nodes_.size() << '\n';
-  for (const Node& n : nodes_) {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
     os << n.left << ' ' << n.right << ' ' << n.feature << ' ' << static_cast<int>(n.threshold)
-       << ' ' << n.count0 << ' ' << n.count1 << '\n';
+       << ' ' << count0_[i] << ' ' << count1_[i] << '\n';
   }
 }
 
@@ -29,7 +30,10 @@ DecisionTree DecisionTree::load(std::istream& in, std::size_t& line_no) {
   }
   const std::size_t count = parse_size(head[1].substr(6), "TREE node count", line_no);
   DecisionTree tree;
-  tree.nodes_.reserve(std::min<std::size_t>(count, 1 << 20));
+  const std::size_t reserve = std::min<std::size_t>(count, 1 << 20);
+  tree.nodes_.reserve(reserve);
+  tree.count0_.reserve(reserve);
+  tree.count1_.reserve(reserve);
   for (std::size_t i = 0; i < count; ++i) {
     if (!std::getline(in, line)) throw ParseError("truncated tree", line_no);
     ++line_no;
@@ -40,13 +44,13 @@ DecisionTree DecisionTree::load(std::istream& in, std::size_t& line_no) {
     n.right = static_cast<std::int32_t>(parse_int64(tok[1], "tree node right child", line_no));
     n.feature = static_cast<std::uint16_t>(parse_uint64(tok[2], "tree node feature", line_no));
     n.threshold = static_cast<std::int8_t>(parse_int64(tok[3], "tree node threshold", line_no));
-    n.count0 = parse_uint64(tok[4], "tree node count0", line_no);
-    n.count1 = parse_uint64(tok[5], "tree node count1", line_no);
     const auto max = static_cast<std::int32_t>(count);
     if (n.left >= max || n.right >= max) {
       throw ParseError("tree node child out of range", line_no);
     }
     tree.nodes_.push_back(n);
+    tree.count0_.push_back(parse_uint64(tok[4], "tree node count0", line_no));
+    tree.count1_.push_back(parse_uint64(tok[5], "tree node count1", line_no));
   }
   if (tree.nodes_.empty()) throw ParseError("empty tree", line_no);
   return tree;

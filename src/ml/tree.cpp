@@ -29,8 +29,18 @@ void DecisionTree::fit(const Dataset& data) {
 }
 
 void DecisionTree::fit_indices(const Dataset& data, std::vector<std::uint32_t> indices) {
+  const ColumnView columns(data);
+  fit_indices(data, columns, std::move(indices));
+}
+
+void DecisionTree::fit_indices(const Dataset& data, const ColumnView& columns,
+                               std::vector<std::uint32_t> indices) {
   CAML_ASSERT(!indices.empty());
+  CAML_ASSERT(columns.num_rows() == data.num_rows() &&
+              columns.num_features() == data.num_features());
   nodes_.clear();
+  count0_.clear();
+  count1_.clear();
   num_features_ = data.num_features();
   importance_.assign(num_features_, 0.0);
   const auto [lo, hi] = data.feature_range();
@@ -38,9 +48,13 @@ void DecisionTree::fit_indices(const Dataset& data, std::vector<std::uint32_t> i
   max_value_ = hi;
   const std::size_t buckets = static_cast<std::size_t>(max_value_ - min_value_) + 1;
   feature_order_.resize(num_features_);
-  hist0_.resize(buckets);
-  hist1_.resize(buckets);
-  build(data, indices, 0, indices.size(), 0);
+  // Invariant across build() nodes: the histograms are all-zero on entry
+  // to every split search — each search clears exactly the buckets it
+  // touched (see touched_ below) instead of sweeping the full range.
+  hist0_.assign(buckets, 0u);
+  hist1_.assign(buckets, 0u);
+  touched_.reserve(buckets);
+  build(data, columns, indices, 0, indices.size(), 0);
   double total = 0.0;
   for (double v : importance_) total += v;
   if (total > 0.0) {
@@ -48,19 +62,22 @@ void DecisionTree::fit_indices(const Dataset& data, std::vector<std::uint32_t> i
   }
 }
 
-std::int32_t DecisionTree::build(const Dataset& data, std::vector<std::uint32_t>& indices,
-                                 std::size_t begin, std::size_t end, std::size_t depth) {
-  Node node;
+std::int32_t DecisionTree::build(const Dataset& data, const ColumnView& columns,
+                                 std::vector<std::uint32_t>& indices, std::size_t begin,
+                                 std::size_t end, std::size_t depth) {
+  std::uint64_t node_count0 = 0, node_count1 = 0;
   for (std::size_t i = begin; i < end; ++i) {
     const std::uint32_t w = data.weight(indices[i]);
-    if (data.label(indices[i])) node.count1 += w;
-    else node.count0 += w;
+    if (data.label(indices[i])) node_count1 += w;
+    else node_count0 += w;
   }
-  const std::uint64_t n = node.count0 + node.count1;
+  const std::uint64_t n = node_count0 + node_count1;
   const std::int32_t id = static_cast<std::int32_t>(nodes_.size());
-  nodes_.push_back(node);
+  nodes_.push_back(Node{});
+  count0_.push_back(node_count0);
+  count1_.push_back(node_count1);
 
-  const bool pure = node.count0 == 0 || node.count1 == 0;
+  const bool pure = node_count0 == 0 || node_count1 == 0;
   if (pure || depth >= params_.max_depth || n < params_.min_samples_split) return id;
 
   // Histogram-based split search over a (possibly random) feature set.
@@ -99,13 +116,14 @@ std::int32_t DecisionTree::build(const Dataset& data, std::vector<std::uint32_t>
       std::swap(feature_order[fi], feature_order[j]);
     }
     const std::uint16_t f = feature_order[fi];
-    std::fill(hist0.begin(), hist0.end(), 0u);
-    std::fill(hist1.begin(), hist1.end(), 0u);
+    const std::int8_t* col = columns.column(f);
+    touched_.clear();
     for (std::size_t i = begin; i < end; ++i) {
-      const std::size_t b =
-          static_cast<std::size_t>(data.row(indices[i])[f] - min_value_);
-      const std::uint32_t w = data.weight(indices[i]);
-      if (data.label(indices[i])) hist1[b] += w;
+      const std::uint32_t r = indices[i];
+      const std::size_t b = static_cast<std::size_t>(col[r] - min_value_);
+      if ((hist0[b] | hist1[b]) == 0) touched_.push_back(static_cast<std::uint32_t>(b));
+      const std::uint32_t w = data.weight(r);
+      if (data.label(r)) hist1[b] += w;
       else hist0[b] += w;
     }
     // Prefix scan: threshold after bucket b sends values <= b left.
@@ -119,8 +137,8 @@ std::int32_t DecisionTree::build(const Dataset& data, std::vector<std::uint32_t>
       if (left == 0 || right == 0) continue;
       const double dl0 = static_cast<double>(l0);
       const double dl1 = static_cast<double>(l1);
-      const double r0 = static_cast<double>(node.count0 - l0);
-      const double r1 = static_cast<double>(node.count1 - l1);
+      const double r0 = static_cast<double>(node_count0 - l0);
+      const double r1 = static_cast<double>(node_count1 - l1);
       const double dleft = static_cast<double>(left);
       const double dright = static_cast<double>(right);
       const double gl = 1.0 - (dl0 * dl0 + dl1 * dl1) / (dleft * dleft);
@@ -133,6 +151,13 @@ std::int32_t DecisionTree::build(const Dataset& data, std::vector<std::uint32_t>
         found = true;
       }
     }
+    // Restore the all-zero invariant by clearing only the buckets this
+    // node's rows actually landed in — a node spanning few distinct
+    // values no longer pays for the full value range.
+    for (const std::uint32_t b : touched_) {
+      hist0[b] = 0;
+      hist1[b] = 0;
+    }
   }
   // No valid split means every row is identical on every feature (or
   // leaf-size limits forbid all partitions): an honest mixed leaf.
@@ -143,25 +168,25 @@ std::int32_t DecisionTree::build(const Dataset& data, std::vector<std::uint32_t>
 
   // Gini importance: weighted impurity decrease of the chosen split.
   {
-    const double p0 = static_cast<double>(node.count0) / total;
-    const double p1 = static_cast<double>(node.count1) / total;
+    const double p0 = static_cast<double>(node_count0) / total;
+    const double p1 = static_cast<double>(node_count1) / total;
     const double parent_gini = 1.0 - p0 * p0 - p1 * p1;
     importance_[best_feature] += total * std::max(0.0, parent_gini - best_gini);
   }
 
-  const auto mid_it = std::partition(
-      indices.begin() + static_cast<std::ptrdiff_t>(begin),
-      indices.begin() + static_cast<std::ptrdiff_t>(end), [&](std::uint32_t r) {
-        return data.row(r)[best_feature] <= best_threshold;
-      });
+  const std::int8_t* best_col = columns.column(best_feature);
+  const auto mid_it =
+      std::partition(indices.begin() + static_cast<std::ptrdiff_t>(begin),
+                     indices.begin() + static_cast<std::ptrdiff_t>(end),
+                     [&](std::uint32_t r) { return best_col[r] <= best_threshold; });
   const std::size_t mid = static_cast<std::size_t>(mid_it - indices.begin());
   CAML_ASSERT(mid > begin && mid < end);
 
   nodes_[static_cast<std::size_t>(id)].feature = best_feature;
   nodes_[static_cast<std::size_t>(id)].threshold = best_threshold;
-  const std::int32_t left = build(data, indices, begin, mid, depth + 1);
+  const std::int32_t left = build(data, columns, indices, begin, mid, depth + 1);
   nodes_[static_cast<std::size_t>(id)].left = left;
-  const std::int32_t right = build(data, indices, mid, end, depth + 1);
+  const std::int32_t right = build(data, columns, indices, mid, end, depth + 1);
   nodes_[static_cast<std::size_t>(id)].right = right;
   return id;
 }
@@ -176,7 +201,7 @@ std::pair<std::uint64_t, std::uint64_t> DecisionTree::leaf_votes(const std::int8
   std::size_t at = 0;
   for (;;) {
     const Node& node = nodes_[at];
-    if (node.is_leaf()) return {node.count0, node.count1};
+    if (node.is_leaf()) return {count0_[at], count1_[at]};
     at = static_cast<std::size_t>(row[node.feature] <= node.threshold ? node.left : node.right);
   }
 }

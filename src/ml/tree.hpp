@@ -29,8 +29,15 @@ class DecisionTree : public Classifier {
 
   void fit(const Dataset& data) override;
 
-  /// Fit on a subset of rows (bootstrap sample from the forest).
+  /// Fit on a subset of rows (bootstrap sample from the forest). Builds
+  /// a column-major transpose of the data internally.
   void fit_indices(const Dataset& data, std::vector<std::uint32_t> indices);
+
+  /// As above, but reusing a caller-provided column-major view of the
+  /// same dataset (RandomForest::fit builds one and shares it across all
+  /// trees instead of re-transposing per tree).
+  void fit_indices(const Dataset& data, const ColumnView& columns,
+                   std::vector<std::uint32_t> indices);
 
   std::uint8_t predict(const std::int8_t* row) const override;
   std::string name() const override { return "DecisionTree"; }
@@ -51,28 +58,37 @@ class DecisionTree : public Classifier {
   const std::vector<double>& feature_importance() const { return importance_; }
 
  private:
-  struct Node {
+  /// Hot traversal record: exactly the fields predict()/leaf_votes()
+  /// touch while walking the tree, padded to 16 bytes so four nodes share
+  /// a cache line and the node array stays SoA-friendly. The cold leaf
+  /// vote counts live in the parallel count0_/count1_ arrays and are read
+  /// only once per lookup, at the leaf.
+  struct alignas(16) Node {
     // Internal node: feature/threshold with children; leaf: children -1.
     std::int32_t left = -1;
     std::int32_t right = -1;
     std::uint16_t feature = 0;
     std::int8_t threshold = 0;  // go left iff value <= threshold
-    std::uint64_t count0 = 0;
-    std::uint64_t count1 = 0;
     bool is_leaf() const { return left < 0; }
   };
+  static_assert(sizeof(Node) == 16, "hot node record must stay 16 bytes");
 
-  std::int32_t build(const Dataset& data, std::vector<std::uint32_t>& indices,
-                     std::size_t begin, std::size_t end, std::size_t depth);
+  std::int32_t build(const Dataset& data, const ColumnView& columns,
+                     std::vector<std::uint32_t>& indices, std::size_t begin, std::size_t end,
+                     std::size_t depth);
 
   TreeParams params_;
   Rng rng_;
   std::vector<Node> nodes_;
+  // Weighted leaf votes, parallel to nodes_ (cold fields, SoA layout).
+  std::vector<std::uint64_t> count0_;
+  std::vector<std::uint64_t> count1_;
   std::vector<double> importance_;
   // Scratch buffers reused across build() nodes (hot path).
   std::vector<std::uint16_t> feature_order_;
   std::vector<std::uint64_t> hist0_;
   std::vector<std::uint64_t> hist1_;
+  std::vector<std::uint32_t> touched_;  ///< histogram buckets to clear
   std::size_t num_features_ = 0;
   std::int8_t min_value_ = 0;
   std::int8_t max_value_ = 0;

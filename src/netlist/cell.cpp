@@ -61,6 +61,22 @@ NetId Cell::add_net(const std::string& name, NetKind kind) {
   return id;
 }
 
+void Cell::remove_last_net() {
+  if (nets_.empty()) throw Error("cell " + name_ + ": remove_last_net on empty cell");
+  const NetKind kind = nets_.back().kind;
+  nets_.pop_back();
+  // Internal nets never enter the pin cache; anything else needs the
+  // cached indices rebuilt (no allocation: inputs_ keeps its capacity).
+  if (kind != NetKind::kInternal) refresh_pin_cache();
+}
+
+void Cell::remove_last_transistor() {
+  if (transistors_.empty()) {
+    throw Error("cell " + name_ + ": remove_last_transistor on empty cell");
+  }
+  transistors_.pop_back();
+}
+
 std::optional<NetId> Cell::find_net(const std::string& name) const {
   for (std::size_t i = 0; i < nets_.size(); ++i) {
     if (nets_[i].name == name) return static_cast<NetId>(i);

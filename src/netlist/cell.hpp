@@ -71,6 +71,24 @@ class Cell {
   /// Adds a net; returns its id. Throws caml::Error on duplicate name.
   NetId add_net(const std::string& name, NetKind kind);
 
+  /// Removes the most recently added net (LIFO undo, used by
+  /// DefectOverlay to revert an in-place defect). The caller must have
+  /// re-pointed any transistor terminal away from the net first. Throws
+  /// caml::Error when the cell has no nets.
+  void remove_last_net();
+
+  /// Removes the most recently added transistor (LIFO undo). Throws
+  /// caml::Error when the cell has no transistors.
+  void remove_last_transistor();
+
+  /// Pre-grows net/transistor storage so later add_net/add_transistor
+  /// calls up to these totals perform no heap allocation (the in-place
+  /// defect-injection hot path relies on this).
+  void reserve(std::size_t nets, std::size_t transistors) {
+    nets_.reserve(nets);
+    transistors_.reserve(transistors);
+  }
+
   /// Id of the named net, or nullopt.
   std::optional<NetId> find_net(const std::string& name) const;
 

@@ -80,10 +80,9 @@ std::uint64_t truth_table(const Cell& cell, const SimConfig& config) {
 
 std::vector<Sig> simulate_responses(const Cell& cell, const std::vector<Stimulus>& stimuli,
                                     const SimConfig& config) {
-  std::vector<Sig> out;
-  out.reserve(stimuli.size());
+  std::vector<Sig> out(stimuli.size(), Sig::kX);
   SwitchSim sim(cell, config);
-  for (const Stimulus& s : stimuli) out.push_back(sim.run(s));
+  sim.run_batch(stimuli, out.data());
   return out;
 }
 

@@ -1,0 +1,154 @@
+// DefectOverlay contract: apply() realizes exactly the inject_defect()
+// netlist transformation in place, revert() restores the base cell
+// exactly, and the pair round-trips for every defect kind the universe
+// can produce. Simulation equivalence (overlay vs. copy) is what makes
+// the zero-allocation characterization loop safe.
+#include <gtest/gtest.h>
+
+#include "defect/injector.hpp"
+#include "defect/overlay.hpp"
+#include "defect/universe.hpp"
+#include "sim/switch_sim.hpp"
+#include "test_support.hpp"
+#include "util/error.hpp"
+
+namespace caml {
+namespace {
+
+// Structural equality on everything simulation reads. Net and device
+// names are allowed to differ only for defect-added elements — none
+// exist when comparing a reverted overlay against its base.
+void expect_same_cell(const Cell& got, const Cell& want, const std::string& context) {
+  ASSERT_EQ(got.num_nets(), want.num_nets()) << context;
+  ASSERT_EQ(got.num_transistors(), want.num_transistors()) << context;
+  for (std::size_t n = 0; n < want.num_nets(); ++n) {
+    EXPECT_EQ(got.nets()[n].name, want.nets()[n].name) << context << " net " << n;
+    EXPECT_EQ(got.nets()[n].kind, want.nets()[n].kind) << context << " net " << n;
+  }
+  for (std::size_t t = 0; t < want.num_transistors(); ++t) {
+    const Transistor& g = got.transistors()[t];
+    const Transistor& w = want.transistors()[t];
+    EXPECT_EQ(g.name, w.name) << context << " device " << t;
+    EXPECT_EQ(g.type, w.type) << context << " device " << t;
+    EXPECT_EQ(g.drain, w.drain) << context << " device " << t;
+    EXPECT_EQ(g.gate, w.gate) << context << " device " << t;
+    EXPECT_EQ(g.source, w.source) << context << " device " << t;
+    EXPECT_EQ(g.bulk, w.bulk) << context << " device " << t;
+    EXPECT_EQ(g.width_um, w.width_um) << context << " device " << t;
+    EXPECT_EQ(g.length_um, w.length_um) << context << " device " << t;
+  }
+  // Derived pin caches must have been refreshed too.
+  EXPECT_EQ(got.inputs(), want.inputs()) << context;
+  EXPECT_EQ(got.output(), want.output()) << context;
+  EXPECT_EQ(got.vdd(), want.vdd()) << context;
+  EXPECT_EQ(got.vss(), want.vss()) << context;
+}
+
+UniverseOptions full_universe() {
+  UniverseOptions options;
+  options.inter_transistor_shorts = true;
+  options.resistive_variants = true;
+  return options;
+}
+
+TEST(DefectOverlay, ApplyRevertRoundTripsEveryDefectKind) {
+  const Cell base = testing::make_fig5_cell();
+  const std::vector<Defect> universe = enumerate_defects(base, full_universe());
+  ASSERT_FALSE(universe.empty());
+  DefectOverlay overlay(base);
+  expect_same_cell(overlay.cell(), base, "fresh overlay");
+  for (const Defect& defect : universe) {
+    overlay.apply(defect);
+    EXPECT_TRUE(overlay.applied());
+    overlay.revert();
+    EXPECT_FALSE(overlay.applied());
+    expect_same_cell(overlay.cell(), base, "after " + defect.describe(base));
+  }
+}
+
+TEST(DefectOverlay, AppliedCellSimulatesIdenticallyToInjectDefect) {
+  for (const Cell& base : {testing::make_nand2(), testing::make_nor2(), testing::make_fig5_cell()}) {
+    const std::vector<Defect> universe = enumerate_defects(base, full_universe());
+    const auto stimuli = generate_stimuli(base.num_inputs(), StimulusPolicy::kExhaustivePairs);
+    DefectOverlay overlay(base);
+    SwitchSim sim(overlay.cell());
+    sim.reserve(base.num_nets() + DefectOverlay::kMaxExtraNets,
+                base.num_transistors() + DefectOverlay::kMaxExtraTransistors);
+    for (const Defect& defect : universe) {
+      const Cell copied = inject_defect(base, defect);
+      SwitchSim reference(copied);
+      overlay.apply(defect);
+      sim.rebind();
+      for (const Stimulus& s : stimuli) {
+        EXPECT_EQ(sim.run(s), reference.run(s))
+            << base.name() << ": " << defect.describe(base) << " under " << s.to_string();
+      }
+      overlay.revert();
+    }
+  }
+}
+
+TEST(DefectOverlay, RunBatchMatchesPerStimulusRuns) {
+  const Cell base = testing::make_fig5_cell();
+  const auto stimuli = generate_stimuli(base.num_inputs(), StimulusPolicy::kExhaustivePairs);
+  DefectOverlay overlay(base);
+  SwitchSim sim(overlay.cell());
+  std::vector<Sig> batch(stimuli.size(), Sig::kX);
+  for (const Defect& defect : enumerate_defects(base)) {
+    overlay.apply(defect);
+    sim.rebind();
+    sim.run_batch(stimuli, batch.data());
+    for (std::size_t s = 0; s < stimuli.size(); ++s) {
+      EXPECT_EQ(batch[s], sim.run(stimuli[s]))
+          << defect.describe(base) << " stimulus " << stimuli[s].to_string();
+    }
+    overlay.revert();
+  }
+}
+
+TEST(DefectOverlay, InvalidTransistorThrowsAndLeavesCellUnchanged) {
+  const Cell base = testing::make_nand2();
+  DefectOverlay overlay(base);
+  Defect bad;
+  bad.kind = DefectKind::kOpen;
+  bad.a = {static_cast<TransistorId>(base.num_transistors()), Terminal::kDrain};
+  EXPECT_THROW(overlay.apply(bad), Error);
+  EXPECT_FALSE(overlay.applied());
+  expect_same_cell(overlay.cell(), base, "after rejected apply");
+}
+
+TEST(DefectOverlay, ShortBetweenConnectedNetsThrowsAndLeavesCellUnchanged) {
+  const Cell base = testing::make_nor2();
+  DefectOverlay overlay(base);
+  Defect bad;
+  bad.kind = DefectKind::kShort;
+  // Both NMOS drains sit on the output net: already connected.
+  bad.a = {TransistorId{0}, Terminal::kDrain};
+  bad.b = {TransistorId{1}, Terminal::kDrain};
+  EXPECT_THROW(overlay.apply(bad), Error);
+  EXPECT_FALSE(overlay.applied());
+  expect_same_cell(overlay.cell(), base, "after rejected short");
+}
+
+TEST(DefectOverlay, DoubleApplyThrows) {
+  const Cell base = testing::make_nand2();
+  DefectOverlay overlay(base);
+  const std::vector<Defect> universe = enumerate_defects(base);
+  ASSERT_GE(universe.size(), 2u);
+  overlay.apply(universe[0]);
+  EXPECT_THROW(overlay.apply(universe[1]), Error);
+  // The first defect stays applied and revertible.
+  EXPECT_TRUE(overlay.applied());
+  overlay.revert();
+  expect_same_cell(overlay.cell(), base, "after double-apply recovery");
+}
+
+TEST(DefectOverlay, RevertWithoutApplyIsANoOp) {
+  const Cell base = testing::make_nand2();
+  DefectOverlay overlay(base);
+  overlay.revert();
+  expect_same_cell(overlay.cell(), base, "revert on fresh overlay");
+}
+
+}  // namespace
+}  // namespace caml
