@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
 # Vets the concurrent paths (ThreadPool, parallel characterization,
-# parallel forest training) under ThreadSanitizer. Intended for local
-# pre-merge checks and CI; pass a different build dir as $1.
+# parallel forest training, and the serve reactor + compute plane:
+# reactor thread, worker batches, wakeup pipe, stats, hot reload) under
+# ThreadSanitizer. Intended for local pre-merge checks and CI; pass a
+# different build dir as $1.
 set -eu
 BUILD_DIR="${1:-build-tsan}"
 
 cmake -B "$BUILD_DIR" -S "$(dirname "$0")/.." -DCAML_SANITIZE=thread
 cmake --build "$BUILD_DIR" -j --target caml_tests
-"$BUILD_DIR"/tests/caml_tests --gtest_filter='ThreadPool*:Parallel*:ResolveJobs*:RandomForest*:Characterize*:Obs*'
+"$BUILD_DIR"/tests/caml_tests --gtest_filter='ThreadPool*:Parallel*:ResolveJobs*:RandomForest*:Characterize*:Obs*:Serve*'
 echo "TSan concurrency check passed"

@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
-# PR-5 performance snapshot: builds the Release benchmarks and runs
+# Performance snapshot: builds the Release benchmarks and runs
 #   - bench_simulator      (defect-sweep kernel: frozen pre-PR baseline
 #                           vs. zero-allocation overlay kernel),
 #   - bench_parallel_scaling (characterize_library / forest fit),
-#   - bench_serve_throughput (daemon request latency),
+#   - bench_serve_throughput (daemon: roundtrip worker sweep plus
+#                             pipelined cross-connection coalescing),
 # then distills the numbers that matter — cells/s, defect-sims/s,
-# baseline-vs-kernel speedup, p50/p99 latencies — into BENCH_PR5.json.
+# baseline-vs-kernel speedup, p50/p99 latencies, tail ratios, realized
+# batch sizes — into BENCH_PR6.json.
 #
 # Every workload is seeded deterministically inside the benches
 # (cell builder Rng(7), forest dataset Rng(2024), stimulus enumeration
@@ -13,8 +15,8 @@
 #
 # Usage: scripts/run_bench.sh [--quick] [BUILD_DIR]
 #   --quick   seconds-scale smoke of the same pipeline (used by the
-#             cmake `verify` target); still emits BENCH_PR5.json.
-# The JSON lands in BUILD_DIR/BENCH_PR5.json.
+#             cmake `verify` target); still emits BENCH_PR6.json.
+# The JSON lands in BUILD_DIR/BENCH_PR6.json.
 set -eu
 
 QUICK=0
@@ -38,9 +40,11 @@ trap 'rm -rf "$WORK"' EXIT
 if [ "$QUICK" -eq 1 ]; then
   SIM_ARGS="--benchmark_filter=defect_sweep --benchmark_min_time=0.05s"
   SCALING_ARGS="--quick"
+  SERVE_ARGS="--quick"
 else
   SIM_ARGS="--benchmark_min_time=1s"
   SCALING_ARGS=""
+  SERVE_ARGS=""
 fi
 
 echo "== bench_simulator =="
@@ -56,9 +60,10 @@ echo "== bench_parallel_scaling =="
 
 echo
 echo "== bench_serve_throughput =="
-"$BUILD_DIR/bench/bench_serve_throughput" | tee "$WORK/serve.txt"
+# shellcheck disable=SC2086
+"$BUILD_DIR/bench/bench_serve_throughput" $SERVE_ARGS | tee "$WORK/serve.txt"
 
-python3 - "$WORK" "$BUILD_DIR/BENCH_PR5.json" "$QUICK" <<'EOF'
+python3 - "$WORK" "$BUILD_DIR/BENCH_PR6.json" "$QUICK" <<'EOF'
 import json, re, sys
 
 work, out_path, quick = sys.argv[1], sys.argv[2], sys.argv[3] == "1"
@@ -109,7 +114,8 @@ def parse_rows(text, header_key):
         if header_key in ln:
             grab = True
             continue
-        if grab and ln.startswith("|") and "jobs" not in ln and "workers" not in ln:
+        if grab and ln.startswith("|") and not any(
+                key in ln for key in ("jobs", "workers", "window")):
             cells = [c.strip() for c in ln.strip("|").split("|")]
             rows.append(cells)
         elif grab and rows and not ln.startswith(("|", "+")):
@@ -150,15 +156,28 @@ report["benchmarks"]["forest_fit"]["forests_identical"] = \
 
 # --- bench_serve_throughput -------------------------------------------
 serve = open(f"{work}/serve.txt").read()
-serve_rows = parse_rows(serve, "workers")
-srv = {}
-for cells in serve_rows:
-    workers, requests, seconds, rps, p50, p99, speedup = cells[:7]
-    srv[f"workers_{workers}"] = {
+srv = {"identical": "predictions identical across configurations: yes" in serve}
+roundtrip = {}
+for cells in parse_rows(serve, "mode roundtrip"):
+    workers, requests, seconds, rps, p50, p99, tail, speedup = cells[:8]
+    roundtrip[f"workers_{workers}"] = {
         "requests_per_s": float(rps),
         "p50_ms": float(p50),
         "p99_ms": float(p99),
+        "p99_over_p50": float(tail),
     }
+srv["roundtrip"] = roundtrip
+pipelined = {}
+for cells in parse_rows(serve, "mode pipelined"):
+    window, requests, seconds, rps, p50, p99, tail, batch_mean = cells[:8]
+    pipelined[f"window_{window}"] = {
+        "requests_per_s": float(rps),
+        "p50_ms": float(p50),
+        "p99_ms": float(p99),
+        "p99_over_p50": float(tail),
+        "batch_mean": float(batch_mean),
+    }
+srv["pipelined"] = pipelined
 report["benchmarks"]["serve"] = srv
 
 with open(out_path, "w") as f:
@@ -172,4 +191,12 @@ if not quick:
         assert ratio >= 2.0, f"kernel speedup regressed below 2x on {cell}: {ratio}"
 assert report["benchmarks"]["characterize"]["models_identical"]
 assert report["benchmarks"]["forest_fit"]["forests_identical"]
+assert report["benchmarks"]["serve"]["identical"], \
+    "served predictions must be byte-identical across every configuration"
+# Tail-latency gate for the event-loop serve plane: under roundtrip load
+# the p99/p50 ratio must stay single-digit (the pinned-worker design sat
+# near 200x at workers=1 because queued connections served their whole
+# keep-alive burst before the next connection was picked up).
+for row in report["benchmarks"]["serve"]["roundtrip"].values():
+    assert row["p99_over_p50"] < 10.0, f"serve tail ratio regressed: {row}"
 EOF

@@ -54,22 +54,16 @@ std::unique_ptr<Classifier> train_group_classifier(
   return classifier;
 }
 
-namespace {
-
-/// Shared inference core: classify every (stimulus, defect) row of the
-/// unlabeled CA-matrix and assemble the predicted CaModel.
-CaModel predict_from_defects(const Classifier& classifier, const Cell& cell,
-                             const CanonicalCell& canonical, StimulusPolicy policy,
-                             const SimConfig& sim, const MatrixOptions& matrix_options,
-                             std::vector<Defect> defects) {
-  obs::TraceSpan span("predict_ca_model");
-  span.attr("cell", cell.name());
-  const CaMatrix matrix = [&] {
+PreparedPrediction prepare_prediction(const Cell& cell, const CanonicalCell& canonical,
+                                      StimulusPolicy policy, const SimConfig& sim,
+                                      const MatrixOptions& matrix_options,
+                                      std::vector<Defect> defects) {
+  PreparedPrediction prepared;
+  prepared.matrix = [&] {
     CAML_TRACE_SPAN_ITEMS("matrix_build", defects.size());
     return build_unlabeled_matrix(cell, defects, policy, canonical, sim, matrix_options);
   }();
-
-  CaModel predicted;
+  CaModel& predicted = prepared.model;
   predicted.cell_name = cell.name();
   predicted.num_inputs = cell.num_inputs();
   predicted.policy = policy;
@@ -81,15 +75,12 @@ CaModel predict_from_defects(const Classifier& classifier, const Cell& cell,
     predicted.defects[d].defect = defects[d];
     predicted.defects[d].detection.assign(predicted.stimuli.size(), 0);
   }
-  // One batched classification for the whole request: the matrix's
-  // feature block is contiguous row-major, so the classifier sweeps it
-  // in a single call (tree-major for RandomForest) instead of one
-  // virtual dispatch per (stimulus, defect) row.
-  const std::vector<std::uint8_t> labels =
-      matrix.num_rows() == 0
-          ? std::vector<std::uint8_t>{}
-          : classifier.predict_batch(matrix.features().data(), matrix.num_rows(),
-                                     matrix.num_features());
+  return prepared;
+}
+
+CaModel finish_prediction(PreparedPrediction prepared, const std::uint8_t* labels) {
+  const CaMatrix& matrix = prepared.matrix;
+  CaModel predicted = std::move(prepared.model);
   for (std::size_t r = 0; r < matrix.num_rows(); ++r) {
     const std::int32_t d = matrix.row_defect()[r];
     CAML_ASSERT(d >= 0);
@@ -98,6 +89,33 @@ CaModel predict_from_defects(const Classifier& classifier, const Cell& cell,
   }
   predicted.classify();
   return predicted;
+}
+
+namespace {
+
+/// Shared inference core: classify every (stimulus, defect) row of the
+/// unlabeled CA-matrix and assemble the predicted CaModel. The same
+/// prepare → predict_batch → finish sequence the serve plane runs with
+/// coalesced batches, so both paths stay byte-identical by construction.
+CaModel predict_from_defects(const Classifier& classifier, const Cell& cell,
+                             const CanonicalCell& canonical, StimulusPolicy policy,
+                             const SimConfig& sim, const MatrixOptions& matrix_options,
+                             std::vector<Defect> defects) {
+  obs::TraceSpan span("predict_ca_model");
+  span.attr("cell", cell.name());
+  PreparedPrediction prepared =
+      prepare_prediction(cell, canonical, policy, sim, matrix_options, std::move(defects));
+  // One batched classification for the whole request: the matrix's
+  // feature block is contiguous row-major, so the classifier sweeps it
+  // in a single call (tree-major for RandomForest) instead of one
+  // virtual dispatch per (stimulus, defect) row.
+  const CaMatrix& matrix = prepared.matrix;
+  const std::vector<std::uint8_t> labels =
+      matrix.num_rows() == 0
+          ? std::vector<std::uint8_t>{}
+          : classifier.predict_batch(matrix.features().data(), matrix.num_rows(),
+                                     matrix.num_features());
+  return finish_prediction(std::move(prepared), labels.data());
 }
 
 }  // namespace

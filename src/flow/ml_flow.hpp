@@ -44,6 +44,32 @@ std::unique_ptr<Classifier> train_group_classifier(
 CaModel predict_ca_model(const Classifier& classifier, const CharacterizedCell& cell,
                          const MlOptions& options);
 
+/// The classifier-independent half of a prediction: the unlabeled
+/// CA-matrix plus the CaModel skeleton (stimuli, golden responses,
+/// defect list, zeroed detection bits). Splitting prediction into
+/// prepare → classify → finish lets callers hand the feature rows of
+/// *several* prepared cells of one group to a single
+/// Classifier::predict_batch call (the serve plane's cross-connection
+/// batch coalescing) — per-row classification is independent, so any
+/// grouping of rows into batches yields identical labels.
+struct PreparedPrediction {
+  CaMatrix matrix;  ///< unlabeled features + (stimulus, defect) row map
+  CaModel model;    ///< everything except the detection bits
+};
+
+/// Builds the unlabeled matrix and model skeleton of one cell. The
+/// feature rows to classify are prepared.matrix.features() (row-major,
+/// stride = matrix.num_features()).
+PreparedPrediction prepare_prediction(const Cell& cell, const CanonicalCell& canonical,
+                                      StimulusPolicy policy, const SimConfig& sim,
+                                      const MatrixOptions& matrix_options,
+                                      std::vector<Defect> defects);
+
+/// Scatters one label per matrix row (in row order) into the prepared
+/// model's detection bits and finalizes it. `labels` must hold
+/// prepared.matrix.num_rows() entries.
+CaModel finish_prediction(PreparedPrediction prepared, const std::uint8_t* labels);
+
 /// Prediction for a genuinely new cell — no ground-truth model exists.
 /// Enumerates the defect universe from the netlist, runs only the
 /// defect-free golden sweeps (canonicalization + matrix prefix), and

@@ -44,6 +44,11 @@ GroupModelStore GroupModelStore::train(const std::vector<CharacterizedCell>& tra
   return store;
 }
 
+const Classifier* GroupModelStore::classifier_for(const GroupKey& key) const {
+  const auto it = models_.find(key);
+  return it == models_.end() ? nullptr : &it->second;
+}
+
 CaModel GroupModelStore::predict(const Cell& cell, const CanonicalCell& canonical,
                                  StimulusPolicy policy, const SimConfig& sim,
                                  const UniverseOptions& universe) const {

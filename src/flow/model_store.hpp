@@ -39,6 +39,13 @@ class GroupModelStore {
   CaModel predict(const Cell& cell, const CanonicalCell& canonical, StimulusPolicy policy,
                   const SimConfig& sim, const UniverseOptions& universe = {}) const;
 
+  /// The trained classifier of a group, or nullptr when the group is
+  /// untrained (callers route such cells to conventional generation).
+  /// Lets the serve plane concatenate the feature rows of several cells
+  /// of one group into a single Classifier::predict_batch call; the
+  /// same thread-safety contract as predict() applies.
+  const Classifier* classifier_for(const GroupKey& key) const;
+
   /// Text serialization.
   void save(std::ostream& os) const;
   static GroupModelStore load(std::istream& in);

@@ -1,0 +1,155 @@
+#include "serve/batch.hpp"
+
+#include <map>
+#include <optional>
+#include <utility>
+
+#include "camatrix/canonical.hpp"
+#include "camodel/model_io.hpp"
+#include "defect/universe.hpp"
+#include "flow/ml_flow.hpp"
+#include "netlist/spice_parser.hpp"
+#include "obs/trace.hpp"
+#include "util/log.hpp"
+
+namespace caml::serve {
+
+namespace {
+
+Frame error_response(std::uint64_t request_id, ErrorCode code, const std::string& message) {
+  Frame frame;
+  frame.type = MsgType::kError;
+  frame.request_id = request_id;
+  frame.payload = encode_error(ErrorBody{code, 0, message});
+  return frame;
+}
+
+/// Per-job scratch while the batch is in flight. `cell` points into
+/// `cells`, which owns the parse result for the job's lifetime.
+struct Item {
+  PredictOutcome out;
+  std::vector<Cell> cells;
+  const Cell* cell = nullptr;
+  std::optional<PreparedPrediction> prepared;
+  const Classifier* classifier = nullptr;
+};
+
+}  // namespace
+
+std::vector<PredictOutcome> answer_predict_batch(const GroupModelStore& store,
+                                                 const PolicyProfile& policy,
+                                                 std::vector<PredictJob> jobs) {
+  CAML_TRACE_SPAN_ITEMS("serve_batch", jobs.size());
+  std::vector<Item> items(jobs.size());
+
+  // Phase 1 — per-request prepare: parse, route to a group model, build
+  // the unlabeled matrix + model skeleton. Failures settle the item
+  // immediately with a structured error and drop out of phase 2.
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    PredictJob& job = jobs[i];
+    Item& item = items[i];
+    item.out.conn_id = job.conn_id;
+    item.out.seq = job.seq;
+    item.out.enqueued_us = job.enqueued_us;
+    const std::uint64_t id = job.request_id;
+    try {
+      item.cells = SpiceParser().parse_string(job.netlist);
+      if (item.cells.size() != 1) {
+        item.out.kind = PredictOutcome::Kind::kError;
+        item.out.response =
+            error_response(id, ErrorCode::kBadRequest,
+                           "expected exactly one .SUBCKT per request, got " +
+                               std::to_string(item.cells.size()));
+        continue;
+      }
+      const Cell& cell = item.cells.front();
+      item.cell = &cell;
+      const GroupKey key{cell.num_inputs(), cell.num_transistors()};
+      item.classifier = store.classifier_for(key);
+      if (item.classifier == nullptr) {
+        item.out.kind = PredictOutcome::Kind::kNoGroup;
+        item.out.response = error_response(
+            id, ErrorCode::kNoGroup,
+            "no trained model for group (" + std::to_string(key.num_inputs) + " inputs, " +
+                std::to_string(key.num_transistors) + " transistors); cell " + cell.name() +
+                " needs conventional generation");
+        continue;
+      }
+      const CanonicalCell canonical = canonicalize(cell);
+      item.prepared = prepare_prediction(cell, canonical,
+                                         policy.policy_for(cell.num_inputs()), SimConfig{},
+                                         store.matrix_options(), enumerate_defects(cell));
+      item.out.response.type = MsgType::kPredictOk;
+      item.out.response.request_id = id;
+    } catch (const ParseError& e) {
+      item.out.kind = PredictOutcome::Kind::kError;
+      item.out.response = error_response(id, ErrorCode::kParseError, e.what());
+    } catch (const Error& e) {
+      log_warn() << "prediction failed: " << e.what();
+      item.out.kind = PredictOutcome::Kind::kError;
+      item.out.response = error_response(id, ErrorCode::kInternal, e.what());
+    }
+  }
+
+  // Phase 2 — coalesced classification: concatenate the feature rows of
+  // every prepared item that routed to the same group model and sweep
+  // them through one predict_batch call. Rows are classified
+  // independently, so splitting the labels back per item reproduces the
+  // per-request result bit for bit.
+  std::map<const Classifier*, std::vector<std::size_t>> by_group;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (items[i].prepared) by_group[items[i].classifier].push_back(i);
+  }
+  for (const auto& [classifier, member_items] : by_group) {
+    std::size_t total_rows = 0;
+    std::size_t stride = 0;
+    for (const std::size_t i : member_items) {
+      const CaMatrix& matrix = items[i].prepared->matrix;
+      if (stride == 0) stride = matrix.num_features();
+      CAML_ASSERT(matrix.num_features() == stride);  // one group = one feature layout
+      total_rows += matrix.num_rows();
+    }
+    std::vector<std::uint8_t> labels;
+    if (total_rows > 0) {
+      if (member_items.size() == 1) {
+        // Single request for this group: classify its rows in place.
+        const CaMatrix& matrix = items[member_items.front()].prepared->matrix;
+        labels = classifier->predict_batch(matrix.features().data(), matrix.num_rows(),
+                                           stride);
+      } else {
+        std::vector<std::int8_t> rows;
+        rows.reserve(total_rows * stride);
+        for (const std::size_t i : member_items) {
+          const std::vector<std::int8_t>& f = items[i].prepared->matrix.features();
+          rows.insert(rows.end(), f.begin(), f.end());
+        }
+        labels = classifier->predict_batch(rows.data(), total_rows, stride);
+      }
+    }
+    std::size_t offset = 0;
+    for (const std::size_t i : member_items) {
+      Item& item = items[i];
+      const std::size_t n = item.prepared->matrix.num_rows();
+      const std::uint8_t* item_labels = labels.data() + offset;
+      offset += n;  // advance even if finishing fails: later items keep their slice
+      try {
+        const CaModel predicted = finish_prediction(std::move(*item.prepared), item_labels);
+        item.out.response.payload = ca_model_to_string(predicted, *item.cell);
+        item.out.kind = PredictOutcome::Kind::kOk;
+        item.out.rows_classified = predicted.defects.size() * predicted.stimuli.size();
+      } catch (const Error& e) {
+        log_warn() << "prediction failed: " << e.what();
+        item.out.kind = PredictOutcome::Kind::kError;
+        item.out.response =
+            error_response(item.out.response.request_id, ErrorCode::kInternal, e.what());
+      }
+    }
+  }
+
+  std::vector<PredictOutcome> outcomes;
+  outcomes.reserve(items.size());
+  for (Item& item : items) outcomes.push_back(std::move(item.out));
+  return outcomes;
+}
+
+}  // namespace caml::serve

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "flow/characterize.hpp"
+#include "flow/model_store.hpp"
+#include "serve/protocol.hpp"
+
+namespace caml::serve {
+
+/// One decoded kPredictCell request waiting for the compute plane.
+/// conn/seq route the finished response back to its connection and slot
+/// it into that connection's response order; the reactor fills them and
+/// the compute plane echoes them untouched.
+struct PredictJob {
+  std::uint64_t conn_id = 0;
+  std::uint64_t seq = 0;
+  std::uint64_t request_id = 0;
+  std::string netlist;
+  std::int64_t enqueued_us = 0;  ///< decode timestamp, for end-to-end latency
+};
+
+/// The answer to one PredictJob, ready for the wire.
+struct PredictOutcome {
+  enum class Kind { kOk, kNoGroup, kError };
+
+  std::uint64_t conn_id = 0;
+  std::uint64_t seq = 0;
+  std::int64_t enqueued_us = 0;
+  Frame response;
+  Kind kind = Kind::kError;
+  std::uint64_t rows_classified = 0;  ///< CA-matrix rows this request pushed through a forest
+};
+
+/// Answers a coalesced batch of PREDICT requests against one store
+/// snapshot: every request's cell is parsed and prepared independently
+/// (matrix build + golden simulation), then the feature rows of all
+/// requests that map to the same group model are concatenated and
+/// classified in a single Classifier::predict_batch sweep — the
+/// cross-connection batching the per-request serve path could never
+/// exploit. Per-row classification is independent, so the responses are
+/// byte-identical to answering each request alone (tested).
+///
+/// Never throws: malformed payloads, unknown groups and internal
+/// failures become structured kError responses for their own request
+/// only. Outcomes are returned in job order.
+std::vector<PredictOutcome> answer_predict_batch(const GroupModelStore& store,
+                                                 const PolicyProfile& policy,
+                                                 std::vector<PredictJob> jobs);
+
+}  // namespace caml::serve

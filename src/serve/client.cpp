@@ -76,6 +76,56 @@ std::string Client::predict_cell(const std::string& netlist_text) {
   return roundtrip(MsgType::kPredictCell, netlist_text, MsgType::kPredictOk).payload;
 }
 
+std::vector<BatchResult> Client::predict_cells(const std::vector<std::string>& netlists,
+                                               std::size_t window) {
+  std::vector<BatchResult> results(netlists.size());
+  if (netlists.empty()) return results;
+  if (window == 0) window = 1;
+  ensure_connected();
+  const std::uint64_t first_id = next_id_;
+  std::size_t sent = 0;
+  std::size_t received = 0;
+  try {
+    while (received < netlists.size()) {
+      // Keep the window full before reading: the server reads request
+      // frames continuously (its reactor never blocks on our pace), so a
+      // blocking write here can only wait on the network, not deadlock.
+      while (sent < netlists.size() && sent - received < window) {
+        Frame request;
+        request.type = MsgType::kPredictCell;
+        request.request_id = next_id_++;
+        request.payload = netlists[sent];
+        write_frame(fd_.get(), request, options_.timeout_ms);
+        ++sent;
+      }
+      std::optional<Frame> response = read_frame(fd_.get(), options_.timeout_ms);
+      if (!response) {
+        errno = 0;
+        throw Error("connection lost: server closed the connection mid-batch");
+      }
+      const std::uint64_t want = first_id + received;
+      if (response->request_id != want) {
+        throw Error("pipelined response id " + std::to_string(response->request_id) +
+                    " arrived out of order (expected " + std::to_string(want) + ")");
+      }
+      BatchResult& result = results[received];
+      if (response->type == MsgType::kError) {
+        result.error = decode_error(response->payload);
+      } else if (response->type == MsgType::kPredictOk) {
+        result.payload = std::move(response->payload);
+      } else {
+        throw Error("unexpected response type " +
+                    std::to_string(static_cast<unsigned>(response->type)));
+      }
+      ++received;
+    }
+  } catch (...) {
+    fd_.reset();
+    throw;
+  }
+  return results;
+}
+
 void Client::ping() { roundtrip(MsgType::kPing, "", MsgType::kPong); }
 
 std::string Client::stats() {

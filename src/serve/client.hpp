@@ -1,7 +1,9 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "serve/protocol.hpp"
 #include "util/net.hpp"
@@ -49,6 +51,16 @@ class RemoteError : public Error {
   std::uint32_t retry_after_ms_;
 };
 
+/// Outcome of one request inside a pipelined predict_cells() batch.
+/// Structured per-request errors (NO_GROUP, parse errors, overload) land
+/// here instead of throwing, so one bad cell never voids its batchmates.
+struct BatchResult {
+  std::string payload;             ///< `.camodel` text when ok()
+  std::optional<ErrorBody> error;  ///< the structured kError otherwise
+
+  bool ok() const { return !error.has_value(); }
+};
+
 /// Blocking client for the caml inference service. Connects lazily on
 /// the first request and keeps the connection alive across requests
 /// (the server closes idle connections; the client reconnects
@@ -62,6 +74,16 @@ class Client {
   /// Returns the `.camodel` text. Throws RemoteError on structured
   /// server errors, caml::Error on transport failure.
   std::string predict_cell(const std::string& netlist_text);
+
+  /// Pipelined batch predict: keeps up to `window` requests in flight on
+  /// one connection and reads responses in request order (the server
+  /// guarantees in-order delivery per connection, and coalesces the
+  /// pipelined requests into cross-connection compute batches). Results
+  /// come back in input order; per-request failures are returned, not
+  /// thrown. Throws caml::Error only on transport failure, which voids
+  /// the whole batch (no mid-batch replay — callers resubmit).
+  std::vector<BatchResult> predict_cells(const std::vector<std::string>& netlists,
+                                         std::size_t window = 64);
 
   /// Liveness probe (kPing/kPong round trip).
   void ping();

@@ -98,6 +98,44 @@ Frame decode_frame(std::string_view bytes) {
   return frame;
 }
 
+void FrameAssembler::feed(const char* data, std::size_t n) {
+  // Compact before growing: once everything buffered has been consumed
+  // the copy is free, and a partially consumed buffer only compacts when
+  // the dead prefix dominates — O(1) amortized either way.
+  if (pos_ == buf_.size()) {
+    buf_.clear();
+    pos_ = 0;
+  } else if (pos_ > 4096 && pos_ > buf_.size() / 2) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buf_.append(data, n);
+}
+
+std::optional<Frame> FrameAssembler::next_frame() {
+  const std::size_t avail = buf_.size() - pos_;
+  if (!have_header_) {
+    if (avail < kHeaderSize) return std::nullopt;
+    header_ = decode_header(reinterpret_cast<const unsigned char*>(buf_.data() + pos_));
+    have_header_ = true;
+  }
+  if (buf_.size() - pos_ < kHeaderSize + header_.payload_size) return std::nullopt;
+  Frame frame;
+  frame.version = header_.version;
+  frame.type = header_.type;
+  frame.request_id = header_.request_id;
+  frame.payload.assign(buf_, pos_ + kHeaderSize, header_.payload_size);
+  pos_ += kHeaderSize + header_.payload_size;
+  have_header_ = false;
+  return frame;
+}
+
+void FrameAssembler::reset() {
+  buf_.clear();
+  pos_ = 0;
+  have_header_ = false;
+}
+
 std::string encode_error(const ErrorBody& body) {
   std::string out;
   put_u32(out, static_cast<std::uint32_t>(body.code));

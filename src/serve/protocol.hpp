@@ -96,6 +96,41 @@ FrameHeader decode_header(const unsigned char* buf);
 /// buffer is truncated or has trailing bytes.
 Frame decode_frame(std::string_view bytes);
 
+/// Incremental frame assembly for the event-loop server: feed() raw
+/// bytes exactly as they come off a non-blocking socket and a complete
+/// Frame pops out per fully buffered message, however the bytes were
+/// fragmented (header split across reads, several pipelined frames in
+/// one read). The internal buffer is retained across frames and —
+/// via the server's connection pool — across connections, so
+/// steady-state assembly stops allocating once it has grown to the
+/// largest frame seen.
+class FrameAssembler {
+ public:
+  /// Buffers `n` bytes. Call next_frame() until it returns nullopt to
+  /// drain every message completed by this chunk. Throws ProtocolError
+  /// on bad magic or an oversized declared length — framing on this
+  /// connection is unrecoverable and it must be closed.
+  void feed(const char* data, std::size_t n);
+
+  /// Extracts the next complete frame, or nullopt when more bytes are
+  /// needed.
+  std::optional<Frame> next_frame();
+
+  /// True while a message is mid-assembly (bytes buffered but not yet a
+  /// complete frame) — the caller should arm its read deadline.
+  bool has_partial() const { return pos_ < buf_.size() || have_header_; }
+
+  /// Drops buffered state but keeps the buffer's capacity (connection
+  /// reuse).
+  void reset();
+
+ private:
+  std::string buf_;          ///< unconsumed bytes [pos_, size)
+  std::size_t pos_ = 0;      ///< consumed prefix, compacted lazily
+  bool have_header_ = false;
+  FrameHeader header_;
+};
+
 /// Structured payload of a kError response.
 struct ErrorBody {
   ErrorCode code = ErrorCode::kInternal;

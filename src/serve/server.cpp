@@ -1,16 +1,15 @@
 #include "serve/server.hpp"
 
-#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
-#include <chrono>
-
 #include <algorithm>
+#include <map>
+#include <utility>
 
-#include "camodel/model_io.hpp"
-#include "netlist/spice_parser.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/log.hpp"
@@ -20,24 +19,13 @@ namespace caml::serve {
 
 namespace {
 
-/// Waits for the connection to turn readable, or for the stop pipe to
-/// fire, or for the idle timeout. Returns true only when request bytes
-/// are pending.
-bool wait_request_or_stop(int conn_fd, int stop_fd, int timeout_ms) {
-  struct pollfd p[2];
-  p[0] = {conn_fd, POLLIN, 0};
-  p[1] = {stop_fd, POLLIN, 0};
-  for (;;) {
-    const int rc = ::poll(p, 2, timeout_ms);
-    if (rc < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    if (rc == 0) return false;                          // idle timeout
-    if (p[0].revents & (POLLIN | POLLHUP)) return true; // request (or EOF to read)
-    return false;                                       // stop pipe fired
-  }
-}
+/// Cap on bytes read from one connection per reactor round, so a
+/// flooding client cannot starve its neighbours inside one poll cycle.
+constexpr std::size_t kReadBudgetPerRound = 256 * 1024;
+/// How long a half-closed connection is drained (discarding unread
+/// request bytes) so the final frame arrives ahead of a clean FIN
+/// instead of being destroyed by an RST.
+constexpr std::int64_t kHalfCloseDrainUs = 250'000;
 
 Frame error_frame(std::uint64_t request_id, ErrorCode code, const std::string& message,
                   std::uint32_t retry_after_ms = 0) {
@@ -49,6 +37,62 @@ Frame error_frame(std::uint64_t request_id, ErrorCode code, const std::string& m
 }
 
 }  // namespace
+
+/// Per-connection reactor state. The frame-assembly and output buffers
+/// are the expensive parts; closed Connection objects park in the
+/// server's pool and are recycled (capacity intact) by the next accept.
+struct Server::Connection {
+  /// One encoded response waiting for (or mid-way through) the wire.
+  struct OutFrame {
+    std::string bytes;
+    /// Decode timestamp of the request this answers; -1 for frames that
+    /// answer no readable request (overload rejects, malformed-frame
+    /// errors) — those never feed the latency histogram.
+    std::int64_t started_us = -1;
+  };
+
+  Fd fd;
+  std::uint64_t id = 0;
+  bool admitted = true;  ///< false: overload-rejected at accept, never read
+  FrameAssembler assembler;
+
+  std::deque<OutFrame> out;   ///< in-order responses, front partially written
+  std::size_t out_off = 0;    ///< bytes of out.front() already on the wire
+  std::uint64_t next_seq = 0;        ///< sequence assigned to the next decoded request
+  std::uint64_t next_flush_seq = 0;  ///< next sequence allowed onto the wire
+  std::map<std::uint64_t, OutFrame> reorder;  ///< completed out of order
+
+  std::size_t inflight = 0;  ///< decoded predicts awaiting the compute plane
+  bool close_after_flush = false;
+  bool draining_reads = false;  ///< write side shut; discarding input until EOF
+  bool read_eof = false;
+
+  std::int64_t idle_deadline_us = 0;
+  std::int64_t read_deadline_us = -1;   ///< armed while a frame is partial
+  std::int64_t write_deadline_us = -1;  ///< armed while output is queued
+  std::int64_t drain_deadline_us = -1;  ///< armed while draining_reads
+
+  bool quiet() const { return inflight == 0 && out.empty() && reorder.empty(); }
+
+  void recycle() {
+    fd.reset();
+    id = 0;
+    admitted = true;
+    assembler.reset();
+    out.clear();
+    out_off = 0;
+    next_seq = 0;
+    next_flush_seq = 0;
+    reorder.clear();
+    inflight = 0;
+    close_after_flush = false;
+    draining_reads = false;
+    read_eof = false;
+    read_deadline_us = -1;
+    write_deadline_us = -1;
+    drain_deadline_us = -1;
+  }
+};
 
 Server::Server(GroupModelStore store, ServerOptions options)
     : store_(std::make_shared<const GroupModelStore>(std::move(store))),
@@ -75,6 +119,7 @@ void Server::reload(GroupModelStore store) {
 void Server::start() {
   CAML_ASSERT(!started_);
   stop_pipe_ = make_pipe();
+  wake_pipe_ = make_pipe();
   if (!options_.socket_path.empty()) {
     listener_ = listen_unix(options_.socket_path);
   } else {
@@ -82,36 +127,46 @@ void Server::start() {
     bound_port_ = local_port(listener_.get());
   }
   // Non-blocking listener: poll() readiness can be stale (aborted
-  // handshake), and the acceptor must never block inside accept().
-  ::fcntl(listener_.get(), F_SETFL, ::fcntl(listener_.get(), F_GETFL) | O_NONBLOCK);
+  // handshake), and the reactor must never block inside accept(). The
+  // fcntl result is checked — a silently blocking listener would stall
+  // the whole event loop on one accept.
+  set_nonblocking(listener_.get(), true, "serve listener");
 
-  const std::size_t jobs = resolve_jobs(options_.jobs);
-  pool_ = std::make_unique<ThreadPool>(jobs);
-  worker_futures_.reserve(jobs);
-  for (std::size_t i = 0; i < jobs; ++i) {
+  worker_count_ = resolve_jobs(options_.jobs);
+  read_scratch_.resize(64 * 1024);
+  pool_ = std::make_unique<ThreadPool>(worker_count_);
+  worker_futures_.reserve(worker_count_);
+  for (std::size_t i = 0; i < worker_count_; ++i) {
     worker_futures_.push_back(pool_->submit([this] { worker_loop(); }));
   }
-  acceptor_ = std::thread([this] { acceptor_loop(); });
+  reactor_ = std::thread([this] { reactor_loop(); });
   started_ = true;
   log_info() << "serving " << store_snapshot()->num_groups() << " group models on "
              << (options_.socket_path.empty()
                      ? "tcp 127.0.0.1:" + std::to_string(bound_port_)
                      : options_.socket_path)
-             << " (" << jobs << " workers, queue " << options_.max_queue << ")";
+             << " (event loop + " << worker_count_ << " compute workers, batch "
+             << options_.max_batch << ", queue " << options_.max_queue << ")";
 }
 
 void Server::stop() {
   if (!started_ || stopped_) return;
-  {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
-    draining_ = true;
-  }
-  // Closing the write end raises POLLHUP on the read end for every
-  // poller at once — acceptor and idle workers wake immediately.
+  draining_ = true;
+  // Closing the write end raises POLLHUP on the read end: the reactor
+  // wakes, stops accepting, and drains in-flight work bounded by
+  // idle_timeout_ms.
   stop_pipe_.wr.reset();
-  queue_cv_.notify_all();
-  if (acceptor_.joinable()) acceptor_.join();
-  queue_cv_.notify_all();
+  if (reactor_.joinable()) reactor_.join();
+  {
+    // The reactor is gone: responses to still-queued requests have no
+    // reader, so the backlog is dropped rather than computed into the
+    // void. In-flight batches finish on their own.
+    std::lock_guard<std::mutex> lock(jobs_mutex_);
+    jobs_draining_ = true;
+    job_queue_.clear();
+    stats_.update_predict_backlog(0);
+  }
+  jobs_cv_.notify_all();
   for (std::future<void>& f : worker_futures_) {
     try {
       f.get();
@@ -126,208 +181,494 @@ void Server::stop() {
   stopped_ = true;
 }
 
-void Server::acceptor_loop() {
-  for (;;) {
-    struct pollfd p[2];
-    p[0] = {listener_.get(), POLLIN, 0};
-    p[1] = {stop_pipe_.rd.get(), POLLIN, 0};
-    const int rc = ::poll(p, 2, -1);
-    if (rc < 0) {
-      if (errno == EINTR) continue;
-      log_error() << "serve acceptor poll failed; shutting down acceptor";
-      return;
-    }
-    if (p[1].revents != 0 || draining_) return;
-    if ((p[0].revents & POLLIN) == 0) continue;
-    Fd conn;
-    try {
-      conn = accept_connection(listener_.get());
-    } catch (const Error& e) {
-      log_warn() << "accept failed: " << e.what();
-      continue;
-    }
-    if (!conn) continue;
-    stats_.record_connection();
-    bool reject = false;
-    {
-      std::lock_guard<std::mutex> lock(queue_mutex_);
-      if (pending_.size() >= options_.max_queue) {
-        reject = true;
-      } else {
-        pending_.push_back(std::move(conn));
-        stats_.update_queue_depth(pending_.size());
-      }
-    }
-    if (reject) {
-      reject_overloaded(std::move(conn));
-    } else {
-      queue_cv_.notify_one();
-    }
-  }
-}
-
-void Server::reject_overloaded(Fd conn) {
-  stats_.record_reject();
-  // Best-effort reject: the request was never read, so the id is 0. A
-  // short write deadline keeps a slow client from stalling the acceptor.
-  const int timeout = std::min(options_.write_timeout_ms, 250);
-  try {
-    write_frame(conn.get(), error_frame(0, ErrorCode::kOverloaded,
-                                        "request queue full; retry after " +
-                                            std::to_string(options_.retry_after_ms) + " ms",
-                                        options_.retry_after_ms),
-                timeout);
-    // The client has usually written its request already; closing with
-    // unread bytes in the receive buffer turns into an RST that can
-    // destroy the reject frame before the client reads it. Half-close
-    // and drain (bounded by the same short deadline) so the frame
-    // arrives ahead of a clean FIN and the retry-after hint is actually
-    // delivered.
-    ::shutdown(conn.get(), SHUT_WR);
-    char sink[4096];
-    const auto deadline =
-        std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout);
-    while (wait_readable(conn.get(), 50)) {
-      if (::read(conn.get(), sink, sizeof sink) <= 0) break;
-      if (std::chrono::steady_clock::now() >= deadline) break;
-    }
-  } catch (const Error&) {
-    // Client gone or unwritable — it was being rejected anyway.
-  }
-}
+// ---------------------------------------------------------------------------
+// Compute plane
 
 void Server::worker_loop() {
   for (;;) {
-    Fd conn;
+    std::vector<PredictJob> batch;
     {
-      std::unique_lock<std::mutex> lock(queue_mutex_);
-      queue_cv_.wait(lock, [this] { return draining_.load() || !pending_.empty(); });
-      if (pending_.empty()) return;  // draining and fully drained
-      conn = std::move(pending_.front());
-      pending_.pop_front();
-    }
-    handle_connection(std::move(conn));
-  }
-}
-
-void Server::handle_connection(Fd conn) {
-  for (;;) {
-    if (!wait_request_or_stop(conn.get(), stop_pipe_.rd.get(), options_.idle_timeout_ms)) {
-      return;  // idle timeout or shutdown while between requests
-    }
-    std::optional<Frame> request;
-    try {
-      request = read_frame(conn.get(), options_.read_timeout_ms);
-    } catch (const ProtocolError& e) {
-      // Malformed bytes: framing is unrecoverable on this connection.
-      // Answer best-effort and close; the server itself keeps serving.
-      log_warn() << "closing connection on malformed frame: " << e.what();
-      stats_.record_error();
-      try {
-        write_frame(conn.get(), error_frame(0, ErrorCode::kBadRequest, e.what()),
-                    options_.write_timeout_ms);
-      } catch (const Error&) {
+      std::unique_lock<std::mutex> lock(jobs_mutex_);
+      jobs_cv_.wait(lock, [this] { return jobs_draining_ || !job_queue_.empty(); });
+      if (job_queue_.empty()) return;  // draining and fully drained
+      const std::size_t n = std::min(job_queue_.size(), std::max<std::size_t>(
+                                                            options_.max_batch, 1));
+      batch.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        batch.push_back(std::move(job_queue_.front()));
+        job_queue_.pop_front();
       }
-      return;
-    } catch (const Error& e) {
-      log_warn() << "dropping connection: " << e.what();
-      return;
+      jobs_inflight_ += n;
+      stats_.update_predict_backlog(job_queue_.size());
     }
-    if (!request) return;  // clean EOF
-
-    const Stopwatch watch;
-    Frame response;
-    CAML_TRACE_SPAN("serve_request");
-    const bool keep_open = handle_request(*request, response);
-    try {
-      write_frame(conn.get(), response, options_.write_timeout_ms);
-    } catch (const Error& e) {
-      log_warn() << "response write failed: " << e.what();
-      return;
+    stats_.record_batch(batch.size());
+    const std::size_t n = batch.size();
+    std::vector<PredictOutcome> outcomes =
+        answer_predict_batch(*store_snapshot(), options_.policy, std::move(batch));
+    for (const PredictOutcome& o : outcomes) {
+      switch (o.kind) {
+        case PredictOutcome::Kind::kOk: stats_.record_ok(1, o.rows_classified); break;
+        case PredictOutcome::Kind::kNoGroup: stats_.record_no_group(); break;
+        case PredictOutcome::Kind::kError: stats_.record_error(); break;
+      }
     }
-    stats_.record_latency_us(watch.elapsed_us());
-    if (!keep_open) return;
+    {
+      std::lock_guard<std::mutex> lock(done_mutex_);
+      done_.insert(done_.end(), std::make_move_iterator(outcomes.begin()),
+                   std::make_move_iterator(outcomes.end()));
+    }
+    {
+      std::lock_guard<std::mutex> lock(jobs_mutex_);
+      jobs_inflight_ -= n;
+    }
+    // Wake the reactor. A full pipe means wakeups are already pending —
+    // EAGAIN is success here.
+    const char byte = 0;
+    [[maybe_unused]] const ssize_t rc = ::write(wake_pipe_.wr.get(), &byte, 1);
   }
 }
 
-bool Server::handle_request(const Frame& request, Frame& response) {
-  if (request.version != kProtocolVersion) {
-    stats_.record_error();
-    response = error_frame(request.request_id, ErrorCode::kUnsupportedVersion,
-                           "server speaks protocol version " +
-                               std::to_string(kProtocolVersion) + ", request carried " +
-                               std::to_string(request.version));
-    return false;  // later frames of an unknown dialect are untrustworthy
+// ---------------------------------------------------------------------------
+// Connection plane (reactor thread)
+
+void Server::publish_queue_depth() {
+  const std::size_t depth = admitted_ > worker_count_ ? admitted_ - worker_count_ : 0;
+  stats_.update_queue_depth(depth);
+}
+
+void Server::enqueue_response(Connection& conn, std::uint64_t seq, Frame frame,
+                              std::int64_t started_us) {
+  enqueue_encoded(conn, seq, encode_frame(frame), started_us);
+}
+
+void Server::enqueue_encoded(Connection& conn, std::uint64_t seq, std::string bytes,
+                             std::int64_t started_us) {
+  Connection::OutFrame out{std::move(bytes), started_us};
+  if (seq != conn.next_flush_seq) {
+    // Completed out of request order (a later pipelined request finished
+    // in an earlier batch): hold it until its turn so the wire carries
+    // responses in request order.
+    conn.reorder.emplace(seq, std::move(out));
+    return;
   }
-  switch (request.type) {
+  const bool was_empty = conn.out.empty();
+  conn.out.push_back(std::move(out));
+  ++conn.next_flush_seq;
+  for (auto it = conn.reorder.begin();
+       it != conn.reorder.end() && it->first == conn.next_flush_seq;
+       it = conn.reorder.erase(it)) {
+    conn.out.push_back(std::move(it->second));
+    ++conn.next_flush_seq;
+  }
+  if (was_empty) {
+    conn.write_deadline_us =
+        monotonic_us() + static_cast<std::int64_t>(options_.write_timeout_ms) * 1000;
+    // Try the wire immediately — most responses fit the socket buffer
+    // and never wait for the next poll round.
+    handle_writable(conn);
+  }
+}
+
+void Server::dispatch_frame(Connection& conn, Frame frame) {
+  const std::int64_t now = monotonic_us();
+  conn.idle_deadline_us = now + static_cast<std::int64_t>(options_.idle_timeout_ms) * 1000;
+  const std::uint64_t seq = conn.next_seq++;
+
+  if (frame.version != kProtocolVersion) {
+    stats_.record_error();
+    enqueue_response(conn, seq,
+                     error_frame(frame.request_id, ErrorCode::kUnsupportedVersion,
+                                 "server speaks protocol version " +
+                                     std::to_string(kProtocolVersion) +
+                                     ", request carried " + std::to_string(frame.version)),
+                     now);
+    conn.close_after_flush = true;  // later frames of an unknown dialect are untrustworthy
+    return;
+  }
+  switch (frame.type) {
     case MsgType::kPing: {
       stats_.record_ping();
-      response.type = MsgType::kPong;
-      response.request_id = request.request_id;
-      return true;
+      Frame pong;
+      pong.type = MsgType::kPong;
+      pong.request_id = frame.request_id;
+      enqueue_response(conn, seq, std::move(pong), now);
+      return;
     }
-    case MsgType::kPredictCell:
-      response = predict_response(request);
-      return true;
     case MsgType::kStats: {
       // Unified snapshot: every subsystem's caml_* metrics (serve, pool,
       // flows, forests) from the process-wide registry.
       stats_.record_stats_request();
+      Frame response;
       response.type = MsgType::kStatsOk;
-      response.request_id = request.request_id;
+      response.request_id = frame.request_id;
       response.payload = obs::Registry::global().snapshot().to_text();
-      return true;
+      enqueue_response(conn, seq, std::move(response), now);
+      return;
+    }
+    case MsgType::kPredictCell: {
+      bool overloaded = false;
+      {
+        std::lock_guard<std::mutex> lock(jobs_mutex_);
+        if (job_queue_.size() >= options_.max_pending_predicts) {
+          overloaded = true;
+        } else {
+          PredictJob job;
+          job.conn_id = conn.id;
+          job.seq = seq;
+          job.request_id = frame.request_id;
+          job.netlist = std::move(frame.payload);
+          job.enqueued_us = now;
+          job_queue_.push_back(std::move(job));
+          stats_.update_predict_backlog(job_queue_.size());
+        }
+      }
+      if (overloaded) {
+        // Request-level backpressure: the connection survives, only this
+        // request is asked to come back later.
+        stats_.record_reject();
+        enqueue_response(conn, seq,
+                         error_frame(frame.request_id, ErrorCode::kOverloaded,
+                                     "request queue full; retry after " +
+                                         std::to_string(options_.retry_after_ms) + " ms",
+                                     options_.retry_after_ms),
+                         -1);
+        return;
+      }
+      ++conn.inflight;
+      jobs_cv_.notify_one();
+      return;
     }
     default: {
       stats_.record_error();
-      response = error_frame(request.request_id, ErrorCode::kBadRequest,
-                             "unknown message type " +
-                                 std::to_string(static_cast<unsigned>(request.type)));
-      return true;
+      enqueue_response(conn, seq,
+                       error_frame(frame.request_id, ErrorCode::kBadRequest,
+                                   "unknown message type " +
+                                       std::to_string(static_cast<unsigned>(frame.type))),
+                       now);
+      return;
     }
   }
 }
 
-Frame Server::predict_response(const Frame& request) {
-  const std::uint64_t id = request.request_id;
-  // One snapshot per request: has_group and predict must consult the
-  // same store even if a SIGHUP reload swaps it mid-request.
-  const std::shared_ptr<const GroupModelStore> store = store_snapshot();
-  try {
-    const std::vector<Cell> cells = SpiceParser().parse_string(request.payload);
-    if (cells.size() != 1) {
-      stats_.record_error();
-      return error_frame(id, ErrorCode::kBadRequest,
-                         "expected exactly one .SUBCKT per request, got " +
-                             std::to_string(cells.size()));
+void Server::handle_readable(Connection& conn) {
+  std::size_t budget = kReadBudgetPerRound;
+  while (budget > 0) {
+    const IoResult r = read_some(conn.fd.get(), read_scratch_.data(), read_scratch_.size());
+    if (r.would_block) break;
+    if (r.closed) {
+      conn.read_eof = true;
+      return;
     }
-    const Cell& cell = cells.front();
-    const GroupKey key{cell.num_inputs(), cell.num_transistors()};
-    if (!store->has_group(key)) {
+    budget -= std::min(budget, r.bytes);
+    if (conn.draining_reads) continue;  // half-closed: discard everything
+    try {
+      conn.assembler.feed(read_scratch_.data(), r.bytes);
+      while (!conn.close_after_flush && !stopping_) {
+        std::optional<Frame> frame = conn.assembler.next_frame();
+        if (!frame) break;
+        dispatch_frame(conn, std::move(*frame));
+      }
+    } catch (const ProtocolError& e) {
+      // Malformed bytes: framing is unrecoverable on this connection.
+      // Answer best-effort (after any responses already owed) and
+      // close; the server itself keeps serving.
+      log_warn() << "closing connection on malformed frame: " << e.what();
       stats_.record_error();
-      return error_frame(id, ErrorCode::kNoGroup,
-                         "no trained model for group (" + std::to_string(key.num_inputs) +
-                             " inputs, " + std::to_string(key.num_transistors) +
-                             " transistors); cell " + cell.name() +
-                             " needs conventional generation");
+      enqueue_response(conn, conn.next_seq++,
+                       error_frame(0, ErrorCode::kBadRequest, e.what()), -1);
+      conn.close_after_flush = true;
+      return;
     }
-    const CanonicalCell canonical = canonicalize(cell);
-    const CaModel predicted = store->predict(
-        cell, canonical, options_.policy.policy_for(cell.num_inputs()), SimConfig{});
-    Frame response;
-    response.type = MsgType::kPredictOk;
-    response.request_id = id;
-    response.payload = ca_model_to_string(predicted, cell);
-    stats_.record_ok(1, predicted.defects.size() * predicted.stimuli.size());
-    return response;
-  } catch (const ParseError& e) {
-    stats_.record_error();
-    return error_frame(id, ErrorCode::kParseError, e.what());
-  } catch (const Error& e) {
-    stats_.record_error();
-    log_warn() << "prediction failed: " << e.what();
-    return error_frame(id, ErrorCode::kInternal, e.what());
+    if (r.bytes < read_scratch_.size()) break;  // socket drained
   }
+  // Arm the per-frame read deadline when a frame is mid-assembly; a
+  // completed frame disarms it.
+  if (conn.assembler.has_partial()) {
+    if (conn.read_deadline_us < 0) {
+      conn.read_deadline_us =
+          monotonic_us() + static_cast<std::int64_t>(options_.read_timeout_ms) * 1000;
+    }
+  } else {
+    conn.read_deadline_us = -1;
+  }
+}
+
+void Server::handle_writable(Connection& conn) {
+  while (!conn.out.empty()) {
+    Connection::OutFrame& front = conn.out.front();
+    const IoResult r = write_some(conn.fd.get(), front.bytes.data() + conn.out_off,
+                                  front.bytes.size() - conn.out_off);
+    if (r.closed) {
+      conn.read_eof = true;  // peer gone; sweep closes the connection
+      conn.out.clear();
+      conn.out_off = 0;
+      return;
+    }
+    if (r.would_block) return;
+    conn.out_off += r.bytes;
+    conn.write_deadline_us =
+        monotonic_us() + static_cast<std::int64_t>(options_.write_timeout_ms) * 1000;
+    if (conn.out_off < front.bytes.size()) continue;
+    if (front.started_us >= 0) {
+      stats_.record_latency_us(monotonic_us() - front.started_us);
+    }
+    conn.out.pop_front();
+    conn.out_off = 0;
+  }
+  conn.write_deadline_us = -1;
+  conn.idle_deadline_us =
+      monotonic_us() + static_cast<std::int64_t>(options_.idle_timeout_ms) * 1000;
+}
+
+void Server::accept_new_connections() {
+  for (;;) {
+    Fd accepted;
+    try {
+      accepted = accept_connection(listener_.get());
+    } catch (const Error& e) {
+      log_warn() << "accept failed: " << e.what();
+      return;
+    }
+    if (!accepted) return;
+    stats_.record_connection();
+    try {
+      set_nonblocking(accepted.get(), true, "accepted connection");
+    } catch (const Error& e) {
+      // A connection that cannot be made non-blocking would deadlock the
+      // reactor on its first stalled read — drop it, keep serving.
+      log_warn() << "dropping connection: " << e.what();
+      continue;
+    }
+    if (options_.socket_path.empty()) {
+      const int one = 1;
+      ::setsockopt(accepted.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    }
+
+    std::unique_ptr<Connection> conn;
+    if (!conn_pool_.empty()) {
+      conn = std::move(conn_pool_.back());
+      conn_pool_.pop_back();
+    } else {
+      conn = std::make_unique<Connection>();
+    }
+    conn->fd = std::move(accepted);
+    conn->id = next_conn_id_++;
+    conn->idle_deadline_us =
+        monotonic_us() + static_cast<std::int64_t>(options_.idle_timeout_ms) * 1000;
+
+    if (admitted_ >= worker_count_ + options_.max_queue) {
+      // Admission control: reject before reading anything (the request
+      // id is therefore 0), then half-close and drain so the reject —
+      // and its retry-after hint — survives the client's unread bytes.
+      conn->admitted = false;
+      stats_.record_reject();
+      Connection& ref = *conn;
+      conns_.push_back(std::move(conn));
+      enqueue_response(ref, ref.next_seq++,
+                       error_frame(0, ErrorCode::kOverloaded,
+                                   "request queue full; retry after " +
+                                       std::to_string(options_.retry_after_ms) + " ms",
+                                   options_.retry_after_ms),
+                       -1);
+      ref.close_after_flush = true;
+      continue;
+    }
+    ++admitted_;
+    publish_queue_depth();
+    conns_.push_back(std::move(conn));
+  }
+}
+
+void Server::begin_close(Connection& conn) {
+  // Half-close: FIN after the flushed responses, then drain unread
+  // request bytes briefly. Closing outright with bytes in the receive
+  // buffer turns into an RST that can destroy the final frame before
+  // the client reads it.
+  ::shutdown(conn.fd.get(), SHUT_WR);
+  conn.draining_reads = true;
+  conn.drain_deadline_us = monotonic_us() + kHalfCloseDrainUs;
+}
+
+void Server::close_connection(std::size_t index) {
+  std::unique_ptr<Connection>& slot = conns_[index];
+  if (!slot) return;
+  if (slot->admitted) {
+    --admitted_;
+    publish_queue_depth();
+  }
+  slot->recycle();
+  conn_pool_.push_back(std::move(slot));
+  slot.reset();
+}
+
+void Server::drain_completions() {
+  std::vector<PredictOutcome> done;
+  {
+    std::lock_guard<std::mutex> lock(done_mutex_);
+    done.swap(done_);
+  }
+  for (PredictOutcome& outcome : done) {
+    Connection* conn = nullptr;
+    for (const std::unique_ptr<Connection>& c : conns_) {
+      if (c && c->id == outcome.conn_id) {
+        conn = c.get();
+        break;
+      }
+    }
+    if (conn == nullptr) continue;  // connection died while computing
+    CAML_ASSERT(conn->inflight > 0);
+    --conn->inflight;
+    enqueue_response(*conn, outcome.seq, std::move(outcome.response), outcome.enqueued_us);
+  }
+}
+
+void Server::sweep_deadlines(std::int64_t now_us) {
+  for (std::size_t i = 0; i < conns_.size(); ++i) {
+    Connection* conn = conns_[i].get();
+    if (conn == nullptr) continue;
+    if (conn->draining_reads) {
+      if (conn->read_eof || now_us >= conn->drain_deadline_us) close_connection(i);
+      continue;
+    }
+    const bool quiet = conn->quiet();
+    if (conn->read_eof && quiet) {
+      close_connection(i);  // clean EOF (or mid-frame EOF: nothing more can complete)
+      continue;
+    }
+    if (conn->close_after_flush && quiet) {
+      begin_close(*conn);
+      continue;
+    }
+    if (stopping_ && quiet) {
+      close_connection(i);  // shutdown drain: this connection owes nothing
+      continue;
+    }
+    if (!conn->out.empty() && now_us >= conn->write_deadline_us) {
+      log_warn() << "dropping connection: write stalled past "
+                 << options_.write_timeout_ms << " ms";
+      close_connection(i);
+      continue;
+    }
+    if (conn->assembler.has_partial() && conn->read_deadline_us >= 0 &&
+        now_us >= conn->read_deadline_us) {
+      log_warn() << "dropping connection: frame incomplete after "
+                 << options_.read_timeout_ms << " ms";
+      close_connection(i);
+      continue;
+    }
+    if (!stopping_ && quiet && !conn->assembler.has_partial() &&
+        now_us >= conn->idle_deadline_us) {
+      close_connection(i);  // idle keep-alive expiry
+      continue;
+    }
+  }
+}
+
+bool Server::fully_drained() const {
+  for (const std::unique_ptr<Connection>& c : conns_) {
+    if (c) return false;
+  }
+  return true;
+}
+
+void Server::reactor_loop() {
+  std::vector<struct pollfd> pfds;
+  std::vector<std::size_t> pfd_conn;
+  for (;;) {
+    conns_.erase(std::remove_if(conns_.begin(), conns_.end(),
+                                [](const std::unique_ptr<Connection>& c) { return !c; }),
+                 conns_.end());
+
+    pfds.clear();
+    pfd_conn.clear();
+    pfds.push_back({stop_pipe_.rd.get(), POLLIN, 0});
+    pfds.push_back({wake_pipe_.rd.get(), POLLIN, 0});
+    const bool accepting = !stopping_;
+    if (accepting) pfds.push_back({listener_.get(), POLLIN, 0});
+    const std::size_t conn_base = pfds.size();
+    for (std::size_t i = 0; i < conns_.size(); ++i) {
+      const Connection& conn = *conns_[i];
+      short events = 0;
+      const bool reads_requests =
+          conn.admitted && !conn.close_after_flush && !conn.read_eof && !stopping_;
+      if (reads_requests || conn.draining_reads) events |= POLLIN;
+      if (!conn.out.empty()) events |= POLLOUT;
+      pfds.push_back({conn.fd.get(), events, 0});
+      pfd_conn.push_back(i);
+    }
+
+    // Poll until the nearest deadline (connection idle/read/write/drain
+    // or the bounded shutdown drain).
+    std::int64_t next_deadline = -1;
+    const auto consider = [&next_deadline](std::int64_t d) {
+      if (d >= 0 && (next_deadline < 0 || d < next_deadline)) next_deadline = d;
+    };
+    if (stopping_) consider(stop_deadline_us_);
+    for (const std::unique_ptr<Connection>& c : conns_) {
+      if (c->draining_reads) consider(c->drain_deadline_us);
+      if (!c->out.empty()) consider(c->write_deadline_us);
+      if (c->assembler.has_partial()) consider(c->read_deadline_us);
+      if (!stopping_ && c->quiet() && !c->assembler.has_partial()) {
+        consider(c->idle_deadline_us);
+      }
+    }
+    int timeout_ms = -1;
+    if (next_deadline >= 0) {
+      const std::int64_t left = next_deadline - monotonic_us();
+      timeout_ms = left <= 0 ? 0 : static_cast<int>((left + 999) / 1000);
+    }
+
+    const int rc = ::poll(pfds.data(), pfds.size(), timeout_ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      log_error() << "serve reactor poll failed; shutting down server";
+      break;
+    }
+    const std::int64_t now = monotonic_us();
+
+    // The stop signal is checked before any connection work: a chatty
+    // keep-alive client whose fd is always readable can no longer
+    // starve shutdown (it used to win the poll forever). The drain of
+    // in-flight connections is bounded by idle_timeout_ms.
+    if (!stopping_ && (pfds[0].revents != 0 || draining_.load())) {
+      stopping_ = true;
+      stop_deadline_us_ = now + static_cast<std::int64_t>(options_.idle_timeout_ms) * 1000;
+      listener_.reset();  // refuse new connections at once
+    }
+    if (pfds[1].revents != 0) {
+      char sink[256];
+      while (::read(wake_pipe_.rd.get(), sink, sizeof sink) > 0) {
+      }
+    }
+    drain_completions();
+    if (!stopping_ && accepting && (pfds[2].revents & POLLIN) != 0) {
+      accept_new_connections();
+    }
+    for (std::size_t p = 0; p < pfd_conn.size(); ++p) {
+      const struct pollfd& pfd = pfds[conn_base + p];
+      const std::size_t idx = pfd_conn[p];
+      if (!conns_[idx]) continue;
+      if ((pfd.revents & POLLNVAL) != 0) {
+        close_connection(idx);
+        continue;
+      }
+      if ((pfd.revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+        handle_readable(*conns_[idx]);
+      }
+      if (!conns_[idx]) continue;
+      if ((pfd.revents & POLLOUT) != 0) handle_writable(*conns_[idx]);
+    }
+    sweep_deadlines(now);
+
+    if (stopping_) {
+      if (fully_drained()) break;
+      if (now >= stop_deadline_us_) {
+        log_warn() << "shutdown drain deadline reached; dropping remaining connections";
+        break;
+      }
+    }
+  }
+  conns_.clear();
 }
 
 }  // namespace caml::serve

@@ -13,6 +13,7 @@
 
 #include "flow/characterize.hpp"
 #include "flow/model_store.hpp"
+#include "serve/batch.hpp"
 #include "serve/protocol.hpp"
 #include "serve/stats.hpp"
 #include "util/net.hpp"
@@ -25,19 +26,34 @@ struct ServerOptions {
   /// TCP `tcp_port` instead (0 = pick an ephemeral port; see port()).
   std::string socket_path;
   std::uint16_t tcp_port = 0;
-  /// Worker threads draining the request queue (0 = one per hardware
-  /// thread). Each worker owns one connection at a time.
+  /// Compute-plane worker threads draining coalesced predict batches
+  /// (0 = one per hardware thread). Connections are NOT pinned to
+  /// workers: the reactor multiplexes every connection and any worker
+  /// answers any request.
   std::size_t jobs = 0;
-  /// Pending (accepted but not yet picked up) connections beyond the
-  /// workers. When full, new connections are rejected immediately with a
-  /// kOverloaded error carrying retry_after_ms — bounded memory under
-  /// overload instead of unbounded queue growth.
+  /// Admission control: connections beyond `jobs + max_queue` are
+  /// rejected immediately with a kOverloaded error carrying
+  /// retry_after_ms — bounded memory under overload instead of
+  /// unbounded connection growth.
   std::size_t max_queue = 64;
-  /// Per-frame read deadline once bytes started flowing.
+  /// Requests coalesced into one compute batch: the reactor queues
+  /// decoded PREDICT requests from all connections and a worker drains
+  /// up to max_batch of them at once into a single cross-connection
+  /// Classifier::predict_batch sweep per group model.
+  std::size_t max_batch = 32;
+  /// Decoded PREDICT requests allowed to wait for the compute plane.
+  /// Beyond it, requests are answered kOverloaded (the connection stays
+  /// open) — backpressure for deeply pipelined clients.
+  std::size_t max_pending_predicts = 1024;
+  /// Per-frame read deadline once bytes of a frame started arriving.
   int read_timeout_ms = 5000;
+  /// Deadline for a stalled response write (no progress while bytes are
+  /// queued for the peer).
   int write_timeout_ms = 5000;
   /// How long a keep-alive connection may sit idle between requests
-  /// before the server closes it. Also bounds the shutdown drain.
+  /// before the server closes it. Also bounds the shutdown drain of
+  /// in-flight connections: stop() never waits longer than this for a
+  /// chatty client.
   int idle_timeout_ms = 2000;
   /// Backpressure hint clients receive in kOverloaded rejects.
   std::uint32_t retry_after_ms = 50;
@@ -49,24 +65,39 @@ struct ServerOptions {
 /// Long-lived inference daemon: loads a trained GroupModelStore once and
 /// answers CA-model prediction requests over the serve protocol.
 ///
-/// Threading: one acceptor thread plus `jobs` workers on a ThreadPool.
-/// The store is shared read-only across all workers — GroupModelStore::
-/// predict is const and touches no hidden mutable state (see the note in
-/// model_store.hpp), so requests never copy or lock the models.
+/// Architecture — connection plane vs. compute plane:
+///
+///   * One reactor thread owns every client fd in a poll() event loop:
+///     non-blocking reads feed per-connection FrameAssemblers (buffers
+///     pooled and reused across connections), cheap requests (PING,
+///     STATS, protocol errors) are answered inline, and responses are
+///     written through per-connection output queues, so any number of
+///     pipelined requests can be in flight per connection while
+///     responses still go out in request order.
+///   * `jobs` ThreadPool workers form the compute plane: each drains up
+///     to max_batch decoded PREDICT requests — coalesced across all
+///     connections — and answers them with one Classifier::predict_batch
+///     sweep per group model (see serve/batch.hpp). Finished frames are
+///     handed back to the reactor over a wakeup pipe.
+///
+/// The wire protocol is byte-compatible with the thread-per-connection
+/// server this replaced; existing clients work unchanged.
 ///
 /// Lifecycle: construct → start() (binds + spawns threads; throws on
-/// bind failure) → stop() (graceful: stops accepting, serves queued
-/// connections, finishes in-flight requests, joins). stop() is
-/// idempotent and also runs from the destructor. It is NOT
-/// async-signal-safe — signal handlers should write to a self-pipe and
-/// let the main thread call stop() (see `caml serve`).
+/// bind failure) → stop() (graceful: checks the stop signal before any
+/// connection work, stops accepting, finishes requests already decoded,
+/// and bounds the drain by idle_timeout_ms so a chatty keep-alive
+/// client cannot starve shutdown). stop() is idempotent and also runs
+/// from the destructor. It is NOT async-signal-safe — signal handlers
+/// should write to a self-pipe and let the main thread call stop() (see
+/// `caml serve`).
 ///
 /// Hot reload: reload() atomically swaps in a replacement store.
 /// Callers load + validate the new store first (off the serving
 /// threads) and only call reload() on success, so a corrupt file on
 /// disk never displaces the store that is already serving. In-flight
-/// requests finish on the snapshot they started with; subsequent
-/// requests see the new store.
+/// batches finish on the snapshot they started with; subsequent batches
+/// see the new store.
 class Server {
  public:
   Server(GroupModelStore store, ServerOptions options);
@@ -90,38 +121,70 @@ class Server {
   StatsSnapshot stats() const { return stats_.snapshot(); }
 
  private:
-  void acceptor_loop();
+  struct Connection;
+
+  void reactor_loop();
   void worker_loop();
-  void handle_connection(Fd conn);
-  /// Builds the response frame for one request (never throws; failures
-  /// become kError responses). Returns false when the connection must
-  /// close after the response (e.g. unsupported version).
-  bool handle_request(const Frame& request, Frame& response);
-  Frame predict_response(const Frame& request);
-  void reject_overloaded(Fd conn);
-  /// The store serving right now. Each request takes one snapshot and
-  /// uses it throughout, so a concurrent reload() can never swap the
+
+  // Reactor internals (reactor thread only).
+  void accept_new_connections();
+  void handle_readable(Connection& conn);
+  void handle_writable(Connection& conn);
+  void dispatch_frame(Connection& conn, Frame frame);
+  void enqueue_response(Connection& conn, std::uint64_t seq, Frame frame,
+                        std::int64_t started_us);
+  void enqueue_encoded(Connection& conn, std::uint64_t seq, std::string bytes,
+                       std::int64_t started_us);
+  void drain_completions();
+  void begin_close(Connection& conn);
+  void close_connection(std::size_t index);
+  void sweep_deadlines(std::int64_t now_us);
+  void publish_queue_depth();
+  bool fully_drained() const;
+
+  /// The store serving right now. Each compute batch takes one snapshot
+  /// and uses it throughout, so a concurrent reload() can never swap the
   /// models out from under a half-finished prediction.
   std::shared_ptr<const GroupModelStore> store_snapshot() const;
 
   std::shared_ptr<const GroupModelStore> store_;  // guarded by store_mutex_
   mutable std::mutex store_mutex_;
   const ServerOptions options_;
+  std::size_t worker_count_ = 0;
 
   Fd listener_;
-  Pipe stop_pipe_;  // wr end closed by stop(): every poller sees POLLHUP
+  Pipe stop_pipe_;  // wr end closed by stop(): the reactor sees POLLHUP
+  Pipe wake_pipe_;  // workers write one byte after publishing completions
   std::uint16_t bound_port_ = 0;
   bool started_ = false;
   bool stopped_ = false;
   std::atomic<bool> draining_{false};
 
-  std::thread acceptor_;
+  std::thread reactor_;
   std::unique_ptr<ThreadPool> pool_;
   std::vector<std::future<void>> worker_futures_;
 
-  std::mutex queue_mutex_;
-  std::condition_variable queue_cv_;
-  std::deque<Fd> pending_;
+  // Reactor-owned connection table: conns_[i] may be null (closed slot);
+  // closed Connection objects park in conn_pool_ so their frame buffers
+  // are reused by the next accept.
+  std::vector<std::unique_ptr<Connection>> conns_;
+  std::vector<std::unique_ptr<Connection>> conn_pool_;
+  std::uint64_t next_conn_id_ = 1;
+  std::size_t admitted_ = 0;           ///< live, non-rejected connections
+  std::vector<char> read_scratch_;     ///< one shared socket-read buffer
+  bool stopping_ = false;              ///< reactor saw the stop signal
+  std::int64_t stop_deadline_us_ = 0;  ///< bounded-drain deadline once stopping
+
+  // Reactor → compute plane: coalesced predict-job queue.
+  std::mutex jobs_mutex_;
+  std::condition_variable jobs_cv_;
+  std::deque<PredictJob> job_queue_;
+  bool jobs_draining_ = false;
+  std::size_t jobs_inflight_ = 0;  ///< popped but not yet completed (guarded by jobs_mutex_)
+
+  // Compute plane → reactor: finished responses.
+  std::mutex done_mutex_;
+  std::vector<PredictOutcome> done_;
 
   ServeStats stats_;
 };

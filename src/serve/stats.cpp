@@ -18,7 +18,11 @@ ServeStats::ServeStats()
       ok_(reg().counter("caml_serve_requests_ok_total",
                         "Predictions answered kPredictOk")),
       errors_(reg().counter("caml_serve_requests_error_total",
-                            "Structured kError answers (excluding overload rejects)")),
+                            "Structured kError answers (excluding overload rejects and "
+                            "NO_GROUP routing misses)")),
+      no_group_(reg().counter("caml_serve_no_group_total",
+                              "NO_GROUP answers: well-formed requests whose cell group has "
+                              "no trained model (a routing miss, not a server error)")),
       rejected_(reg().counter("caml_serve_rejected_overload_total",
                               "Backpressure rejects at the acceptor")),
       pings_(reg().counter("caml_serve_pings_total", "kPing probes answered")),
@@ -30,20 +34,31 @@ ServeStats::ServeStats()
                           "CA-matrix rows pushed through the forests while serving")),
       reloads_(reg().counter("caml_serve_reloads_total",
                              "Successful SIGHUP store reloads")),
+      queue_depth_gauge_(reg().gauge("caml_serve_queue_depth",
+                                     "Connections queued beyond serving capacity right "
+                                     "now (0 when drained)")),
       queue_high_water_gauge_(reg().gauge("caml_serve_queue_high_water",
-                                          "Max pending connections observed")),
+                                          "Max queue depth observed")),
+      predict_backlog_gauge_(reg().gauge("caml_serve_predict_backlog",
+                                         "Decoded PREDICT requests waiting for the compute "
+                                         "plane right now (0 when drained)")),
       latency_(reg().histogram("caml_serve_request_latency_us",
-                               "Per-request handle+respond latency in microseconds")),
+                               "Per-request decode-to-response-written latency in "
+                               "microseconds")),
+      batch_size_(reg().histogram("caml_serve_batch_size",
+                                  "Requests per coalesced cross-connection predict batch")),
       base_connections_(connections_.value()),
       base_ok_(ok_.value()),
       base_errors_(errors_.value()),
+      base_no_group_(no_group_.value()),
       base_rejected_(rejected_.value()),
       base_pings_(pings_.value()),
       base_stats_requests_(stats_requests_.value()),
       base_cells_(cells_.value()),
       base_rows_(rows_.value()),
       base_reloads_(reloads_.value()),
-      base_latency_(latency_.snapshot()) {}
+      base_latency_(latency_.snapshot()),
+      base_batch_size_(batch_size_.snapshot()) {}
 
 void ServeStats::record_latency_us(std::int64_t us) {
   const std::uint64_t v = us < 0 ? 0 : static_cast<std::uint64_t>(us);
@@ -54,6 +69,10 @@ void ServeStats::record_latency_us(std::int64_t us) {
 }
 
 void ServeStats::update_queue_depth(std::size_t depth) {
+  // Live gauge first (set, not max: this is the side the pop path feeds
+  // so the reading returns to 0 once the queue drains), then the
+  // monotonic high-water views.
+  queue_depth_gauge_.set(static_cast<std::int64_t>(depth));
   queue_high_water_gauge_.update_max(static_cast<std::int64_t>(depth));
   std::uint64_t prev = queue_high_water_.load(std::memory_order_relaxed);
   while (depth > prev &&
@@ -66,13 +85,21 @@ StatsSnapshot ServeStats::snapshot() const {
   s.connections_accepted = connections_.value() - base_connections_;
   s.requests_ok = ok_.value() - base_ok_;
   s.requests_error = errors_.value() - base_errors_;
+  s.no_group = no_group_.value() - base_no_group_;
   s.rejected_overload = rejected_.value() - base_rejected_;
   s.pings = pings_.value() - base_pings_;
   s.stats_requests = stats_requests_.value() - base_stats_requests_;
   s.cells_predicted = cells_.value() - base_cells_;
   s.rows_classified = rows_.value() - base_rows_;
+  const std::int64_t depth = queue_depth_gauge_.value();
+  s.queue_depth = depth < 0 ? 0 : static_cast<std::uint64_t>(depth);
   s.queue_high_water = queue_high_water_.load(std::memory_order_relaxed);
   s.reloads = reloads_.value() - base_reloads_;
+  const obs::HistogramSnapshot batches = batch_size_.snapshot().diff(base_batch_size_);
+  s.batches = batches.count;
+  if (batches.count > 0) {
+    s.batch_mean = static_cast<double>(batches.sum) / static_cast<double>(batches.count);
+  }
   s.latency_max_ms =
       static_cast<double>(latency_max_us_.load(std::memory_order_relaxed)) / 1000.0;
 
@@ -92,12 +119,16 @@ std::string format_stats(const StatsSnapshot& s) {
      << "  requests_served      " << s.requests_served() << '\n'
      << "  requests_ok          " << s.requests_ok << '\n'
      << "  requests_error       " << s.requests_error << '\n'
+     << "  no_group             " << s.no_group << '\n'
      << "  rejected_overload    " << s.rejected_overload << '\n'
      << "  pings                " << s.pings << '\n'
      << "  stats_requests       " << s.stats_requests << '\n'
      << "  cells_predicted      " << s.cells_predicted << '\n'
      << "  rows_classified      " << s.rows_classified << '\n'
+     << "  queue_depth          " << s.queue_depth << '\n'
      << "  queue_high_water     " << s.queue_high_water << '\n'
+     << "  batches              " << s.batches << '\n'
+     << "  batch_mean           " << format_fixed(s.batch_mean, 2) << '\n'
      << "  reloads              " << s.reloads << '\n'
      << "  latency_p50_ms       " << format_fixed(s.latency_p50_ms, 3) << '\n'
      << "  latency_p99_ms       " << format_fixed(s.latency_p99_ms, 3) << '\n'

@@ -12,13 +12,17 @@ namespace caml::serve {
 struct StatsSnapshot {
   std::uint64_t connections_accepted = 0;
   std::uint64_t requests_ok = 0;       ///< predictions answered kPredictOk
-  std::uint64_t requests_error = 0;    ///< structured kError answers (excl. rejects)
+  std::uint64_t requests_error = 0;    ///< structured kError answers (excl. rejects + NO_GROUP)
+  std::uint64_t no_group = 0;          ///< NO_GROUP routing misses (legitimate, not errors)
   std::uint64_t rejected_overload = 0; ///< backpressure rejects at the acceptor
   std::uint64_t pings = 0;
   std::uint64_t stats_requests = 0;    ///< kStats snapshots served
   std::uint64_t cells_predicted = 0;
   std::uint64_t rows_classified = 0;   ///< CA-matrix rows pushed through the forests
-  std::uint64_t queue_high_water = 0;  ///< max pending connections observed
+  std::uint64_t queue_depth = 0;       ///< queued-beyond-capacity right now (0 when drained)
+  std::uint64_t queue_high_water = 0;  ///< max queue depth observed
+  std::uint64_t batches = 0;           ///< coalesced predict batches computed
+  double batch_mean = 0.0;             ///< mean requests per coalesced batch
   std::uint64_t reloads = 0;           ///< successful SIGHUP store reloads
   std::uint64_t latency_count = 0;
   double latency_p50_ms = 0.0;
@@ -26,7 +30,7 @@ struct StatsSnapshot {
   double latency_max_ms = 0.0;
 
   std::uint64_t requests_served() const {
-    return requests_ok + requests_error + pings + stats_requests;
+    return requests_ok + requests_error + no_group + pings + stats_requests;
   }
 };
 
@@ -52,6 +56,10 @@ class ServeStats {
   void record_stats_request() { stats_requests_.add(); }
   void record_reject() { rejected_.add(); }
   void record_error() { errors_.add(); }
+  /// A NO_GROUP routing miss: the request was well-formed, the library
+  /// just has no trained model for the cell's group. Counted on its own
+  /// so legitimate routing misses never inflate the server error rate.
+  void record_no_group() { no_group_.add(); }
   void record_ok(std::uint64_t cells, std::uint64_t rows) {
     ok_.add();
     cells_.add(cells);
@@ -59,8 +67,18 @@ class ServeStats {
   }
   void record_reload() { reloads_.add(); }
   void record_latency_us(std::int64_t us);
-  /// Raises the queue high-water mark to `depth` if above it.
+  /// One coalesced predict batch of `requests` requests handed to the
+  /// compute plane.
+  void record_batch(std::size_t requests) { batch_size_.record(requests); }
+  /// Sets the live queue-depth gauge (and raises the high-water mark).
+  /// Callers must report shrinkage too — a gauge only ever fed on the
+  /// push side reads high forever after a burst.
   void update_queue_depth(std::size_t depth);
+  /// Decoded PREDICT requests currently waiting for the compute plane.
+  /// Fed on enqueue AND dequeue so the gauge drains back to 0.
+  void update_predict_backlog(std::size_t depth) {
+    predict_backlog_gauge_.set(static_cast<std::int64_t>(depth));
+  }
 
   StatsSnapshot snapshot() const;
 
@@ -68,19 +86,24 @@ class ServeStats {
   obs::Counter& connections_;
   obs::Counter& ok_;
   obs::Counter& errors_;
+  obs::Counter& no_group_;
   obs::Counter& rejected_;
   obs::Counter& pings_;
   obs::Counter& stats_requests_;
   obs::Counter& cells_;
   obs::Counter& rows_;
   obs::Counter& reloads_;
+  obs::Gauge& queue_depth_gauge_;
   obs::Gauge& queue_high_water_gauge_;
+  obs::Gauge& predict_backlog_gauge_;
   obs::Histogram& latency_;
+  obs::Histogram& batch_size_;
 
   // Registry values at construction: snapshot() reports deltas.
   std::uint64_t base_connections_;
   std::uint64_t base_ok_;
   std::uint64_t base_errors_;
+  std::uint64_t base_no_group_;
   std::uint64_t base_rejected_;
   std::uint64_t base_pings_;
   std::uint64_t base_stats_requests_;
@@ -88,6 +111,7 @@ class ServeStats {
   std::uint64_t base_rows_;
   std::uint64_t base_reloads_;
   obs::HistogramSnapshot base_latency_;
+  obs::HistogramSnapshot base_batch_size_;
 
   // Maxima are per-instance (they do not subtract); the global gauge
   // still tracks the process-wide high water.

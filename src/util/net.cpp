@@ -67,6 +67,14 @@ void Fd::reset(int fd) {
   fd_ = fd;
 }
 
+void set_nonblocking(int fd, bool enable, const std::string& what) {
+  const int flags = ::fcntl(fd, F_GETFL);
+  if (flags < 0) net_fail("fcntl(F_GETFL) on " + what);
+  const int wanted = enable ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (wanted == flags) return;
+  if (::fcntl(fd, F_SETFL, wanted) < 0) net_fail("fcntl(F_SETFL) on " + what);
+}
+
 Pipe make_pipe() {
   int fds[2];
   if (::pipe(fds) != 0) net_fail("pipe");
@@ -74,7 +82,7 @@ Pipe make_pipe() {
   p.rd.reset(fds[0]);
   p.wr.reset(fds[1]);
   for (int fd : fds) {
-    ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL) | O_NONBLOCK);
+    set_nonblocking(fd, true, "self-pipe");
     set_cloexec(fd);
   }
   return p;
@@ -129,9 +137,10 @@ namespace {
 
 Fd finish_connect(Fd fd, const sockaddr* addr, socklen_t len, int timeout_ms,
                   const std::string& what) {
-  // Non-blocking connect + poll so the timeout is honored.
-  const int flags = ::fcntl(fd.get(), F_GETFL);
-  ::fcntl(fd.get(), F_SETFL, flags | O_NONBLOCK);
+  // Non-blocking connect + poll so the timeout is honored. Both fcntl
+  // flips are checked: a socket silently left blocking would turn the
+  // timed connect into an unbounded one.
+  set_nonblocking(fd.get(), true, "connect " + what);
   if (::connect(fd.get(), addr, len) != 0) {
     if (errno != EINPROGRESS) conn_lost("connect " + what);
     if (!poll_one(fd.get(), POLLOUT, timeout_ms)) {
@@ -145,7 +154,7 @@ Fd finish_connect(Fd fd, const sockaddr* addr, socklen_t len, int timeout_ms,
       conn_lost("connect " + what);
     }
   }
-  ::fcntl(fd.get(), F_SETFL, flags);  // back to blocking; I/O uses poll
+  set_nonblocking(fd.get(), false, "connect " + what);  // back to blocking; I/O uses poll
   return fd;
 }
 
@@ -236,6 +245,29 @@ void write_all(int fd, const void* buf, std::size_t n, int timeout_ms) {
     }
     if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
     if (errno == ECONNRESET || errno == EPIPE) conn_lost("write");
+    net_fail("write");
+  }
+}
+
+IoResult read_some(int fd, void* buf, std::size_t n) {
+  for (;;) {
+    const ssize_t rc = ::recv(fd, buf, n, 0);
+    if (rc > 0) return {static_cast<std::size_t>(rc), false, false};
+    if (rc == 0) return {0, true, false};
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return {0, false, true};
+    if (errno == ECONNRESET) return {0, true, false};
+    net_fail("read");
+  }
+}
+
+IoResult write_some(int fd, const void* buf, std::size_t n) {
+  for (;;) {
+    const ssize_t rc = ::send(fd, buf, n, MSG_NOSIGNAL);
+    if (rc >= 0) return {static_cast<std::size_t>(rc), false, false};
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return {0, false, true};
+    if (errno == ECONNRESET || errno == EPIPE) return {0, true, false};
     net_fail("write");
   }
 }

@@ -72,6 +72,29 @@ Fd connect_tcp(const std::string& host, std::uint16_t port, int timeout_ms);
 /// ready (EAGAIN) or was interrupted. Throws caml::Error on real errors.
 Fd accept_connection(int listen_fd);
 
+/// Sets or clears O_NONBLOCK on `fd`, checking both fcntl calls — a
+/// silently ignored failure would leave the descriptor blocking and
+/// deadlock an event loop that assumes readiness-driven I/O. Throws
+/// caml::Error (naming `what`) when either call fails.
+void set_nonblocking(int fd, bool enable, const std::string& what);
+
+/// Outcome of one non-blocking read/write attempt on a socket.
+struct IoResult {
+  std::size_t bytes = 0;     ///< bytes transferred this call
+  bool closed = false;       ///< peer gone (EOF / reset / broken pipe)
+  bool would_block = false;  ///< no progress possible right now (EAGAIN)
+};
+
+/// One non-blocking recv(). Returns {bytes} on progress, {closed} on
+/// EOF or peer reset, {would_block} when the socket has no data. Throws
+/// caml::Error only on unexpected failures — a vanished peer is a
+/// normal event-loop outcome, not an exception.
+IoResult read_some(int fd, void* buf, std::size_t n);
+
+/// One non-blocking send() (SIGPIPE suppressed). Same conventions as
+/// read_some; a peer that closed mid-write reports {closed}.
+IoResult write_some(int fd, const void* buf, std::size_t n);
+
 /// Waits until `fd` is readable. Returns false on timeout.
 /// timeout_ms < 0 waits forever. Throws caml::Error on poll failure.
 bool wait_readable(int fd, int timeout_ms);

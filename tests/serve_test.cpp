@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <fcntl.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 #include <filesystem>
 #include <string>
@@ -12,6 +14,8 @@
 #include "flow/model_store.hpp"
 #include "netlist/spice_parser.hpp"
 #include "netlist/spice_writer.hpp"
+#include "obs/metrics.hpp"
+#include "serve/batch.hpp"
 #include "serve/client.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
@@ -271,8 +275,14 @@ TEST(ServeServer, NoGroupIsStructuredErrorAndServerSurvives) {
   // The error was per-request: the same server still predicts fine.
   const std::string served = client.predict_cell(SpiceWriter().to_string(make_target_nand2()));
   EXPECT_NE(served.find("CAMODEL"), std::string::npos);
-  EXPECT_EQ(server.stats().requests_error, 1u);
-  EXPECT_EQ(server.stats().requests_ok, 1u);
+  // Regression: a NO_GROUP routing miss is a legitimate answer, not a
+  // server failure — it must land in its own counter, and the error rate
+  // a monitor would alert on must stay clean.
+  const serve::StatsSnapshot stats = server.stats();
+  EXPECT_EQ(stats.no_group, 1u);
+  EXPECT_EQ(stats.requests_error, 0u);
+  EXPECT_EQ(stats.requests_ok, 1u);
+  EXPECT_EQ(stats.requests_served(), 2u) << "NO_GROUP answers still count as served";
   server.stop();
 }
 
@@ -508,6 +518,215 @@ TEST(ServeServer, StopIsIdempotentAndRestartsCleanly) {
   Client client(copts);
   client.ping();
   again.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Event-loop regression tests (PR6)
+
+TEST(ServeNet, NonblockingFcntlIsChecked) {
+  // Regression: fcntl results used to be ignored. A bad fd must raise a
+  // structured Error naming the call site, not silently hand back a
+  // blocking fd that would stall the reactor.
+  try {
+    set_nonblocking(-1, true, "bogus fd");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("bogus fd"), std::string::npos);
+  }
+
+  // make_pipe promises non-blocking ends — verify the promise is real.
+  const Pipe pipe = make_pipe();
+  const int rd_flags = ::fcntl(pipe.rd.get(), F_GETFL);
+  const int wr_flags = ::fcntl(pipe.wr.get(), F_GETFL);
+  ASSERT_GE(rd_flags, 0);
+  ASSERT_GE(wr_flags, 0);
+  EXPECT_NE(rd_flags & O_NONBLOCK, 0);
+  EXPECT_NE(wr_flags & O_NONBLOCK, 0);
+}
+
+TEST(ServeServer, StopIsPromptUnderChattyKeepAliveClient) {
+  // Regression for the shutdown-starvation bug: the old loop re-checked
+  // the stop signal only when no connection was readable, so one chatty
+  // keep-alive client could delay stop() indefinitely. The reactor now
+  // checks the stop signal before any connection work and bounds the
+  // drain by idle_timeout_ms.
+  ServerOptions options;
+  options.socket_path = temp_socket("chattystop");
+  options.jobs = 1;
+  options.idle_timeout_ms = 400;  // bounds the shutdown drain
+  Server server(shared_store(), options);
+  server.start();
+
+  std::atomic<bool> done{false};
+  std::thread chatty([&] {
+    try {
+      const Fd conn = connect_unix(options.socket_path, 2000);
+      std::uint64_t id = 1;
+      while (!done.load()) {
+        Frame ping;
+        ping.type = MsgType::kPing;
+        ping.request_id = id++;
+        serve::write_frame(conn.get(), ping, 1000);
+        if (!serve::read_frame(conn.get(), 1000).has_value()) break;  // server hung up
+      }
+    } catch (const Error&) {
+      // Connection torn down mid-ping by stop(): expected.
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));  // pings flowing
+
+  const auto t0 = std::chrono::steady_clock::now();
+  server.stop();
+  const auto stop_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+  done.store(true);
+  chatty.join();
+  EXPECT_GT(server.stats().pings, 0u) << "the client must have been genuinely chatty";
+  EXPECT_LT(stop_ms, 1500)
+      << "stop() must not be starved by a connection that is always readable";
+}
+
+TEST(ServeServer, QueueDepthGaugeDrainsToZero) {
+  // Regression for the stale-gauge bug: depth used to be published only
+  // when connections queued up, never when they drained, so the gauge
+  // read high forever after any burst.
+  ServerOptions options;
+  options.socket_path = temp_socket("gauge");
+  options.jobs = 1;
+  Server server(shared_store(), options);
+  server.start();
+
+  const auto wait_until = [&](auto pred) {
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (!pred() && std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return pred();
+  };
+
+  {
+    const Fd a = connect_unix(options.socket_path, 2000);
+    const Fd b = connect_unix(options.socket_path, 2000);
+    const Fd c = connect_unix(options.socket_path, 2000);
+    // Three admitted keep-alive connections over one worker: depth 2.
+    EXPECT_TRUE(wait_until([&] { return server.stats().queue_depth == 2u; }))
+        << "queue_depth is " << server.stats().queue_depth;
+    EXPECT_GE(server.stats().queue_high_water, 2u);
+  }
+  // Connections closed: the pop side must publish shrinkage too.
+  EXPECT_TRUE(wait_until([&] { return server.stats().queue_depth == 0u; }))
+      << "gauge stuck at " << server.stats().queue_depth << " after drain";
+  EXPECT_GE(server.stats().queue_high_water, 2u) << "high water stays monotonic";
+  server.stop();
+}
+
+TEST(ServeBatch, CoalescedAnswersMatchPerRequestPredictions) {
+  // The cross-connection coalescing path must be byte-identical to
+  // answering each request alone, and per-request failures must settle
+  // their own slot without disturbing batchmates.
+  const PolicyProfile policy;
+  std::vector<serve::PredictJob> jobs;
+  std::vector<std::string> expected;
+  for (unsigned seed : {11u, 12u, 13u}) {
+    const Technology tech = technology_28soi();
+    const Cell cell = build_function("NAND2", tech, {1, StructureVariant::kWide}, seed).cell;
+    const std::string netlist = SpiceWriter().to_string(cell);
+    const std::vector<Cell> parsed = SpiceParser().parse_string(netlist);
+    const CaModel model =
+        shared_store().predict(parsed.front(), canonicalize(parsed.front()),
+                               policy.policy_for(parsed.front().num_inputs()), SimConfig{});
+    expected.push_back(ca_model_to_string(model, parsed.front()));
+
+    serve::PredictJob job;
+    job.conn_id = 1;
+    job.seq = jobs.size();
+    job.request_id = jobs.size() + 1;
+    job.netlist = netlist;
+    jobs.push_back(std::move(job));
+  }
+  // A routing miss and a parse failure ride in the middle of the batch.
+  serve::PredictJob inv;
+  inv.conn_id = 2;
+  inv.seq = 99;
+  inv.request_id = 100;
+  inv.netlist = SpiceWriter().to_string(build_function("INV", technology_28soi()).cell);
+  jobs.insert(jobs.begin() + 1, std::move(inv));
+  serve::PredictJob garbage;
+  garbage.conn_id = 3;
+  garbage.request_id = 200;
+  garbage.netlist = "this is not spice";
+  jobs.insert(jobs.begin() + 3, std::move(garbage));
+
+  const std::vector<serve::PredictOutcome> outcomes =
+      serve::answer_predict_batch(shared_store(), policy, jobs);
+  ASSERT_EQ(outcomes.size(), 5u);
+  EXPECT_EQ(outcomes[0].kind, serve::PredictOutcome::Kind::kOk);
+  EXPECT_EQ(outcomes[0].response.payload, expected[0]);
+  EXPECT_EQ(outcomes[1].kind, serve::PredictOutcome::Kind::kNoGroup);
+  EXPECT_EQ(decode_error(outcomes[1].response.payload).code, ErrorCode::kNoGroup);
+  EXPECT_EQ(outcomes[2].kind, serve::PredictOutcome::Kind::kOk);
+  EXPECT_EQ(outcomes[2].response.payload, expected[1]);
+  EXPECT_EQ(outcomes[3].kind, serve::PredictOutcome::Kind::kError);
+  EXPECT_EQ(outcomes[4].kind, serve::PredictOutcome::Kind::kOk);
+  EXPECT_EQ(outcomes[4].response.payload, expected[2]);
+  // conn/seq routing metadata is echoed untouched.
+  EXPECT_EQ(outcomes[1].conn_id, 2u);
+  EXPECT_EQ(outcomes[1].seq, 99u);
+}
+
+TEST(ServeServer, PipelinedBatchIsOrderedAndByteIdentical) {
+  // End to end through the reactor: many requests in flight on one
+  // connection, responses in request order, every payload byte-identical
+  // to the in-process prediction, per-request errors in place.
+  const PolicyProfile policy;
+  std::vector<std::string> netlists;
+  std::vector<std::string> expected;  // empty string = expect NO_GROUP
+  for (unsigned seed : {21u, 22u, 23u}) {
+    const Technology tech = technology_28soi();
+    const Cell cell = build_function("NAND2", tech, {1, StructureVariant::kWide}, seed).cell;
+    const std::string netlist = SpiceWriter().to_string(cell);
+    const std::vector<Cell> parsed = SpiceParser().parse_string(netlist);
+    const CaModel model =
+        shared_store().predict(parsed.front(), canonicalize(parsed.front()),
+                               policy.policy_for(parsed.front().num_inputs()), SimConfig{});
+    netlists.push_back(netlist);
+    expected.push_back(ca_model_to_string(model, parsed.front()));
+  }
+  netlists.insert(netlists.begin() + 1,
+                  SpiceWriter().to_string(build_function("INV", technology_28soi()).cell));
+  expected.insert(expected.begin() + 1, "");
+
+  ServerOptions options;
+  options.socket_path = temp_socket("pipeline");
+  options.jobs = 1;  // every request funnels through one compute worker
+  Server server(shared_store(), options);
+  server.start();
+
+  ClientOptions copts;
+  copts.socket_path = options.socket_path;
+  Client client(copts);
+  const std::vector<serve::BatchResult> results = client.predict_cells(netlists, 8);
+  ASSERT_EQ(results.size(), netlists.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (expected[i].empty()) {
+      ASSERT_FALSE(results[i].ok()) << "request " << i;
+      EXPECT_EQ(results[i].error->code, ErrorCode::kNoGroup);
+    } else {
+      ASSERT_TRUE(results[i].ok()) << "request " << i;
+      EXPECT_EQ(results[i].payload, expected[i]) << "request " << i;
+    }
+  }
+
+  const serve::StatsSnapshot stats = server.stats();
+  EXPECT_EQ(stats.requests_ok, 3u);
+  EXPECT_EQ(stats.no_group, 1u);
+  EXPECT_EQ(stats.requests_error, 0u);
+  EXPECT_GE(stats.batches, 1u);
+  EXPECT_LE(stats.batches, 4u) << "each request computed at most once";
+  // The compute backlog gauge drains back to 0 (fed on both sides).
+  EXPECT_EQ(obs::Registry::global().gauge("caml_serve_predict_backlog").value(), 0);
+  server.stop();
 }
 
 }  // namespace

@@ -66,6 +66,7 @@ struct Args {
   std::string socket;
   std::uint16_t port = 0;
   std::size_t max_queue = 64;
+  std::size_t max_batch = 32;
   bool ping = false;
   bool stats = false;
   // observability
@@ -84,6 +85,7 @@ struct Args {
       "  caml predict <lib.sp> -m <models.caml> -o <dir> [--policy P] [--jobs N]\n"
       "  caml patterns <lib.sp> <camodel-dir>\n"
       "  caml serve <models.caml> --socket PATH [--port N] [--jobs N] [--max-queue N]\n"
+      "            [--max-batch N]\n"
       "  caml query <cell.sp> --socket PATH [--port N] [-o <dir>] [--ping] [--stats]\n"
       "policies: static | single | exhaustive (default: exhaustive for\n"
       "cells with <= 4 inputs, single-input-change above)\n"
@@ -101,6 +103,9 @@ struct Args {
       "gracefully (in-flight requests finish). --max-queue bounds the\n"
       "accepted-connection backlog; beyond it clients get an OVERLOADED\n"
       "reject with a retry-after hint instead of unbounded queueing.\n"
+      "--max-batch caps how many decoded PREDICT requests one compute\n"
+      "worker coalesces (across connections) into a single\n"
+      "predict_batch sweep (default 32; 1 = per-request compute).\n"
       "query: sends each cell of <cell.sp> to a running daemon; writes\n"
       "predicted .camodel files to -o (or stdout). --ping just probes;\n"
       "--stats dumps the daemon's unified metrics snapshot (Prometheus\n"
@@ -141,6 +146,10 @@ Args parse_args(int argc, char** argv) {
       args.port = static_cast<std::uint16_t>(port);
     }
     else if (a == "--max-queue") args.max_queue = count_value();
+    else if (a == "--max-batch") {
+      args.max_batch = count_value();
+      if (args.max_batch == 0) usage("--max-batch needs a value >= 1");
+    }
     else if (a == "--ping") args.ping = true;
     else if (a == "--stats") args.stats = true;
     else if (a == "--checkpoint-every") args.checkpoint_every = count_value();
@@ -372,6 +381,7 @@ int cmd_serve(const Args& args) {
   options.tcp_port = args.port;
   options.jobs = args.jobs;
   options.max_queue = args.max_queue;
+  options.max_batch = args.max_batch;
   serve::Server server(std::move(*store), options);
   store.reset();
 
