@@ -5,8 +5,10 @@
 # it, and checks every served prediction byte-for-byte against `caml
 # predict` output. Also exercises the SIGUSR1 stats dump and graceful
 # SIGTERM shutdown, and checks that `caml predict --jobs` is
-# thread-count-invariant. Exits nonzero on any mismatch. Pass a
-# different build dir as $1.
+# thread-count-invariant. The same storm then runs against a daemon
+# serving the mmap'ed binary store (`caml store --to-binary`) — every
+# answer must match the text-backed reference byte-for-byte. Exits
+# nonzero on any mismatch. Pass a different build dir as $1.
 set -eu
 BUILD_DIR="${1:-build}"
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -83,4 +85,46 @@ grep -q "serve_stats:" "$WORK/server.err" \
 awk '/requests_ok/ {v=$2} END {exit (v >= 100) ? 0 : 1}' "$WORK/server.err" \
   || { echo "FAIL: stats report fewer than 100 ok requests"; cat "$WORK/server.err"; exit 1; }
 
-echo "serve smoke test passed (100/100 byte-identical)"
+echo "== binary-store daemon: convert, serve, same storm"
+"$CAML" store "$WORK/groups.caml" --to-binary "$WORK/groups.bin.caml" >/dev/null
+SOCKB="$WORK/servebin.sock"
+"$CAML" serve "$WORK/groups.bin.caml" --socket "$SOCKB" --jobs 2 --max-queue 128 \
+  2>"$WORK/serverbin.err" &
+SERVER_PID=$!
+
+ready=0
+for _ in $(seq 1 50); do
+  if "$CAML" query --ping --socket "$SOCKB" >/dev/null 2>&1; then ready=1; break; fi
+  sleep 0.1
+done
+[ "$ready" = 1 ] \
+  || { echo "FAIL: binary-store server never answered ping"; cat "$WORK/serverbin.err"; exit 1; }
+grep -q "opened binary model store" "$WORK/serverbin.err" \
+  || { echo "FAIL: daemon did not open the store via the mmap path"; cat "$WORK/serverbin.err"; exit 1; }
+
+pids=""
+for i in $(seq 1 100); do
+  "$CAML" query "$WORK/cell.sp" --socket "$SOCKB" -o "$WORK/bin_$i" >/dev/null 2>&1 &
+  pids="$pids $!"
+done
+failed=0
+for pid in $pids; do
+  wait "$pid" || failed=$((failed + 1))
+done
+[ "$failed" = 0 ] \
+  || { echo "FAIL: $failed of 100 binary-store queries errored"; cat "$WORK/serverbin.err"; exit 1; }
+
+mismatch=0
+for i in $(seq 1 100); do
+  cmp -s "$WORK/ref/$CELL.camodel" "$WORK/bin_$i/$CELL.camodel" || mismatch=$((mismatch + 1))
+done
+[ "$mismatch" = 0 ] \
+  || { echo "FAIL: $mismatch of 100 binary-store answers differ from the text reference"; exit 1; }
+
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" || { echo "FAIL: binary-store server exited nonzero"; cat "$WORK/serverbin.err"; exit 1; }
+SERVER_PID=""
+awk '/requests_ok/ {v=$2} END {exit (v >= 100) ? 0 : 1}' "$WORK/serverbin.err" \
+  || { echo "FAIL: binary-store stats report fewer than 100 ok requests"; cat "$WORK/serverbin.err"; exit 1; }
+
+echo "serve smoke test passed (100/100 byte-identical on both backends)"

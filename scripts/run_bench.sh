@@ -5,9 +5,12 @@
 #   - bench_parallel_scaling (characterize_library / forest fit),
 #   - bench_serve_throughput (daemon: roundtrip worker sweep plus
 #                             pipelined cross-connection coalescing),
+#   - bench_store_load       (model store: text parse vs. binary mmap
+#                             open, serve cold start per backend),
 # then distills the numbers that matter — cells/s, defect-sims/s,
 # baseline-vs-kernel speedup, p50/p99 latencies, tail ratios, realized
-# batch sizes — into BENCH_PR6.json.
+# batch sizes — into BENCH_PR6.json, and the store load/cold-start
+# numbers into BENCH_PR7.json.
 #
 # Every workload is seeded deterministically inside the benches
 # (cell builder Rng(7), forest dataset Rng(2024), stimulus enumeration
@@ -15,8 +18,8 @@
 #
 # Usage: scripts/run_bench.sh [--quick] [BUILD_DIR]
 #   --quick   seconds-scale smoke of the same pipeline (used by the
-#             cmake `verify` target); still emits BENCH_PR6.json.
-# The JSON lands in BUILD_DIR/BENCH_PR6.json.
+#             cmake `verify` target); still emits both JSON reports.
+# The JSON lands in BUILD_DIR/BENCH_PR6.json and BUILD_DIR/BENCH_PR7.json.
 set -eu
 
 QUICK=0
@@ -32,7 +35,7 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 
 cmake -B "$BUILD_DIR" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD_DIR" -j --target \
-  bench_simulator bench_parallel_scaling bench_serve_throughput >/dev/null
+  bench_simulator bench_parallel_scaling bench_serve_throughput bench_store_load >/dev/null
 
 WORK="$(mktemp -d)"
 trap 'rm -rf "$WORK"' EXIT
@@ -41,10 +44,12 @@ if [ "$QUICK" -eq 1 ]; then
   SIM_ARGS="--benchmark_filter=defect_sweep --benchmark_min_time=0.05s"
   SCALING_ARGS="--quick"
   SERVE_ARGS="--quick"
+  STORE_ARGS="--quick"
 else
   SIM_ARGS="--benchmark_min_time=1s"
   SCALING_ARGS=""
   SERVE_ARGS=""
+  STORE_ARGS=""
 fi
 
 echo "== bench_simulator =="
@@ -62,6 +67,11 @@ echo
 echo "== bench_serve_throughput =="
 # shellcheck disable=SC2086
 "$BUILD_DIR/bench/bench_serve_throughput" $SERVE_ARGS | tee "$WORK/serve.txt"
+
+echo
+echo "== bench_store_load =="
+# shellcheck disable=SC2086
+"$BUILD_DIR/bench/bench_store_load" $STORE_ARGS | tee "$WORK/store.txt"
 
 python3 - "$WORK" "$BUILD_DIR/BENCH_PR6.json" "$QUICK" <<'EOF'
 import json, re, sys
@@ -199,4 +209,56 @@ assert report["benchmarks"]["serve"]["identical"], \
 # keep-alive burst before the next connection was picked up).
 for row in report["benchmarks"]["serve"]["roundtrip"].values():
     assert row["p99_over_p50"] < 10.0, f"serve tail ratio regressed: {row}"
+EOF
+
+python3 - "$WORK" "$BUILD_DIR/BENCH_PR7.json" "$QUICK" <<'EOF'
+import json, re, sys
+
+work, out_path, quick = sys.argv[1], sys.argv[2], sys.argv[3] == "1"
+store = open(f"{work}/store.txt").read()
+
+# --- bench_store_load: RESULT key=value lines -------------------------
+def kv(line):
+    return {k: v for k, v in re.findall(r"(\w+)=(\S+)", line)}
+
+report = {"quick_mode": quick, "load": {}, "cold_start_us": {},
+          "identical": "predictions identical across load paths: yes" in store}
+for line in store.splitlines():
+    if line.startswith("RESULT load "):
+        row = kv(line)
+        report["load"][f"scale_{row['scale']}x"] = {
+            "nodes_per_tree": int(row["nodes_per_tree"]),
+            "text_bytes": int(row["text_bytes"]),
+            "bin_bytes": int(row["bin_bytes"]),
+            "text_load_us": float(row["text_load_us"]),
+            "bin_open_full_us": float(row["bin_open_full_us"]),
+            "bin_open_map_us": float(row["bin_open_map_us"]),
+            "first_answer_us": float(row["first_answer_us"]),
+        }
+    elif line.startswith("RESULT cold_start "):
+        row = kv(line)
+        report["cold_start_us"][row["backend"]] = float(row["us"])
+
+with open(out_path, "w") as f:
+    json.dump(report, f, indent=2)
+    f.write("\n")
+print(f"wrote {out_path}")
+
+# Gates for the binary store's design claims.
+assert report["identical"], \
+    "mapped and text-loaded stores must predict byte-identically"
+rows = report["load"]
+assert "scale_1x" in rows and len(rows) >= 2, f"expected a scale sweep, got {list(rows)}"
+largest = max(rows.values(), key=lambda r: r["nodes_per_tree"])
+base = rows["scale_1x"]
+growth = largest["nodes_per_tree"] / base["nodes_per_tree"]
+assert growth >= 10, f"largest store must be >=10x the base forest, got {growth:.0f}x"
+# O(header+index) open: map-only open time must not track forest size.
+# The forest grew >=10x; allow 5x of slack for page-fault noise.
+ratio = largest["bin_open_map_us"] / max(base["bin_open_map_us"], 1.0)
+assert ratio < 5.0, \
+    f"map-only open scaled with forest size ({ratio:.1f}x for {growth:.0f}x nodes)"
+# And the mapped open must beat the text parse outright at scale.
+assert largest["bin_open_map_us"] * 10 < largest["text_load_us"], \
+    "binary map-only open should be >=10x faster than text parse at scale"
 EOF

@@ -18,11 +18,27 @@ namespace caml {
 // workers). If this assert fires, a signature change dropped the const
 // qualifier — restore it or give the serve layer its own
 // synchronization before shipping.
-static_assert(std::is_invocable_r_v<CaModel, decltype(&GroupModelStore::predict),
-                                    const GroupModelStore&, const Cell&,
+static_assert(std::is_invocable_r_v<CaModel, decltype(&ModelStore::predict),
+                                    const ModelStore&, const Cell&,
                                     const CanonicalCell&, StimulusPolicy, const SimConfig&,
                                     const UniverseOptions&>,
-              "GroupModelStore::predict must stay const for lock-free shared serving");
+              "ModelStore::predict must stay const for lock-free shared serving");
+
+CaModel ModelStore::predict(const Cell& cell, const CanonicalCell& canonical,
+                            StimulusPolicy policy, const SimConfig& sim,
+                            const UniverseOptions& universe) const {
+  const GroupKey key{cell.num_inputs(), cell.num_transistors()};
+  const Classifier* classifier = classifier_for(key);
+  if (classifier == nullptr) {
+    throw Error("no trained model for group (" + std::to_string(key.num_inputs) + " inputs, " +
+                std::to_string(key.num_transistors) + " transistors); cell " + cell.name() +
+                " needs conventional generation");
+  }
+  MlOptions options;
+  options.matrix = matrix_options();
+  return predict_ca_model_for_cell(*classifier, cell, canonical, policy, sim, options,
+                                   universe);
+}
 
 GroupModelStore GroupModelStore::train(const std::vector<CharacterizedCell>& training,
                                        const MlOptions& options) {
@@ -44,24 +60,29 @@ GroupModelStore GroupModelStore::train(const std::vector<CharacterizedCell>& tra
   return store;
 }
 
+GroupModelStore GroupModelStore::assemble(std::map<GroupKey, RandomForest> models,
+                                          const MatrixOptions& matrix) {
+  GroupModelStore store;
+  store.models_ = std::move(models);
+  store.matrix_ = matrix;
+  return store;
+}
+
 const Classifier* GroupModelStore::classifier_for(const GroupKey& key) const {
   const auto it = models_.find(key);
   return it == models_.end() ? nullptr : &it->second;
 }
 
-CaModel GroupModelStore::predict(const Cell& cell, const CanonicalCell& canonical,
-                                 StimulusPolicy policy, const SimConfig& sim,
-                                 const UniverseOptions& universe) const {
-  const GroupKey key{cell.num_inputs(), cell.num_transistors()};
+const RandomForest* GroupModelStore::forest_for(const GroupKey& key) const {
   const auto it = models_.find(key);
-  if (it == models_.end()) {
-    throw Error("no trained model for group (" + std::to_string(key.num_inputs) + " inputs, " +
-                std::to_string(key.num_transistors) + " transistors); cell " + cell.name() +
-                " needs conventional generation");
-  }
-  MlOptions options;
-  options.matrix = matrix_;
-  return predict_ca_model_for_cell(it->second, cell, canonical, policy, sim, options, universe);
+  return it == models_.end() ? nullptr : &it->second;
+}
+
+std::vector<GroupKey> GroupModelStore::group_keys() const {
+  std::vector<GroupKey> keys;
+  keys.reserve(models_.size());
+  for (const auto& [key, forest] : models_) keys.push_back(key);
+  return keys;
 }
 
 void GroupModelStore::save(std::ostream& os) const {
@@ -111,9 +132,12 @@ GroupModelStore GroupModelStore::load(std::istream& in) {
 }
 
 void GroupModelStore::save_file(const std::string& path) const {
-  std::ostringstream payload;
-  save(payload);
-  io::write_checksummed_file(path, "models", payload.str(), "store");
+  // Stream the serialization straight through the checksumming writer:
+  // the CRC accumulates per chunk, so saving never doubles peak RSS by
+  // buffering the whole text first.
+  io::ChecksummedFileWriter writer(path, "models", "store");
+  save(writer.stream());
+  writer.commit();
 }
 
 GroupModelStore GroupModelStore::load_file(const std::string& path) {

@@ -93,6 +93,15 @@ void RandomForest::fit(const Dataset& data) {
   });
 }
 
+RandomForest RandomForest::assemble(std::vector<DecisionTree> trees,
+                                    std::size_t num_features) {
+  CAML_ASSERT(!trees.empty());
+  RandomForest forest;
+  forest.trees_ = std::move(trees);
+  forest.num_features_ = num_features;
+  return forest;
+}
+
 double RandomForest::predict_proba(const std::int8_t* row) const {
   CAML_ASSERT(!trees_.empty());
   double sum = 0.0;

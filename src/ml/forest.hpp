@@ -59,6 +59,11 @@ class RandomForest : public Classifier {
 
   const std::vector<DecisionTree>& trees() const { return trees_; }
 
+  /// Rebuilds a forest from already-constructed trees — the import path
+  /// shared by every non-text loader (e.g. the binary model store).
+  /// Equivalent to what read_forest produces for the same trees.
+  static RandomForest assemble(std::vector<DecisionTree> trees, std::size_t num_features);
+
   /// Feature count seen at fit time (0 before fit / after load without
   /// metadata).
   std::size_t num_features() const { return num_features_; }

@@ -56,6 +56,35 @@ DecisionTree DecisionTree::load(std::istream& in, std::size_t& line_no) {
   return tree;
 }
 
+DecisionTree::NodeRecord DecisionTree::node_record(std::size_t i) const {
+  CAML_ASSERT(i < nodes_.size());
+  const Node& n = nodes_[i];
+  return NodeRecord{n.left, n.right, n.feature, n.threshold, count0_[i], count1_[i]};
+}
+
+DecisionTree DecisionTree::from_records(const std::vector<NodeRecord>& records) {
+  if (records.empty()) throw ParseError("empty tree", 0);
+  DecisionTree tree;
+  tree.nodes_.reserve(records.size());
+  tree.count0_.reserve(records.size());
+  tree.count1_.reserve(records.size());
+  const auto max = static_cast<std::int32_t>(records.size());
+  for (const NodeRecord& r : records) {
+    if (r.left >= max || r.right >= max) {
+      throw ParseError("tree node child out of range", 0);
+    }
+    Node n;
+    n.left = r.left;
+    n.right = r.right;
+    n.feature = r.feature;
+    n.threshold = r.threshold;
+    tree.nodes_.push_back(n);
+    tree.count0_.push_back(r.count0);
+    tree.count1_.push_back(r.count1);
+  }
+  return tree;
+}
+
 void write_forest(std::ostream& os, const RandomForest& forest, std::size_t num_features) {
   os << "FOREST trees=" << forest.trees().size() << " features=" << num_features << '\n';
   for (const DecisionTree& tree : forest.trees()) tree.save(os);

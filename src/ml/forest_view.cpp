@@ -1,0 +1,92 @@
+#include "ml/forest_view.hpp"
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/error.hpp"
+
+namespace caml {
+
+namespace {
+
+/// Same inference counters forest.cpp feeds, so serve traffic on a
+/// mapped store shows up in the identical caml_forest_* metrics.
+struct MappedForestMetrics {
+  obs::Histogram& batch_rows;
+  obs::Counter& rows_predicted;
+
+  static MappedForestMetrics& get() {
+    static MappedForestMetrics m{
+        obs::Registry::global().histogram("caml_forest_batch_rows",
+                                          "Rows per predict_proba_batch call"),
+        obs::Registry::global().counter("caml_forest_rows_predicted_total",
+                                        "Rows classified across all batch predictions"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
+
+void MappedForest::fit(const Dataset&) {
+  throw Error("MappedForest is a read-only view over a mapped store and cannot be fitted");
+}
+
+std::pair<std::uint64_t, std::uint64_t> MappedForest::leaf_votes(const TreeRef& tree,
+                                                                 const std::int8_t* row) {
+  std::size_t at = 0;
+  for (;;) {
+    const PackedNode node = decode_packed_node(tree.nodes + at * kPackedNodeBytes);
+    if (node.is_leaf()) {
+      return {read_u64(tree.count0 + at * 8), read_u64(tree.count1 + at * 8)};
+    }
+    at = static_cast<std::size_t>(row[node.feature] <= node.threshold ? node.left
+                                                                      : node.right);
+  }
+}
+
+double MappedForest::predict_proba(const std::int8_t* row) const {
+  CAML_ASSERT(!trees_.empty());
+  double sum = 0.0;
+  for (const TreeRef& tree : trees_) {
+    const auto [c0, c1] = leaf_votes(tree, row);
+    const std::uint64_t votes = c0 + c1;
+    sum += votes == 0 ? 0.5 : static_cast<double>(c1) / static_cast<double>(votes);
+  }
+  return sum / static_cast<double>(trees_.size());
+}
+
+std::uint8_t MappedForest::predict(const std::int8_t* row) const {
+  return predict_proba(row) >= 0.5 ? 1 : 0;
+}
+
+std::vector<double> MappedForest::predict_proba_batch(const std::int8_t* rows, std::size_t n,
+                                                      std::size_t stride) const {
+  CAML_ASSERT(!trees_.empty());
+  CAML_TRACE_SPAN_ITEMS("predict", n);
+  MappedForestMetrics& metrics = MappedForestMetrics::get();
+  metrics.batch_rows.record(n);
+  metrics.rows_predicted.add(n);
+  // Tree-major sweep with votes accumulated per row in tree order — the
+  // exact summation RandomForest::predict_proba_batch performs, so the
+  // probabilities (and therefore the labels) are bit-identical.
+  std::vector<double> sum(n, 0.0);
+  for (const TreeRef& tree : trees_) {
+    for (std::size_t r = 0; r < n; ++r) {
+      const auto [c0, c1] = leaf_votes(tree, rows + r * stride);
+      const std::uint64_t votes = c0 + c1;
+      sum[r] += votes == 0 ? 0.5 : static_cast<double>(c1) / static_cast<double>(votes);
+    }
+  }
+  for (double& s : sum) s /= static_cast<double>(trees_.size());
+  return sum;
+}
+
+std::vector<std::uint8_t> MappedForest::predict_batch(const std::int8_t* rows, std::size_t n,
+                                                      std::size_t stride) const {
+  const std::vector<double> proba = predict_proba_batch(rows, n, stride);
+  std::vector<std::uint8_t> out(n);
+  for (std::size_t r = 0; r < n; ++r) out[r] = proba[r] >= 0.5 ? 1 : 0;
+  return out;
+}
+
+}  // namespace caml

@@ -52,6 +52,24 @@ class DecisionTree : public Classifier {
   void save(std::ostream& os) const;
   static DecisionTree load(std::istream& in, std::size_t& line_no);
 
+  /// One flat node in serialization order — exactly the six fields the
+  /// text format carries, so every store format (text lines, packed
+  /// binary sections) round-trips through the same record.
+  struct NodeRecord {
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+    std::uint16_t feature = 0;
+    std::int8_t threshold = 0;
+    std::uint64_t count0 = 0;
+    std::uint64_t count1 = 0;
+  };
+  NodeRecord node_record(std::size_t i) const;
+
+  /// Rebuilds a tree from flat records (the binary-store import path).
+  /// Applies the same structural checks as the text loader: non-empty,
+  /// children in range. Throws caml::ParseError on violation.
+  static DecisionTree from_records(const std::vector<NodeRecord>& records);
+
   /// Gini importance per feature (weighted impurity decrease summed over
   /// this tree's splits, normalized to sum 1; all-zero when the tree is
   /// a single leaf or was loaded from disk).

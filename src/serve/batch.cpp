@@ -36,7 +36,7 @@ struct Item {
 
 }  // namespace
 
-std::vector<PredictOutcome> answer_predict_batch(const GroupModelStore& store,
+std::vector<PredictOutcome> answer_predict_batch(const ModelStore& store,
                                                  const PolicyProfile& policy,
                                                  std::vector<PredictJob> jobs) {
   CAML_TRACE_SPAN_ITEMS("serve_batch", jobs.size());

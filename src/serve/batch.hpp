@@ -46,7 +46,7 @@ struct PredictOutcome {
 /// Never throws: malformed payloads, unknown groups and internal
 /// failures become structured kError responses for their own request
 /// only. Outcomes are returned in job order.
-std::vector<PredictOutcome> answer_predict_batch(const GroupModelStore& store,
+std::vector<PredictOutcome> answer_predict_batch(const ModelStore& store,
                                                  const PolicyProfile& policy,
                                                  std::vector<PredictJob> jobs);
 

@@ -94,26 +94,35 @@ struct Server::Connection {
   }
 };
 
+Server::Server(std::shared_ptr<const ModelStore> store, ServerOptions options)
+    : store_(std::move(store)), options_(std::move(options)) {
+  CAML_ASSERT(store_ != nullptr);
+}
+
 Server::Server(GroupModelStore store, ServerOptions options)
-    : store_(std::make_shared<const GroupModelStore>(std::move(store))),
-      options_(std::move(options)) {}
+    : Server(std::make_shared<const GroupModelStore>(std::move(store)),
+             std::move(options)) {}
 
 Server::~Server() { stop(); }
 
-std::shared_ptr<const GroupModelStore> Server::store_snapshot() const {
+std::shared_ptr<const ModelStore> Server::store_snapshot() const {
   std::lock_guard<std::mutex> lock(store_mutex_);
   return store_;
 }
 
-void Server::reload(GroupModelStore store) {
-  auto fresh = std::make_shared<const GroupModelStore>(std::move(store));
+void Server::reload(std::shared_ptr<const ModelStore> store) {
+  CAML_ASSERT(store != nullptr);
   {
     std::lock_guard<std::mutex> lock(store_mutex_);
-    store_.swap(fresh);
+    store_.swap(store);
   }
   stats_.record_reload();
   log_info() << "model store reloaded: " << store_snapshot()->num_groups()
              << " group models now serving";
+}
+
+void Server::reload(GroupModelStore store) {
+  reload(std::make_shared<const GroupModelStore>(std::move(store)));
 }
 
 void Server::start() {

@@ -100,6 +100,10 @@ struct ServerOptions {
 /// see the new store.
 class Server {
  public:
+  /// Serves any ModelStore implementation — the owning GroupModelStore
+  /// or a zero-copy store::MappedModelStore over the binary section.
+  Server(std::shared_ptr<const ModelStore> store, ServerOptions options);
+  /// Convenience: wraps an owning store (the common test/train path).
   Server(GroupModelStore store, ServerOptions options);
   ~Server();
 
@@ -111,6 +115,10 @@ class Server {
 
   /// Atomically replaces the model store (SIGHUP hot-reload). Safe to
   /// call while serving; never blocks workers beyond a pointer swap.
+  /// The shared_ptr form also swaps in a mapped binary store — the old
+  /// mapping stays alive until the last in-flight batch drops its
+  /// snapshot.
+  void reload(std::shared_ptr<const ModelStore> store);
   void reload(GroupModelStore store);
 
   bool running() const { return started_ && !draining_; }
@@ -145,9 +153,9 @@ class Server {
   /// The store serving right now. Each compute batch takes one snapshot
   /// and uses it throughout, so a concurrent reload() can never swap the
   /// models out from under a half-finished prediction.
-  std::shared_ptr<const GroupModelStore> store_snapshot() const;
+  std::shared_ptr<const ModelStore> store_snapshot() const;
 
-  std::shared_ptr<const GroupModelStore> store_;  // guarded by store_mutex_
+  std::shared_ptr<const ModelStore> store_;  // guarded by store_mutex_
   mutable std::mutex store_mutex_;
   const ServerOptions options_;
   std::size_t worker_count_ = 0;

@@ -1,6 +1,8 @@
 #include "util/io.hpp"
 
 #include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <array>
@@ -68,12 +70,18 @@ void fsync_parent_dir(const std::string& path) {
 }  // namespace
 
 std::uint32_t crc32(std::string_view data) {
+  Crc32 crc;
+  crc.update(data);
+  return crc.value();
+}
+
+void Crc32::update(std::string_view data) {
   static const std::array<std::uint32_t, 256> table = make_crc_table();
-  std::uint32_t crc = 0xFFFFFFFFu;
+  std::uint32_t crc = state_;
   for (const char ch : data) {
     crc = table[(crc ^ static_cast<unsigned char>(ch)) & 0xFF] ^ (crc >> 8);
   }
-  return crc ^ 0xFFFFFFFFu;
+  state_ = crc;
 }
 
 std::string read_file(const std::string& path) {
@@ -83,6 +91,58 @@ std::string read_file(const std::string& path) {
   buffer << in.rdbuf();
   if (in.bad()) throw Error("read failed for " + path);
   return buffer.str();
+}
+
+MappedFile::MappedFile(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) throw Error("cannot open " + path + ": " + errno_text());
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const std::string detail = errno_text();
+    ::close(fd);
+    throw Error("cannot stat " + path + ": " + detail);
+  }
+  size_ = static_cast<std::size_t>(st.st_size);
+  if (size_ == 0) {
+    // mmap of length 0 is invalid; an empty file maps to an empty view.
+    ::close(fd);
+    return;
+  }
+  void* base = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+  const std::string detail = base == MAP_FAILED ? errno_text() : "";
+  ::close(fd);
+  if (base == MAP_FAILED) {
+    size_ = 0;
+    throw Error("cannot mmap " + path + ": " + detail);
+  }
+  data_ = static_cast<const unsigned char*>(base);
+}
+
+MappedFile::~MappedFile() { reset(); }
+
+void MappedFile::reset() noexcept {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<unsigned char*>(data_), size_);
+  }
+  data_ = nullptr;
+  size_ = 0;
+}
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(other.data_), size_(other.size_) {
+  other.data_ = nullptr;
+  other.size_ = 0;
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    reset();
+    data_ = other.data_;
+    size_ = other.size_;
+    other.data_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
 }
 
 AtomicFileWriter::AtomicFileWriter(std::string path, std::string fault_point)
@@ -230,6 +290,167 @@ std::string read_checksummed_or_raw(const std::string& path, std::string_view ki
   std::string bytes = read_file(path);
   if (!is_checksummed(bytes)) return bytes;
   return unwrap_checksummed(bytes, kind, path);
+}
+
+namespace {
+
+/// Fixed-width CAMLF1 header so the streaming writer can back-patch the
+/// real length and CRC over the placeholder: `len=` is zero-padded to 20
+/// digits (the widest uint64), which from_chars-based readers parse
+/// unchanged.
+std::string fixed_width_header(std::string_view kind, std::uint64_t len,
+                               std::uint32_t crc) {
+  std::string digits = std::to_string(len);
+  std::string out;
+  out.append(kContainerMagic);
+  out.push_back(' ');
+  out.append(kind);
+  out.append(" len=");
+  out.append(20 - digits.size(), '0');
+  out.append(digits);
+  out.append(" crc32=").append(hex8(crc));
+  out.push_back('\n');
+  return out;
+}
+
+}  // namespace
+
+/// Chunking streambuf: fills a fixed put area and hands full chunks to
+/// the writer, so arbitrarily large payloads stream at O(chunk) memory.
+class ChecksummedFileWriter::Buf : public std::streambuf {
+ public:
+  explicit Buf(ChecksummedFileWriter& writer) : writer_(writer) {
+    setp(data_.data(), data_.data() + data_.size());
+  }
+
+  void flush_pending() {
+    const std::size_t n = static_cast<std::size_t>(pptr() - pbase());
+    if (n > 0) {
+      writer_.flush_chunk(pbase(), n);
+      setp(data_.data(), data_.data() + data_.size());
+    }
+  }
+
+ protected:
+  int overflow(int ch) override {
+    flush_pending();
+    if (ch != traits_type::eof()) {
+      *pptr() = static_cast<char>(ch);
+      pbump(1);
+    }
+    return ch == traits_type::eof() ? 0 : ch;
+  }
+
+  int sync() override {
+    flush_pending();
+    return 0;
+  }
+
+ private:
+  ChecksummedFileWriter& writer_;
+  std::array<char, 64 * 1024> data_;
+};
+
+ChecksummedFileWriter::ChecksummedFileWriter(std::string path, std::string kind,
+                                             std::string fault_point)
+    : path_(std::move(path)),
+      tmp_(path_ + ".tmp." + std::to_string(::getpid())),
+      kind_(std::move(kind)),
+      point_(std::move(fault_point)),
+      buf_(std::make_unique<Buf>(*this)),
+      out_(buf_.get()) {
+  CAML_ASSERT(!kind_.empty() && kind_.find_first_of(" \t\n") == std::string::npos);
+  // Propagate flush_chunk errors out of operator<< instead of silently
+  // latching badbit: with badbit in the exception mask the stream
+  // rethrows the original caml::Error.
+  out_.exceptions(std::ios::badbit);
+  open_staging();
+}
+
+ChecksummedFileWriter::~ChecksummedFileWriter() {
+  if (!committed_) abort();
+}
+
+void ChecksummedFileWriter::abort() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  std::error_code ignored;
+  std::filesystem::remove(tmp_, ignored);
+}
+
+void ChecksummedFileWriter::open_staging() {
+  fd_ = ::open(tmp_.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd_ < 0) throw Error("cannot create " + tmp_ + ": " + errno_text());
+  // Placeholder header of the exact final width; commit() patches the
+  // real length and CRC in place.
+  const std::string placeholder = fixed_width_header(kind_, 0, 0);
+  std::size_t written = 0;
+  while (written < placeholder.size()) {
+    const ssize_t rc =
+        ::write(fd_, placeholder.data() + written, placeholder.size() - written);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      throw Error("write failed for " + tmp_ + ": " + errno_text());
+    }
+    written += static_cast<std::size_t>(rc);
+  }
+}
+
+void ChecksummedFileWriter::flush_chunk(const char* data, std::size_t n) {
+  CAML_ASSERT(fd_ >= 0 && !committed_);
+  const fault::WriteDecision decision = fault::before_write(point_.c_str(), n);
+  crc_.update(std::string_view(data, n));
+  payload_bytes_ += n;
+  std::size_t written = 0;
+  while (written < decision.allow_bytes) {
+    const ssize_t rc = ::write(fd_, data + written, decision.allow_bytes - written);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      throw Error("write failed for " + tmp_ + ": " + errno_text());
+    }
+    written += static_cast<std::size_t>(rc);
+  }
+  if (decision.fail_after) {
+    throw Error("fault injection: short write at '" + point_ + "' (" +
+                std::to_string(decision.allow_bytes) + " of " + std::to_string(n) +
+                " bytes)");
+  }
+}
+
+void ChecksummedFileWriter::write(const void* data, std::size_t n) {
+  out_.write(static_cast<const char*>(data), static_cast<std::streamsize>(n));
+}
+
+void ChecksummedFileWriter::commit() {
+  CAML_ASSERT(!committed_);
+  buf_->flush_pending();
+  const std::string header = fixed_width_header(kind_, payload_bytes_, crc_.value());
+  std::size_t written = 0;
+  while (written < header.size()) {
+    const ssize_t rc = ::pwrite(fd_, header.data() + written, header.size() - written,
+                                static_cast<off_t>(written));
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      throw Error("header patch failed for " + tmp_ + ": " + errno_text());
+    }
+    written += static_cast<std::size_t>(rc);
+  }
+  if (::fsync(fd_) != 0) throw Error("fsync failed for " + tmp_ + ": " + errno_text());
+  if (::close(fd_) != 0) {
+    fd_ = -1;
+    throw Error("close failed for " + tmp_ + ": " + errno_text());
+  }
+  fd_ = -1;
+
+  fault::before_rename(point_.c_str());
+
+  if (std::rename(tmp_.c_str(), path_.c_str()) != 0) {
+    throw Error("rename " + tmp_ + " -> " + path_ + " failed: " + errno_text());
+  }
+  fsync_parent_dir(path_);
+  committed_ = true;
 }
 
 }  // namespace caml::io

@@ -1,0 +1,479 @@
+// Binary model-store tests: text <-> binary round-trip identity,
+// byte-identical predictions across text-loaded / materialized /
+// mmap-backed stores (serial and parallel), adversarial inputs
+// (truncation, flipped bytes, out-of-bounds sections, crafted nodes —
+// every case a ParseError naming the file, never UB; run the suite
+// under -DCAML_SANITIZE for the memory-safety proof), and serve
+// end-to-end on a mapped store.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <string>
+
+#include "camatrix/canonical.hpp"
+#include "camodel/model_io.hpp"
+#include "flow/model_store.hpp"
+#include "ml/forest_view.hpp"
+#include "netlist/spice_parser.hpp"
+#include "netlist/spice_writer.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "store/binary_store.hpp"
+#include "test_support.hpp"
+#include "util/error.hpp"
+#include "util/io.hpp"
+#include "util/thread_pool.hpp"
+
+namespace caml {
+namespace {
+
+namespace fs = std::filesystem;
+
+using store::is_binary_store_file;
+using store::MappedModelStore;
+using store::open_model_store;
+using store::write_binary_store_file;
+using testing::build_function;
+using testing::characterize;
+
+std::string temp_dir(const char* tag) {
+  const fs::path dir = fs::temp_directory_path() /
+                       ("caml_store_" + std::to_string(::getpid()) + "_" + tag);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  EXPECT_TRUE(is.good()) << path;
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+void spit(const std::string& path, const std::string& bytes) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(os.good()) << path;
+}
+
+/// Two-group store (NAND2 and NAND3), trained once for the whole file.
+const GroupModelStore& shared_store() {
+  static const GroupModelStore store = [] {
+    const Technology tech = technology_28soi();
+    std::vector<CharacterizedCell> training;
+    training.push_back(
+        characterize(build_function("NAND2", tech, {1, StructureVariant::kWide}, 1), tech));
+    training.push_back(
+        characterize(build_function("NAND3", tech, {1, StructureVariant::kWide}, 2), tech));
+    MlOptions options;
+    options.forest.num_trees = 8;
+    return GroupModelStore::train(training, options);
+  }();
+  return store;
+}
+
+/// A valid binary store file on disk, written once.
+const std::string& shared_binary_path() {
+  static const std::string path = [] {
+    const std::string p = temp_dir("shared") + "/models.bin.caml";
+    write_binary_store_file(p, shared_store());
+    return p;
+  }();
+  return path;
+}
+
+/// Deterministic pseudo-random feature rows in the small-int domain the
+/// trees split on — enough to hit many leaves of every tree.
+std::vector<std::int8_t> make_rows(std::size_t n, std::size_t features) {
+  std::vector<std::int8_t> rows(n * features);
+  std::uint64_t x = 0x9E3779B97F4A7C15ull;
+  for (std::int8_t& v : rows) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    v = static_cast<std::int8_t>(static_cast<int>(x % 3) - 1);  // {-1, 0, 1}
+  }
+  return rows;
+}
+
+/// Hexfloat rendering of per-row probabilities: any FP difference, down
+/// to the last ulp, changes these bytes.
+std::string hexfloat_probas(const std::vector<double>& probas) {
+  std::ostringstream os;
+  os << std::hexfloat;
+  for (const double p : probas) os << p << '\n';
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Round-trip identity
+
+TEST(BinaryStore, TextBinaryTextRoundTripIsByteIdentical) {
+  const std::string dir = temp_dir("roundtrip");
+  const std::string text1 = dir + "/models.caml";
+  const std::string binary = dir + "/models.bin.caml";
+  const std::string text2 = dir + "/models2.caml";
+
+  shared_store().save_file(text1);
+  write_binary_store_file(binary, GroupModelStore::load_file(text1));
+  ASSERT_TRUE(is_binary_store_file(binary));
+  ASSERT_FALSE(is_binary_store_file(text1));
+  MappedModelStore::open(binary).materialize().save_file(text2);
+
+  EXPECT_EQ(slurp(text1), slurp(text2))
+      << "text -> binary -> text must be byte-identical";
+}
+
+TEST(BinaryStore, MappedStoreReportsSections) {
+  const MappedModelStore mapped = MappedModelStore::open(shared_binary_path());
+  ASSERT_EQ(mapped.num_groups(), shared_store().num_groups());
+  EXPECT_EQ(mapped.bytes_mapped(), fs::file_size(shared_binary_path()));
+  ASSERT_EQ(mapped.group_infos().size(), mapped.num_groups());
+  for (const MappedModelStore::GroupInfo& info : mapped.group_infos()) {
+    EXPECT_EQ(info.num_trees, 8u);
+    const RandomForest* forest = shared_store().forest_for(info.key);
+    ASSERT_NE(forest, nullptr);
+    EXPECT_EQ(info.num_features, forest->num_features());
+  }
+  // kMapOnly opens the same file without the O(payload) checks.
+  EXPECT_EQ(MappedModelStore::open(shared_binary_path(), MappedModelStore::Verify::kMapOnly)
+                .num_groups(),
+            mapped.num_groups());
+}
+
+// ---------------------------------------------------------------------------
+// Prediction identity
+
+TEST(BinaryStore, HexfloatProbasIdenticalAcrossAllStoreBackends) {
+  const MappedModelStore mapped = MappedModelStore::open(shared_binary_path());
+  const GroupModelStore materialized = mapped.materialize();
+  for (const GroupKey& key : shared_store().group_keys()) {
+    const RandomForest* trained = shared_store().forest_for(key);
+    ASSERT_NE(trained, nullptr);
+    const std::size_t features = trained->num_features();
+    const std::vector<std::int8_t> rows = make_rows(257, features);
+    const std::size_t n = rows.size() / features;
+
+    const auto* view = dynamic_cast<const MappedForest*>(mapped.classifier_for(key));
+    ASSERT_NE(view, nullptr);
+    const auto* rebuilt =
+        dynamic_cast<const RandomForest*>(materialized.classifier_for(key));
+    ASSERT_NE(rebuilt, nullptr);
+
+    const std::string expected =
+        hexfloat_probas(trained->predict_proba_batch(rows.data(), n, features));
+    EXPECT_EQ(hexfloat_probas(view->predict_proba_batch(rows.data(), n, features)),
+              expected)
+        << "mmap-backed probabilities must match the trained forest to the last bit";
+    EXPECT_EQ(hexfloat_probas(rebuilt->predict_proba_batch(rows.data(), n, features)),
+              expected)
+        << "materialized probabilities must match the trained forest to the last bit";
+    // Per-row entry point agrees with the batched one.
+    for (std::size_t r = 0; r < 5; ++r) {
+      EXPECT_EQ(view->predict_proba(rows.data() + r * features),
+                trained->predict_proba(rows.data() + r * features));
+    }
+  }
+}
+
+TEST(BinaryStore, PredictedModelsIdenticalAcrossBackendsAndJobCounts) {
+  const std::shared_ptr<const ModelStore> opened = open_model_store(shared_binary_path());
+  ASSERT_NE(dynamic_cast<const MappedModelStore*>(opened.get()), nullptr)
+      << "open_model_store must pick the mmap path for a binary store";
+
+  const Technology tech = technology_28soi();
+  std::vector<Cell> targets;
+  targets.push_back(build_function("NAND2", tech, {1, StructureVariant::kWide}, 9).cell);
+  targets.push_back(build_function("NAND3", tech, {1, StructureVariant::kWide}, 10).cell);
+  targets.push_back(build_function("NAND2", tech, {1, StructureVariant::kWide}, 11).cell);
+
+  const auto predict_all = [&](const ModelStore& s, std::size_t jobs) {
+    return parallel_map(targets, jobs, [&](const Cell& cell) {
+      const CanonicalCell canon = canonicalize(cell);
+      const StimulusPolicy policy = cell.num_inputs() <= 4
+                                        ? StimulusPolicy::kExhaustivePairs
+                                        : StimulusPolicy::kSingleInputChange;
+      return ca_model_to_string(s.predict(cell, canon, policy, SimConfig{}), cell);
+    });
+  };
+
+  const std::vector<std::string> expected = predict_all(shared_store(), 1);
+  EXPECT_EQ(predict_all(*opened, 1), expected);
+  EXPECT_EQ(predict_all(*opened, 4), expected);
+  EXPECT_EQ(predict_all(MappedModelStore::open(shared_binary_path()).materialize(), 4),
+            expected);
+}
+
+// ---------------------------------------------------------------------------
+// Adversarial inputs
+
+/// Expects MappedModelStore::open (both verify modes where applicable)
+/// to reject `path` with a ParseError naming the file.
+void expect_rejected(const std::string& path, const char* what_case) {
+  try {
+    MappedModelStore::open(path);
+    FAIL() << what_case << ": corrupt store was accepted";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos)
+        << what_case << ": error must name the file: " << e.what();
+  } catch (const Error& e) {
+    // Unmappable (e.g. empty) files surface as plain Errors naming the
+    // file — also a structured rejection.
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos) << e.what();
+  }
+}
+
+TEST(BinaryStore, TruncationSweepAlwaysRejectsStructurally) {
+  const std::string bytes = slurp(shared_binary_path());
+  const std::string dir = temp_dir("truncate");
+  const std::string victim = dir + "/truncated.bin.caml";
+  // Cut at the interesting boundaries plus a spread through the body.
+  std::vector<std::size_t> cuts = {0, 1, 5, 20, 40};
+  const std::size_t header_end = bytes.find('\n');
+  ASSERT_NE(header_end, std::string::npos);
+  for (const std::size_t d : {0, 1, 32, 63, 64, 65, 96, 127, 128}) {
+    if (header_end + 1 + d < bytes.size()) cuts.push_back(header_end + 1 + d);
+  }
+  for (std::size_t c = 0; c < bytes.size() - 1; c += bytes.size() / 37 + 1) cuts.push_back(c);
+  cuts.push_back(bytes.size() - 1);
+  for (const std::size_t cut : cuts) {
+    SCOPED_TRACE("cut=" + std::to_string(cut));
+    spit(victim, bytes.substr(0, cut));
+    expect_rejected(victim, "truncation");
+  }
+}
+
+TEST(BinaryStore, FlippedByteSweepAlwaysRejects) {
+  const std::string bytes = slurp(shared_binary_path());
+  const std::string dir = temp_dir("flip");
+  const std::string victim = dir + "/flipped.bin.caml";
+  // Every byte of the container header + binary header + index, then a
+  // stride through the data section (CRC-32 catches any single flip; the
+  // sweep proves the *reporting* path is a ParseError, not UB).
+  std::vector<std::size_t> offsets;
+  const std::size_t dense_end = std::min<std::size_t>(bytes.size(), 256);
+  for (std::size_t i = 0; i < dense_end; ++i) offsets.push_back(i);
+  for (std::size_t i = dense_end; i < bytes.size(); i += bytes.size() / 53 + 1) {
+    offsets.push_back(i);
+  }
+  offsets.push_back(bytes.size() - 1);
+  for (const std::size_t at : offsets) {
+    SCOPED_TRACE("flip at=" + std::to_string(at));
+    std::string mutated = bytes;
+    mutated[at] = static_cast<char>(mutated[at] ^ 0x40);
+    spit(victim, mutated);
+    expect_rejected(victim, "flipped byte");
+  }
+}
+
+/// Rebuilds a syntactically consistent container around a mutated binary
+/// payload: container CRC, index CRC and data CRC are all recomputed, so
+/// only the structural validation can catch the mutation — the
+/// adversarial (crafted file) case, not the bit-rot case.
+std::string reframe_with_fixed_crcs(std::string payload) {
+  using store::kBinHeaderBytes;
+  EXPECT_GE(payload.size(), kBinHeaderBytes) << "payload too short to reframe";
+  if (payload.size() < kBinHeaderBytes) {
+    return io::frame_checksummed(store::kBinaryStoreKind, payload);
+  }
+  std::uint32_t group_count = 0;
+  std::memcpy(&group_count, payload.data() + 24, 4);
+  std::uint64_t data_offset = 0;
+  std::memcpy(&data_offset, payload.data() + 40, 8);
+  const std::uint64_t index_bytes =
+      static_cast<std::uint64_t>(group_count) * store::kIndexEntryBytes;
+  if (kBinHeaderBytes + index_bytes <= payload.size()) {
+    const std::uint32_t index_crc = io::crc32(
+        std::string_view(payload).substr(kBinHeaderBytes, index_bytes));
+    std::memcpy(payload.data() + 48, &index_crc, 4);
+  }
+  if (data_offset <= payload.size()) {
+    const std::uint32_t data_crc =
+        io::crc32(std::string_view(payload).substr(data_offset));
+    std::memcpy(payload.data() + 52, &data_crc, 4);
+  }
+  const std::uint64_t payload_size = payload.size();
+  std::memcpy(payload.data() + 16, &payload_size, 8);
+  return io::frame_checksummed(store::kBinaryStoreKind, payload);
+}
+
+class CraftedStore : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const std::string bytes = slurp(shared_binary_path());
+    const std::size_t header_end = bytes.find('\n');
+    ASSERT_NE(header_end, std::string::npos);
+    payload_ = bytes.substr(header_end + 1);
+    dir_ = temp_dir("crafted");
+  }
+
+  void expect_crafted_rejected(std::string payload, const char* what_case) {
+    const std::string victim = dir_ + "/" + what_case + ".bin.caml";
+    spit(victim, reframe_with_fixed_crcs(std::move(payload)));
+    expect_rejected(victim, what_case);
+  }
+
+  std::string payload_;
+  std::string dir_;
+};
+
+TEST_F(CraftedStore, RejectsOutOfBoundsAndInconsistentSections) {
+  using store::kBinHeaderBytes;
+
+  {  // Index entry: forest_offset pointing far out of bounds.
+    std::string p = payload_;
+    const std::uint64_t bogus = p.size() + 4096;
+    std::memcpy(p.data() + kBinHeaderBytes + 8, &bogus, 8);
+    expect_crafted_rejected(std::move(p), "oob_forest_offset");
+  }
+  {  // Index entry: forest_size running past the payload end.
+    std::string p = payload_;
+    const std::uint64_t bogus = p.size();
+    std::memcpy(p.data() + kBinHeaderBytes + 16, &bogus, 8);
+    expect_crafted_rejected(std::move(p), "oob_forest_size");
+  }
+  {  // Index entry: declared tree count inconsistent with the section.
+    std::string p = payload_;
+    const std::uint32_t bogus = 200;
+    std::memcpy(p.data() + kBinHeaderBytes + 24, &bogus, 4);
+    expect_crafted_rejected(std::move(p), "tree_count_mismatch");
+  }
+  {  // Tree header: node_count inconsistent with the section length.
+    std::string p = payload_;
+    std::uint64_t data_offset = 0;
+    std::memcpy(&data_offset, p.data() + 40, 8);
+    std::uint64_t node_count = 0;
+    std::memcpy(&node_count, p.data() + data_offset, 8);
+    node_count += 7;
+    std::memcpy(p.data() + data_offset, &node_count, 8);
+    expect_crafted_rejected(std::move(p), "node_count_mismatch");
+  }
+  {  // Header: data_offset not matching the index extent.
+    std::string p = payload_;
+    std::uint64_t data_offset = 0;
+    std::memcpy(&data_offset, p.data() + 40, 8);
+    data_offset += 32;
+    std::memcpy(p.data() + 40, &data_offset, 8);
+    expect_crafted_rejected(std::move(p), "data_offset_mismatch");
+  }
+  {  // Header: group count beyond the payload.
+    std::string p = payload_;
+    const std::uint32_t bogus = 0x00FFFFFF;
+    std::memcpy(p.data() + 24, &bogus, 4);
+    expect_crafted_rejected(std::move(p), "oob_group_count");
+  }
+}
+
+TEST_F(CraftedStore, RejectsMalformedNodes) {
+  std::uint64_t data_offset = 0;
+  std::memcpy(&data_offset, payload_.data() + 40, 8);
+  // First tree of the first forest; its nodes start after the header.
+  std::uint64_t node_count = 0;
+  std::memcpy(&node_count, payload_.data() + data_offset, 8);
+  ASSERT_GT(node_count, 1u) << "shared store's first tree is unexpectedly a stump";
+  const std::size_t nodes_at = data_offset + store::kTreeHeaderBytes;
+
+  {  // Root's left child index far out of range.
+    std::string p = payload_;
+    const std::int32_t bogus = static_cast<std::int32_t>(node_count) + 5;
+    std::memcpy(p.data() + nodes_at + 0, &bogus, 4);
+    expect_crafted_rejected(std::move(p), "child_out_of_range");
+  }
+  {  // Root's right child pointing backward (cycle).
+    std::string p = payload_;
+    const std::int32_t bogus = 0;
+    std::memcpy(p.data() + nodes_at + 4, &bogus, 4);
+    expect_crafted_rejected(std::move(p), "child_cycle");
+  }
+  {  // Root's feature index beyond the group's feature count.
+    std::string p = payload_;
+    const std::uint16_t bogus = 0xFFFF;
+    std::memcpy(p.data() + nodes_at + 8, &bogus, 2);
+    expect_crafted_rejected(std::move(p), "feature_out_of_range");
+  }
+  {  // Version bump is rejected, not misparsed.
+    std::string p = payload_;
+    const std::uint32_t v2 = 2;
+    std::memcpy(p.data() + 12, &v2, 4);
+    expect_crafted_rejected(std::move(p), "future_version");
+  }
+  {  // Foreign byte order is rejected via the endian tag.
+    std::string p = payload_;
+    const std::uint32_t swapped = 0x04030201;
+    std::memcpy(p.data() + 8, &swapped, 4);
+    expect_crafted_rejected(std::move(p), "endian_mismatch");
+  }
+}
+
+TEST(BinaryStore, RejectsWrongContainerKind) {
+  // A perfectly valid *text* store container must not open as binary.
+  const std::string dir = temp_dir("kind");
+  const std::string text = dir + "/models.caml";
+  shared_store().save_file(text);
+  EXPECT_FALSE(is_binary_store_file(text));
+  expect_rejected(text, "text container as binary");
+  // And open_model_store routes it to the text loader instead.
+  EXPECT_EQ(open_model_store(text)->num_groups(), shared_store().num_groups());
+}
+
+// ---------------------------------------------------------------------------
+// Serve end-to-end on a mapped store
+
+std::string temp_socket(const char* tag) {
+  return (fs::temp_directory_path() /
+          ("caml_store_srv_" + std::to_string(::getpid()) + "_" + tag + ".sock"))
+      .string();
+}
+
+TEST(BinaryStore, ServeAnswersIdenticallyFromMappedStore) {
+  const Technology tech = technology_28soi();
+  const Cell target = build_function("NAND2", tech, {1, StructureVariant::kWide}, 9).cell;
+  const std::string netlist = SpiceWriter().to_string(target);
+  const std::vector<Cell> parsed = SpiceParser().parse_string(netlist);
+  ASSERT_EQ(parsed.size(), 1u);
+  const std::string expected = ca_model_to_string(
+      shared_store().predict(parsed.front(), canonicalize(parsed.front()),
+                             PolicyProfile{}.policy_for(parsed.front().num_inputs()),
+                             SimConfig{}),
+      parsed.front());
+
+  serve::ServerOptions options;
+  options.socket_path = temp_socket("mapped");
+  options.jobs = 2;
+  serve::Server server(open_model_store(shared_binary_path()), options);
+  server.start();
+
+  serve::ClientOptions copts;
+  copts.socket_path = options.socket_path;
+  serve::Client client(copts);
+  EXPECT_EQ(client.predict_cell(netlist), expected)
+      << "daemon on a mapped store must answer byte-identically";
+
+  // Hot reload onto a fresh mapping keeps answers identical; a corrupt
+  // replacement never reaches reload() (open throws first), so the old
+  // mapping keeps serving — the SIGHUP failure path of `caml serve`.
+  server.reload(open_model_store(shared_binary_path()));
+  EXPECT_EQ(client.predict_cell(netlist), expected);
+
+  const std::string dir = temp_dir("reload");
+  const std::string corrupt = dir + "/corrupt.bin.caml";
+  std::string bytes = slurp(shared_binary_path());
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x01);
+  spit(corrupt, bytes);
+  EXPECT_THROW(open_model_store(corrupt), ParseError);
+  EXPECT_EQ(client.predict_cell(netlist), expected)
+      << "failed reload must leave the serving store untouched";
+
+  server.stop();
+}
+
+}  // namespace
+}  // namespace caml

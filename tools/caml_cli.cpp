@@ -5,6 +5,7 @@
 //   caml train <lib.sp> <camodel-dir> -o <models.caml>
 //   caml predict <lib.sp> -m <models.caml> -o <dir>
 //   caml patterns <lib.sp> <camodel-dir>     cell-aware test pattern report
+//   caml store <models> --to-binary <out>    convert / inspect model stores
 //   caml serve <models.caml> --socket PATH   long-lived inference daemon
 //   caml query <cell.sp> --socket PATH       predict via a running daemon
 //
@@ -19,6 +20,7 @@
 //   --resume                            skip units a journal records done
 //   --trace FILE                        write a Chrome-trace JSON of the run
 //   --profile                           print a per-stage timing table on exit
+#include <chrono>
 #include <csignal>
 #include <filesystem>
 #include <fstream>
@@ -39,6 +41,7 @@
 #include "obs/trace.hpp"
 #include "serve/client.hpp"
 #include "serve/server.hpp"
+#include "store/binary_store.hpp"
 #include "util/error.hpp"
 #include "util/io.hpp"
 #include "util/log.hpp"
@@ -69,6 +72,10 @@ struct Args {
   std::size_t max_batch = 32;
   bool ping = false;
   bool stats = false;
+  // store conversions
+  std::string to_binary;
+  std::string to_text;
+  bool info = false;
   // observability
   std::string trace_path;
   bool profile = false;
@@ -84,7 +91,8 @@ struct Args {
       "  caml train <lib.sp> <camodel-dir> -o <models.caml> [--trees N] [--jobs N]\n"
       "  caml predict <lib.sp> -m <models.caml> -o <dir> [--policy P] [--jobs N]\n"
       "  caml patterns <lib.sp> <camodel-dir>\n"
-      "  caml serve <models.caml> --socket PATH [--port N] [--jobs N] [--max-queue N]\n"
+      "  caml store <models> (--to-binary <out> | --to-text <out> | --info)\n"
+      "  caml serve <models> --socket PATH [--port N] [--jobs N] [--max-queue N]\n"
       "            [--max-batch N]\n"
       "  caml query <cell.sp> --socket PATH [--port N] [-o <dir>] [--ping] [--stats]\n"
       "policies: static | single | exhaustive (default: exhaustive for\n"
@@ -95,8 +103,14 @@ struct Args {
       "(atomic flush every --checkpoint-every cells, default 16); after a\n"
       "crash, --resume skips the recorded cells and the final directory is\n"
       "byte-identical to an uninterrupted run.\n"
+      "store: converts between the text interchange store and the binary\n"
+      "mmap section (CAMLF1 models.bin): --to-binary writes the binary\n"
+      "store, --to-text converts back (byte-identical round trip), --info\n"
+      "prints the header and per-group section facts.\n"
       "serve: loads the trained models once and answers query requests\n"
       "over a Unix-domain socket (--socket) or loopback TCP (--port).\n"
+      "Binary stores are memory-mapped (zero parse, zero copy); text\n"
+      "stores are parsed. Both answer byte-identically.\n"
       "SIGUSR1 dumps the serve_stats block; SIGHUP reloads the model file\n"
       "(validated off the serving threads, old models kept on failure);\n"
       "SIGINT/SIGTERM shut down\n"
@@ -152,6 +166,9 @@ Args parse_args(int argc, char** argv) {
     }
     else if (a == "--ping") args.ping = true;
     else if (a == "--stats") args.stats = true;
+    else if (a == "--to-binary") args.to_binary = value();
+    else if (a == "--to-text") args.to_text = value();
+    else if (a == "--info") args.info = true;
     else if (a == "--checkpoint-every") args.checkpoint_every = count_value();
     else if (a == "--resume") args.resume = true;
     else if (a == "--trace") args.trace_path = value();
@@ -292,7 +309,10 @@ int cmd_predict(const Args& args) {
   if (args.positional.size() != 1 || args.models.empty() || args.out.empty()) {
     usage("predict needs a netlist, -m <models> and -o <dir>");
   }
-  const GroupModelStore store = GroupModelStore::load_file(args.models);
+  // Binary stores mmap (zero parse), text stores load — same interface,
+  // byte-identical predictions either way.
+  const std::shared_ptr<const ModelStore> store_ptr = store::open_model_store(args.models);
+  const ModelStore& store = *store_ptr;
   std::cerr << "loaded " << store.num_groups() << " group models\n";
   std::filesystem::create_directories(args.out);
 
@@ -347,6 +367,98 @@ int cmd_predict(const Args& args) {
   return 0;
 }
 
+/// Loads any store file as an owning GroupModelStore (materializing a
+/// binary store through the validated reader) — the conversion path of
+/// `caml store`.
+GroupModelStore load_owning_store(const std::string& path) {
+  if (store::is_binary_store_file(path)) {
+    return store::MappedModelStore::open(path).materialize();
+  }
+  return GroupModelStore::load_file(path);
+}
+
+void print_matrix_options(const MatrixOptions& m) {
+  std::cout << "  matrix: activity=" << m.include_activity
+            << " response=" << m.include_response
+            << " truthtable=" << m.include_truth_table
+            << " kind=" << m.include_defect_kind << '\n';
+}
+
+int cmd_store(const Args& args) {
+  if (args.positional.size() != 1) usage("store needs a model-store file");
+  const std::string path = args.positional[0];
+  const int modes =
+      (args.to_binary.empty() ? 0 : 1) + (args.to_text.empty() ? 0 : 1) + (args.info ? 1 : 0);
+  if (modes != 1) {
+    usage("store needs exactly one of --to-binary <out>, --to-text <out>, --info");
+  }
+  if (!args.to_binary.empty()) {
+    const GroupModelStore owned = load_owning_store(path);
+    store::write_binary_store_file(args.to_binary, owned);
+    std::cout << "wrote binary store " << args.to_binary << " (" << owned.num_groups()
+              << " groups)\n";
+    return 0;
+  }
+  if (!args.to_text.empty()) {
+    const GroupModelStore owned = load_owning_store(path);
+    owned.save_file(args.to_text);
+    std::cout << "wrote text store " << args.to_text << " (" << owned.num_groups()
+              << " groups)\n";
+    return 0;
+  }
+  if (store::is_binary_store_file(path)) {
+    const store::MappedModelStore mapped = store::MappedModelStore::open(path);
+    std::cout << path << ": binary model store (CAMLF1 " << store::kBinaryStoreKind << ")\n"
+              << "  groups: " << mapped.num_groups() << '\n'
+              << "  bytes mapped: " << mapped.bytes_mapped() << '\n';
+    print_matrix_options(mapped.matrix_options());
+    for (const store::MappedModelStore::GroupInfo& g : mapped.group_infos()) {
+      std::cout << "  group (" << g.key.num_inputs << " in, " << g.key.num_transistors
+                << " T): " << g.num_trees << " trees, " << g.num_features
+                << " features, section " << g.forest_size << " bytes at payload offset "
+                << g.forest_offset << '\n';
+    }
+  } else {
+    const GroupModelStore owned = GroupModelStore::load_file(path);
+    std::cout << path << ": text model store\n  groups: " << owned.num_groups() << '\n';
+    print_matrix_options(owned.matrix_options());
+    for (const GroupKey& key : owned.group_keys()) {
+      const RandomForest* forest = owned.forest_for(key);
+      std::cout << "  group (" << key.num_inputs << " in, " << key.num_transistors
+                << " T): " << forest->trees().size() << " trees, "
+                << forest->num_features() << " features\n";
+    }
+  }
+  return 0;
+}
+
+/// serve-side store observability (recorded at startup and on every
+/// SIGHUP reload): how long the load/validate took and how many bytes
+/// the serving store keeps memory-mapped (0 for a text store, which is
+/// parsed into owned memory).
+void record_store_metrics(const ModelStore& model_store, std::int64_t load_us) {
+  obs::Registry::global()
+      .histogram("caml_store_reload_duration_us",
+                 "Model store load/validate wall time per (re)load, microseconds")
+      .record(static_cast<std::uint64_t>(load_us));
+  const auto* mapped = dynamic_cast<const store::MappedModelStore*>(&model_store);
+  obs::Registry::global()
+      .gauge("caml_store_bytes_mapped",
+             "Bytes of the serving model store currently memory-mapped")
+      .set(mapped == nullptr ? 0 : static_cast<std::int64_t>(mapped->bytes_mapped()));
+}
+
+/// open_model_store + metrics, shared by serve startup and SIGHUP.
+std::shared_ptr<const ModelStore> open_store_timed(const std::string& path) {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::shared_ptr<const ModelStore> opened = store::open_model_store(path);
+  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+  record_store_metrics(*opened, us);
+  return opened;
+}
+
 // Signal handlers must stay async-signal-safe: the handler only writes
 // the signal number to this self-pipe; the main thread polls the read
 // end and does the actual work (stats dump / graceful stop).
@@ -362,19 +474,20 @@ int cmd_serve(const Args& args) {
     usage("serve needs <models.caml> and --socket PATH (or --port N)");
   }
   const std::string store_path = args.positional[0];
-  std::optional<GroupModelStore> store;
+  Log::set_level(LogLevel::kInfo);
+  std::shared_ptr<const ModelStore> store;
   try {
-    store.emplace(GroupModelStore::load_file(store_path));
+    store = open_store_timed(store_path);
   } catch (const Error& e) {
-    // Structured startup rejection: a store that fails checksum or parse
-    // validation must never start serving. Exit code 3 distinguishes
-    // "bad model store" from generic failures for supervisors.
+    // Structured startup rejection: a store that fails checksum, bounds
+    // or parse validation must never start serving. Exit code 3
+    // distinguishes "bad model store" from generic failures for
+    // supervisors.
     std::cerr << "error: refusing to serve " << store_path << ": " << e.what() << '\n';
     return 3;
   }
   std::cerr << "loaded " << store->num_groups() << " group models from " << store_path
             << '\n';
-  Log::set_level(LogLevel::kInfo);
 
   serve::ServerOptions options;
   options.socket_path = args.socket;
@@ -382,8 +495,7 @@ int cmd_serve(const Args& args) {
   options.jobs = args.jobs;
   options.max_queue = args.max_queue;
   options.max_batch = args.max_batch;
-  serve::Server server(std::move(*store), options);
-  store.reset();
+  serve::Server server(std::move(store), options);
 
   Pipe signal_pipe = make_pipe();
   g_signal_pipe_wr = signal_pipe.wr.get();
@@ -412,10 +524,12 @@ int cmd_serve(const Args& args) {
       continue;
     }
     if (sig == SIGHUP) {
-      // Hot reload: load + validate on this thread (workers keep serving
-      // the current store), swap in only on success.
+      // Hot reload: open + validate on this thread (workers keep serving
+      // the current store), swap in only on success. A binary store
+      // re-maps; the old mapping stays alive until the last in-flight
+      // batch drops its snapshot.
       try {
-        server.reload(GroupModelStore::load_file(store_path));
+        server.reload(open_store_timed(store_path));
       } catch (const Error& e) {
         log_warn() << "reload of " << store_path
                    << " failed; keeping the current models: " << e.what();
@@ -517,6 +631,7 @@ int dispatch(const Args& args) {
   if (args.command == "train") return cmd_train(args);
   if (args.command == "predict") return cmd_predict(args);
   if (args.command == "patterns") return cmd_patterns(args);
+  if (args.command == "store") return cmd_store(args);
   if (args.command == "serve") return cmd_serve(args);
   if (args.command == "query") return cmd_query(args);
   usage("unknown command " + args.command);
