@@ -35,6 +35,13 @@ class ModelStore {
 
   bool has_group(const GroupKey& key) const { return classifier_for(key) != nullptr; }
 
+  /// Revalidation hook the serve plane calls before computing a batch:
+  /// false means the store's backing storage changed under it (e.g. a
+  /// mapped file truncated in place) and answers can no longer be
+  /// trusted — the caller must fail the batch and swap to a good
+  /// snapshot. In-memory stores are always healthy.
+  virtual bool healthy() const { return true; }
+
   /// Predicts the CA model of a new cell (its shape selects the group
   /// model). Throws caml::Error if no model exists for the cell's
   /// group — callers route such cells to conventional generation.

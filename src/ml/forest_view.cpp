@@ -3,6 +3,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/error.hpp"
+#include "util/sigguard.hpp"
 
 namespace caml {
 
@@ -44,14 +45,25 @@ std::pair<std::uint64_t, std::uint64_t> MappedForest::leaf_votes(const TreeRef& 
   }
 }
 
+/// Every traversal of the raw mapping runs under a SIGBUS guard: if the
+/// backing file is truncated under us, the fault becomes a MappingFault
+/// throw instead of killing the daemon. The guarded lambdas are
+/// longjmp-safe by construction — plain reads and arithmetic into
+/// storage allocated before the guard.
+constexpr const char* kForestFault =
+    "SIGBUS while traversing the mapped model store (backing file truncated or rewritten "
+    "in place under the mapping)";
+
 double MappedForest::predict_proba(const std::int8_t* row) const {
   CAML_ASSERT(!trees_.empty());
   double sum = 0.0;
-  for (const TreeRef& tree : trees_) {
-    const auto [c0, c1] = leaf_votes(tree, row);
-    const std::uint64_t votes = c0 + c1;
-    sum += votes == 0 ? 0.5 : static_cast<double>(c1) / static_cast<double>(votes);
-  }
+  io::with_sigbus_guard(kForestFault, [&] {
+    for (const TreeRef& tree : trees_) {
+      const auto [c0, c1] = leaf_votes(tree, row);
+      const std::uint64_t votes = c0 + c1;
+      sum += votes == 0 ? 0.5 : static_cast<double>(c1) / static_cast<double>(votes);
+    }
+  });
   return sum / static_cast<double>(trees_.size());
 }
 
@@ -70,13 +82,15 @@ std::vector<double> MappedForest::predict_proba_batch(const std::int8_t* rows, s
   // exact summation RandomForest::predict_proba_batch performs, so the
   // probabilities (and therefore the labels) are bit-identical.
   std::vector<double> sum(n, 0.0);
-  for (const TreeRef& tree : trees_) {
-    for (std::size_t r = 0; r < n; ++r) {
-      const auto [c0, c1] = leaf_votes(tree, rows + r * stride);
-      const std::uint64_t votes = c0 + c1;
-      sum[r] += votes == 0 ? 0.5 : static_cast<double>(c1) / static_cast<double>(votes);
+  io::with_sigbus_guard(kForestFault, [&] {
+    for (const TreeRef& tree : trees_) {
+      for (std::size_t r = 0; r < n; ++r) {
+        const auto [c0, c1] = leaf_votes(tree, rows + r * stride);
+        const std::uint64_t votes = c0 + c1;
+        sum[r] += votes == 0 ? 0.5 : static_cast<double>(c1) / static_cast<double>(votes);
+      }
     }
-  }
+  });
   for (double& s : sum) s /= static_cast<double>(trees_.size());
   return sum;
 }

@@ -11,6 +11,7 @@
 #include "netlist/spice_parser.hpp"
 #include "obs/trace.hpp"
 #include "util/log.hpp"
+#include "util/sigguard.hpp"
 
 namespace caml::serve {
 
@@ -110,21 +111,37 @@ std::vector<PredictOutcome> answer_predict_batch(const ModelStore& store,
       total_rows += matrix.num_rows();
     }
     std::vector<std::uint8_t> labels;
-    if (total_rows > 0) {
-      if (member_items.size() == 1) {
-        // Single request for this group: classify its rows in place.
-        const CaMatrix& matrix = items[member_items.front()].prepared->matrix;
-        labels = classifier->predict_batch(matrix.features().data(), matrix.num_rows(),
-                                           stride);
-      } else {
-        std::vector<std::int8_t> rows;
-        rows.reserve(total_rows * stride);
-        for (const std::size_t i : member_items) {
-          const std::vector<std::int8_t>& f = items[i].prepared->matrix.features();
-          rows.insert(rows.end(), f.begin(), f.end());
+    try {
+      if (total_rows > 0) {
+        if (member_items.size() == 1) {
+          // Single request for this group: classify its rows in place.
+          const CaMatrix& matrix = items[member_items.front()].prepared->matrix;
+          labels = classifier->predict_batch(matrix.features().data(), matrix.num_rows(),
+                                             stride);
+        } else {
+          std::vector<std::int8_t> rows;
+          rows.reserve(total_rows * stride);
+          for (const std::size_t i : member_items) {
+            const std::vector<std::int8_t>& f = items[i].prepared->matrix.features();
+            rows.insert(rows.end(), f.begin(), f.end());
+          }
+          labels = classifier->predict_batch(rows.data(), total_rows, stride);
         }
-        labels = classifier->predict_batch(rows.data(), total_rows, stride);
       }
+    } catch (const io::MappingFault& e) {
+      // The mapped store faulted mid-traversal (file changed under the
+      // mapping). Fail this group's requests with a structured INTERNAL
+      // and flag the outcomes so the server swaps to a good snapshot —
+      // the daemon itself never dies.
+      log_error() << "store fault while classifying a serve batch: " << e.what();
+      for (const std::size_t i : member_items) {
+        Item& item = items[i];
+        item.out.kind = PredictOutcome::Kind::kError;
+        item.out.store_fault = true;
+        item.out.response =
+            error_response(item.out.response.request_id, ErrorCode::kInternal, e.what());
+      }
+      continue;
     }
     std::size_t offset = 0;
     for (const std::size_t i : member_items) {

@@ -20,11 +20,15 @@ struct PredictJob {
   std::uint64_t request_id = 0;
   std::string netlist;
   std::int64_t enqueued_us = 0;  ///< decode timestamp, for end-to-end latency
+  /// Absolute monotonic deadline (microseconds) after which the client
+  /// no longer wants the answer; -1 = no deadline. The compute plane
+  /// sheds expired jobs with DEADLINE_EXCEEDED instead of computing them.
+  std::int64_t deadline_us = -1;
 };
 
 /// The answer to one PredictJob, ready for the wire.
 struct PredictOutcome {
-  enum class Kind { kOk, kNoGroup, kError };
+  enum class Kind { kOk, kNoGroup, kError, kShed };
 
   std::uint64_t conn_id = 0;
   std::uint64_t seq = 0;
@@ -32,6 +36,9 @@ struct PredictOutcome {
   Frame response;
   Kind kind = Kind::kError;
   std::uint64_t rows_classified = 0;  ///< CA-matrix rows this request pushed through a forest
+  /// True when this error came from a fault on the mapped store (SIGBUS
+  /// or size change) — the server must swap to a good snapshot.
+  bool store_fault = false;
 };
 
 /// Answers a coalesced batch of PREDICT requests against one store

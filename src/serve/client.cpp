@@ -1,9 +1,52 @@
 #include "serve/client.hpp"
 
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <thread>
 
 namespace caml::serve {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t default_retry_seed() {
+  static std::atomic<std::uint64_t> counter{0};
+  return splitmix64((static_cast<std::uint64_t>(::getpid()) << 20) ^
+                    counter.fetch_add(1, std::memory_order_relaxed));
+}
+
+}  // namespace
+
+int overload_backoff_ms(std::uint64_t seed, int attempt, int hint_ms, int base_ms,
+                        int cap_ms) {
+  const std::int64_t floor_ms = std::max<std::int64_t>({hint_ms, base_ms, 1});
+  const int shift = std::min(attempt, 20);  // 2^20x is past any sane cap
+  std::int64_t wait = std::min<std::int64_t>(std::max(cap_ms, 1), floor_ms << shift);
+  wait = std::max<std::int64_t>(wait, hint_ms);  // the hint floors even past the cap
+  // Jitter factor in [1, 2): a 53-bit mantissa drawn deterministically
+  // from (seed, attempt) — two clients with different seeds spread out
+  // instead of re-stampeding on the same schedule.
+  const double jitter =
+      static_cast<double>(splitmix64(seed ^ (0x5CEDB00Full + static_cast<std::uint64_t>(
+                                                                 attempt))) >>
+                          11) *
+      0x1.0p-53;
+  return static_cast<int>(wait + static_cast<std::int64_t>(static_cast<double>(wait) *
+                                                           jitter));
+}
+
+Client::Client(ClientOptions options) : options_(std::move(options)) {
+  retry_seed_ = options_.retry_seed != 0 ? options_.retry_seed : default_retry_seed();
+}
 
 void Client::ensure_connected() {
   if (fd_.valid()) return;
@@ -14,14 +57,23 @@ void Client::ensure_connected() {
   }
 }
 
-Frame Client::roundtrip(MsgType request_type, const std::string& payload,
-                        MsgType expected_type) {
+Frame Client::make_predict_frame(const std::string& netlist_text) {
   Frame request;
-  request.type = request_type;
+  request.type = MsgType::kPredictCell;
   request.request_id = next_id_++;
-  request.payload = payload;
+  if (options_.deadline_ms > 0) {
+    request.version = kProtocolVersionDeadline;
+    request.payload = encode_predict_payload(options_.deadline_ms, netlist_text);
+  } else {
+    // No deadline: plain v1 frame, compatible with pre-deadline servers.
+    request.payload = netlist_text;
+  }
+  return request;
+}
 
+Frame Client::roundtrip(Frame request, MsgType expected_type) {
   int overload_wait_spent_ms = 0;
+  int overload_attempt = 0;
   for (int attempt = 0;; ++attempt) {
     try {
       ensure_connected();
@@ -52,17 +104,19 @@ Frame Client::roundtrip(MsgType request_type, const std::string& payload,
       return std::move(*response);
     } catch (const RemoteError& e) {
       if (e.code() != ErrorCode::kOverloaded) throw;
-      // The server closed the connection after the reject; reconnect on
-      // the next attempt. Honor its retry_after_ms hint, but never sleep
-      // past the total overload budget — a saturated server should turn
-      // into a caller-visible error, not an unbounded stall.
+      // The server may close the connection after the reject; reconnect
+      // on the next attempt. Back off exponentially with deterministic
+      // jitter (the server's retry_after_ms hint is the floor), but
+      // never sleep past the total overload budget — a saturated server
+      // should turn into a caller-visible error, not an unbounded stall.
       fd_.reset();
-      const int hint = e.retry_after_ms() > 0
-                           ? static_cast<int>(e.retry_after_ms())
-                           : options_.backoff_ms * (attempt + 1);
-      if (overload_wait_spent_ms + hint > options_.overload_retry_budget_ms) throw;
-      overload_wait_spent_ms += hint;
-      std::this_thread::sleep_for(std::chrono::milliseconds(hint));
+      const int wait =
+          overload_backoff_ms(retry_seed_, overload_attempt++,
+                              static_cast<int>(e.retry_after_ms()), options_.backoff_ms,
+                              options_.overload_backoff_cap_ms);
+      if (overload_wait_spent_ms + wait > options_.overload_retry_budget_ms) throw;
+      overload_wait_spent_ms += wait;
+      std::this_thread::sleep_for(std::chrono::milliseconds(wait));
     } catch (const Error& e) {
       fd_.reset();
       if (attempt >= options_.retries || !is_connection_lost_error(e.what())) throw;
@@ -73,7 +127,7 @@ Frame Client::roundtrip(MsgType request_type, const std::string& payload,
 }
 
 std::string Client::predict_cell(const std::string& netlist_text) {
-  return roundtrip(MsgType::kPredictCell, netlist_text, MsgType::kPredictOk).payload;
+  return roundtrip(make_predict_frame(netlist_text), MsgType::kPredictOk).payload;
 }
 
 std::vector<BatchResult> Client::predict_cells(const std::vector<std::string>& netlists,
@@ -91,11 +145,7 @@ std::vector<BatchResult> Client::predict_cells(const std::vector<std::string>& n
       // frames continuously (its reactor never blocks on our pace), so a
       // blocking write here can only wait on the network, not deadlock.
       while (sent < netlists.size() && sent - received < window) {
-        Frame request;
-        request.type = MsgType::kPredictCell;
-        request.request_id = next_id_++;
-        request.payload = netlists[sent];
-        write_frame(fd_.get(), request, options_.timeout_ms);
+        write_frame(fd_.get(), make_predict_frame(netlists[sent]), options_.timeout_ms);
         ++sent;
       }
       std::optional<Frame> response = read_frame(fd_.get(), options_.timeout_ms);
@@ -126,10 +176,18 @@ std::vector<BatchResult> Client::predict_cells(const std::vector<std::string>& n
   return results;
 }
 
-void Client::ping() { roundtrip(MsgType::kPing, "", MsgType::kPong); }
+void Client::ping() {
+  Frame request;
+  request.type = MsgType::kPing;
+  request.request_id = next_id_++;
+  roundtrip(std::move(request), MsgType::kPong);
+}
 
 std::string Client::stats() {
-  return roundtrip(MsgType::kStats, "", MsgType::kStatsOk).payload;
+  Frame request;
+  request.type = MsgType::kStats;
+  request.request_id = next_id_++;
+  return roundtrip(std::move(request), MsgType::kStatsOk).payload;
 }
 
 }  // namespace caml::serve

@@ -25,13 +25,37 @@ struct ClientOptions {
   int retries = 1;
   /// Backoff before attempt k is backoff_ms * k.
   int backoff_ms = 100;
-  /// Total sleep budget for retrying OVERLOADED rejects. Each retry
-  /// waits the server's retry_after_ms hint (falling back to the
-  /// connection-loss backoff when the hint is 0) and retries persist
-  /// until the next wait would exceed this budget, at which point the
-  /// RemoteError propagates. 0 disables overload retries entirely.
+  /// Total sleep budget for retrying OVERLOADED rejects. Retries wait
+  /// an exponentially growing, jittered backoff (see
+  /// overload_backoff_ms; the server's retry_after_ms hint is the
+  /// floor) and persist until the next wait would exceed this budget,
+  /// at which point the RemoteError propagates. 0 disables overload
+  /// retries entirely.
   int overload_retry_budget_ms = 1000;
+  /// Cap on one overload backoff sleep, before jitter.
+  int overload_backoff_cap_ms = 2000;
+  /// Seed for the deterministic backoff jitter; 0 derives a per-client
+  /// seed from the pid and a process-local counter, so a fleet of
+  /// clients restarted together decorrelates instead of re-stampeding
+  /// the server in lockstep.
+  std::uint64_t retry_seed = 0;
+  /// Per-request compute deadline shipped to the server (protocol v2):
+  /// when > 0, predict requests carry this budget and the server sheds
+  /// them with DEADLINE_EXCEEDED instead of computing answers nobody is
+  /// waiting for. 0 sends plain v1 frames (compatible with old servers).
+  std::uint32_t deadline_ms = 0;
 };
+
+/// Backoff before overload retry `attempt` (0-based): exponential from
+/// max(hint, base) doubling per attempt, capped at `cap_ms`, then
+/// stretched by a deterministic jitter factor in [1, 2) drawn from
+/// splitmix64(seed, attempt). The server's hint stays a hard floor —
+/// jitter only ever waits longer, never hammers the server earlier than
+/// asked. Pure function of its arguments, so retry schedules are
+/// reproducible per seed and provably decorrelated across seeds
+/// (tests/serve_test.cpp).
+int overload_backoff_ms(std::uint64_t seed, int attempt, int hint_ms, int base_ms,
+                        int cap_ms);
 
 /// A structured error answered by the server (kError frame). code()
 /// distinguishes NO_GROUP (route the cell to conventional generation)
@@ -68,7 +92,7 @@ struct BatchResult {
 /// Not thread-safe: use one Client per thread.
 class Client {
  public:
-  explicit Client(ClientOptions options) : options_(std::move(options)) {}
+  explicit Client(ClientOptions options);
 
   /// Predicts the CA model of the single .SUBCKT in `netlist_text`.
   /// Returns the `.camodel` text. Throws RemoteError on structured
@@ -98,11 +122,13 @@ class Client {
 
  private:
   void ensure_connected();
-  Frame roundtrip(MsgType request_type, const std::string& payload, MsgType expected_type);
+  Frame roundtrip(Frame request, MsgType expected_type);
+  Frame make_predict_frame(const std::string& netlist_text);
 
   ClientOptions options_;
   Fd fd_;
   std::uint64_t next_id_ = 1;
+  std::uint64_t retry_seed_ = 0;  ///< resolved from options at construction
 };
 
 }  // namespace caml::serve

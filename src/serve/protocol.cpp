@@ -44,6 +44,7 @@ const char* error_code_name(ErrorCode code) {
     case ErrorCode::kNoGroup: return "NO_GROUP";
     case ErrorCode::kOverloaded: return "OVERLOADED";
     case ErrorCode::kInternal: return "INTERNAL";
+    case ErrorCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }
@@ -152,6 +153,28 @@ ErrorBody decode_error(std::string_view payload) {
   body.retry_after_ms = get_u32(p + 4);
   body.message.assign(payload.substr(8));
   return body;
+}
+
+std::string encode_predict_payload(std::uint32_t deadline_ms, std::string_view netlist) {
+  std::string out;
+  out.reserve(4 + netlist.size());
+  put_u32(out, deadline_ms);
+  out.append(netlist);
+  return out;
+}
+
+PredictPayload split_predict_payload(std::uint16_t version, std::string payload) {
+  PredictPayload out;
+  if (version < kProtocolVersionDeadline) {
+    out.netlist = std::move(payload);
+    return out;
+  }
+  if (payload.size() < 4) {
+    throw ProtocolError("v2 predict payload shorter than its deadline field");
+  }
+  out.deadline_ms = get_u32(reinterpret_cast<const unsigned char*>(payload.data()));
+  out.netlist = payload.substr(4);
+  return out;
 }
 
 std::optional<Frame> read_frame(int fd, int timeout_ms) {

@@ -26,8 +26,20 @@ namespace caml::serve {
 /// carries an ErrorBody (see encode_error); kPong carries nothing;
 /// kStatsOk carries the unified metrics snapshot as Prometheus-
 /// compatible text exposition (see obs::MetricsSnapshot::to_text).
+///
+/// Version 2 ("deadline dialect") changes exactly one payload:
+/// kPredictCell gains a 4-byte little-endian `deadline_ms` prefix (0 =
+/// no deadline) before the netlist text, letting the server shed
+/// requests whose client has already given up. Every other message is
+/// identical in both versions and the server answers v1 and v2 clients
+/// alike, so old clients are unaffected.
 inline constexpr std::uint32_t kMagic = 0x514D4143u;  // "CAMQ" little-endian
 inline constexpr std::uint16_t kProtocolVersion = 1;
+/// The deadline dialect: kPredictCell payloads start with u32 deadline_ms.
+inline constexpr std::uint16_t kProtocolVersionDeadline = 2;
+/// Highest version the server speaks; anything above (or 0) is rejected
+/// with kUnsupportedVersion.
+inline constexpr std::uint16_t kMaxProtocolVersion = kProtocolVersionDeadline;
 inline constexpr std::size_t kHeaderSize = 20;
 /// Upper bound on a payload: large enough for any realistic cell netlist
 /// or predicted model, small enough that a corrupt length field cannot
@@ -52,6 +64,7 @@ enum class ErrorCode : std::uint32_t {
   kNoGroup = 4,             ///< no trained model for the cell's group
   kOverloaded = 5,          ///< queue full; retry after retry_after_ms
   kInternal = 6,            ///< unexpected server-side failure
+  kDeadlineExceeded = 7,    ///< request shed: its client deadline expired
 };
 
 const char* error_code_name(ErrorCode code);
@@ -143,6 +156,25 @@ struct ErrorBody {
 std::string encode_error(const ErrorBody& body);
 /// Throws ProtocolError if the payload is shorter than the fixed fields.
 ErrorBody decode_error(std::string_view payload);
+
+/// Decoded kPredictCell payload, version-independent.
+struct PredictPayload {
+  /// Client budget in milliseconds measured from server receipt; 0 means
+  /// "no deadline" (the v1 behavior).
+  std::uint32_t deadline_ms = 0;
+  std::string netlist;
+};
+
+/// Encodes a v2 kPredictCell payload (deadline prefix + netlist). For
+/// deadline_ms == 0 prefer a plain v1 frame whose payload is the bare
+/// netlist — it keeps old servers compatible.
+std::string encode_predict_payload(std::uint32_t deadline_ms, std::string_view netlist);
+
+/// Splits a kPredictCell payload according to the frame's version:
+/// v1 payloads are the bare netlist, v2 payloads carry the deadline
+/// prefix. Throws ProtocolError when a v2 payload is shorter than its
+/// fixed field.
+PredictPayload split_predict_payload(std::uint16_t version, std::string payload);
 
 /// Reads one frame from `fd`. Returns nullopt on clean EOF between
 /// frames (peer closed). Throws ProtocolError on malformed bytes and

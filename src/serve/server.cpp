@@ -7,11 +7,14 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
+#include <limits>
 #include <map>
 #include <utility>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/fault.hpp"
 #include "util/log.hpp"
 #include "util/timing.hpp"
 
@@ -110,15 +113,78 @@ std::shared_ptr<const ModelStore> Server::store_snapshot() const {
   return store_;
 }
 
+void Server::record_sojourn_locked(std::int64_t sojourn_us) {
+  const std::uint32_t clamped = static_cast<std::uint32_t>(
+      std::clamp<std::int64_t>(sojourn_us, 0, std::numeric_limits<std::uint32_t>::max()));
+  sojourn_ring_[sojourn_count_ % sojourn_ring_.size()] = clamped;
+  ++sojourn_count_;
+}
+
+bool Server::sojourn_over_target_locked() {
+  if (options_.sojourn_target_ms <= 0) return false;
+  const std::size_t n = std::min(sojourn_count_, sojourn_ring_.size());
+  // Too few samples to call a percentile — a cold server must not shed.
+  if (n < 8) return false;
+  std::array<std::uint32_t, 128> window;
+  std::copy_n(sojourn_ring_.begin(), n, window.begin());
+  const std::size_t rank = (99 * (n - 1)) / 100;
+  std::nth_element(window.begin(), window.begin() + rank, window.begin() + n);
+  const std::uint32_t p99_us = window[rank];
+  stats_.update_sojourn_p99(p99_us);
+  return p99_us > static_cast<std::uint64_t>(options_.sojourn_target_ms) * 1000;
+}
+
 void Server::reload(std::shared_ptr<const ModelStore> store) {
   CAML_ASSERT(store != nullptr);
   {
     std::lock_guard<std::mutex> lock(store_mutex_);
+    // The outgoing store becomes the recovery fallback — unless it is
+    // the one being replaced BECAUSE it faulted.
+    if (!store_faulted_ && store_ != store) last_good_ = store_;
+    store_faulted_ = false;
     store_.swap(store);
   }
   stats_.record_reload();
   log_info() << "model store reloaded: " << store_snapshot()->num_groups()
              << " group models now serving";
+}
+
+void Server::handle_store_fault(const std::shared_ptr<const ModelStore>& faulted) {
+  stats_.record_store_fault();
+  {
+    std::lock_guard<std::mutex> lock(store_mutex_);
+    if (store_ != faulted) return;  // another worker already recovered
+    store_faulted_ = true;
+  }
+  // Re-open from the source of truth off the store lock (disk I/O).
+  std::shared_ptr<const ModelStore> fresh;
+  if (refresh_) {
+    try {
+      fresh = refresh_();
+    } catch (const std::exception& e) {
+      log_error() << "store refresh after fault failed: " << e.what();
+    }
+  }
+  if (fresh != nullptr) {
+    log_warn() << "store fault: refreshed the model store from disk";
+    reload(std::move(fresh));
+    return;
+  }
+  std::shared_ptr<const ModelStore> fallback;
+  {
+    std::lock_guard<std::mutex> lock(store_mutex_);
+    if (store_ != faulted) return;  // recovered concurrently after all
+    if (last_good_ != nullptr && last_good_ != faulted) fallback = last_good_;
+  }
+  if (fallback != nullptr) {
+    log_warn() << "store fault: no refresh available, serving the last-good snapshot";
+    reload(std::move(fallback));
+    return;
+  }
+  // Nothing to swap to: keep serving (requests against the faulted
+  // snapshot keep failing INTERNAL; the guard keeps the process alive
+  // until a SIGHUP reload brings a good store).
+  log_error() << "store fault: no replacement store available; serving degraded";
 }
 
 void Server::reload(GroupModelStore store) {
@@ -196,30 +262,83 @@ void Server::stop() {
 void Server::worker_loop() {
   for (;;) {
     std::vector<PredictJob> batch;
+    std::vector<PredictOutcome> shed;
+    std::vector<std::int64_t> sojourns;
+    std::size_t popped = 0;
     {
       std::unique_lock<std::mutex> lock(jobs_mutex_);
       jobs_cv_.wait(lock, [this] { return jobs_draining_ || !job_queue_.empty(); });
       if (job_queue_.empty()) return;  // draining and fully drained
       const std::size_t n = std::min(job_queue_.size(), std::max<std::size_t>(
                                                             options_.max_batch, 1));
+      const std::int64_t now = monotonic_us();
       batch.reserve(n);
       for (std::size_t i = 0; i < n; ++i) {
-        batch.push_back(std::move(job_queue_.front()));
+        PredictJob job = std::move(job_queue_.front());
         job_queue_.pop_front();
+        record_sojourn_locked(now - job.enqueued_us);
+        sojourns.push_back(now - job.enqueued_us);
+        if (job.deadline_us >= 0 && now >= job.deadline_us) {
+          // The client's deadline already passed while the job queued:
+          // computing the answer would be pure waste — shed it with a
+          // structured DEADLINE_EXCEEDED instead.
+          PredictOutcome out;
+          out.kind = PredictOutcome::Kind::kShed;
+          out.conn_id = job.conn_id;
+          out.seq = job.seq;
+          out.enqueued_us = -1;  // sheds never feed the latency histogram
+          out.response = error_frame(job.request_id, ErrorCode::kDeadlineExceeded,
+                                     "deadline expired after " +
+                                         std::to_string((now - job.enqueued_us) / 1000) +
+                                         " ms in queue; request shed before compute");
+          shed.push_back(std::move(out));
+        } else {
+          batch.push_back(std::move(job));
+        }
       }
-      jobs_inflight_ += n;
+      popped = n;
+      jobs_inflight_ += popped;
       stats_.update_predict_backlog(job_queue_.size());
     }
-    stats_.record_batch(batch.size());
-    const std::size_t n = batch.size();
-    std::vector<PredictOutcome> outcomes =
-        answer_predict_batch(*store_snapshot(), options_.policy, std::move(batch));
-    for (const PredictOutcome& o : outcomes) {
-      switch (o.kind) {
-        case PredictOutcome::Kind::kOk: stats_.record_ok(1, o.rows_classified); break;
-        case PredictOutcome::Kind::kNoGroup: stats_.record_no_group(); break;
-        case PredictOutcome::Kind::kError: stats_.record_error(); break;
+    for (const std::int64_t s : sojourns) stats_.record_sojourn_us(s);
+
+    std::vector<PredictOutcome> outcomes;
+    if (!batch.empty()) {
+      stats_.record_batch(batch.size());
+      const std::shared_ptr<const ModelStore> snap = store_snapshot();
+      if (!snap->healthy()) {
+        // Backing storage changed under the mapping (size revalidation
+        // failed): answers would be garbage or SIGBUS. Fail the batch
+        // up front and trigger recovery.
+        for (PredictJob& job : batch) {
+          PredictOutcome out;
+          out.kind = PredictOutcome::Kind::kError;
+          out.store_fault = true;
+          out.conn_id = job.conn_id;
+          out.seq = job.seq;
+          out.enqueued_us = job.enqueued_us;
+          out.response = error_frame(job.request_id, ErrorCode::kInternal,
+                                     "model store backing file changed under the mapping");
+          outcomes.push_back(std::move(out));
+        }
+      } else {
+        outcomes = answer_predict_batch(*snap, options_.policy, std::move(batch));
       }
+      bool faulted = false;
+      for (const PredictOutcome& o : outcomes) {
+        if (o.store_fault) faulted = true;
+        switch (o.kind) {
+          case PredictOutcome::Kind::kOk: stats_.record_ok(1, o.rows_classified); break;
+          case PredictOutcome::Kind::kNoGroup: stats_.record_no_group(); break;
+          case PredictOutcome::Kind::kError: stats_.record_error(); break;
+          case PredictOutcome::Kind::kShed: stats_.record_shed_expired(); break;
+        }
+      }
+      if (faulted) handle_store_fault(snap);
+    }
+    for (PredictOutcome& o : shed) {
+      stats_.record_shed_expired();
+      outcomes.push_back(std::move(o));
     }
     {
       std::lock_guard<std::mutex> lock(done_mutex_);
@@ -228,7 +347,7 @@ void Server::worker_loop() {
     }
     {
       std::lock_guard<std::mutex> lock(jobs_mutex_);
-      jobs_inflight_ -= n;
+      jobs_inflight_ -= popped;
     }
     // Wake the reactor. A full pipe means wakeups are already pending —
     // EAGAIN is success here.
@@ -283,12 +402,12 @@ void Server::dispatch_frame(Connection& conn, Frame frame) {
   conn.idle_deadline_us = now + static_cast<std::int64_t>(options_.idle_timeout_ms) * 1000;
   const std::uint64_t seq = conn.next_seq++;
 
-  if (frame.version != kProtocolVersion) {
+  if (frame.version == 0 || frame.version > kMaxProtocolVersion) {
     stats_.record_error();
     enqueue_response(conn, seq,
                      error_frame(frame.request_id, ErrorCode::kUnsupportedVersion,
-                                 "server speaks protocol version " +
-                                     std::to_string(kProtocolVersion) +
+                                 "server speaks protocol versions 1-" +
+                                     std::to_string(kMaxProtocolVersion) +
                                      ", request carried " + std::to_string(frame.version)),
                      now);
     conn.close_after_flush = true;  // later frames of an unknown dialect are untrustworthy
@@ -315,29 +434,56 @@ void Server::dispatch_frame(Connection& conn, Frame frame) {
       return;
     }
     case MsgType::kPredictCell: {
-      bool overloaded = false;
+      PredictPayload req;
+      try {
+        req = split_predict_payload(frame.version, std::move(frame.payload));
+      } catch (const ProtocolError& e) {
+        stats_.record_error();
+        enqueue_response(conn, seq,
+                         error_frame(frame.request_id, ErrorCode::kBadRequest, e.what()),
+                         now);
+        return;
+      }
+      bool queue_full = false;
+      bool latency_shed = false;
       {
         std::lock_guard<std::mutex> lock(jobs_mutex_);
         if (job_queue_.size() >= options_.max_pending_predicts) {
-          overloaded = true;
+          queue_full = true;  // hard memory bound, checked first
+        } else if (sojourn_over_target_locked()) {
+          // Latency-signal shedding: the queue's recent p99 sojourn
+          // already exceeds the target, so this request would most
+          // likely expire in line. Turn it away while it is still
+          // cheap — before it costs queue memory and compute.
+          latency_shed = true;
         } else {
           PredictJob job;
           job.conn_id = conn.id;
           job.seq = seq;
           job.request_id = frame.request_id;
-          job.netlist = std::move(frame.payload);
+          job.netlist = std::move(req.netlist);
           job.enqueued_us = now;
+          if (req.deadline_ms > 0) {
+            job.deadline_us = now + static_cast<std::int64_t>(req.deadline_ms) * 1000;
+          }
           job_queue_.push_back(std::move(job));
           stats_.update_predict_backlog(job_queue_.size());
         }
       }
-      if (overloaded) {
+      if (queue_full || latency_shed) {
         // Request-level backpressure: the connection survives, only this
         // request is asked to come back later.
-        stats_.record_reject();
+        if (latency_shed) {
+          stats_.record_shed_overload();
+        } else {
+          stats_.record_reject();
+        }
         enqueue_response(conn, seq,
                          error_frame(frame.request_id, ErrorCode::kOverloaded,
-                                     "request queue full; retry after " +
+                                     std::string(latency_shed ? "queue sojourn p99 over "
+                                                                "target; retry after "
+                                                              : "request queue full; "
+                                                                "retry after ") +
                                          std::to_string(options_.retry_after_ms) + " ms",
                                      options_.retry_after_ms),
                          -1);
@@ -627,7 +773,11 @@ void Server::reactor_loop() {
       timeout_ms = left <= 0 ? 0 : static_cast<int>((left + 999) / 1000);
     }
 
-    const int rc = ::poll(pfds.data(), pfds.size(), timeout_ms);
+    // Fault injection rides the same EINTR retry path a real signal
+    // would take (CAML_FAULT=net-poll:eintr:...).
+    const int rc = fault::before_net_poll("net-poll")
+                       ? (errno = EINTR, -1)
+                       : ::poll(pfds.data(), pfds.size(), timeout_ms);
     if (rc < 0) {
       if (errno == EINTR) continue;
       log_error() << "serve reactor poll failed; shutting down server";

@@ -1,9 +1,11 @@
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -57,6 +59,15 @@ struct ServerOptions {
   int idle_timeout_ms = 2000;
   /// Backpressure hint clients receive in kOverloaded rejects.
   std::uint32_t retry_after_ms = 50;
+  /// Latency-signal admission policy: when the p99 queue sojourn over
+  /// the most recent computed PREDICTs exceeds this target, new PREDICTs
+  /// are shed with kOverloaded before they enter the queue — the queue
+  /// is already slower than anyone's patience, so adding to it only
+  /// manufactures future DEADLINE_EXCEEDED answers. 0 disables the
+  /// policy (the fixed max_pending_predicts bound still applies either
+  /// way). `caml serve` defaults this on; the library default stays off
+  /// so embedded/test servers behave deterministically.
+  int sojourn_target_ms = 0;
   /// Stimulus-policy schedule for predictions (same input-count heuristic
   /// as `caml predict` without --policy).
   PolicyProfile policy;
@@ -121,6 +132,15 @@ class Server {
   void reload(std::shared_ptr<const ModelStore> store);
   void reload(GroupModelStore store);
 
+  /// Installs a callback that re-opens the store from its source of
+  /// truth (disk). When a serving snapshot is found faulted (SIGBUS on
+  /// the mapping, or the backing file's size changed), the server calls
+  /// it to force a reload; if it throws or returns null the server falls
+  /// back to the last-good snapshot. Call before start().
+  void set_store_refresh(std::function<std::shared_ptr<const ModelStore>()> refresh) {
+    refresh_ = std::move(refresh);
+  }
+
   bool running() const { return started_ && !draining_; }
   /// Actual TCP port (resolves tcp_port == 0); 0 for Unix-domain mode.
   std::uint16_t port() const { return bound_port_; }
@@ -155,7 +175,26 @@ class Server {
   /// models out from under a half-finished prediction.
   std::shared_ptr<const ModelStore> store_snapshot() const;
 
+  /// Records one queue sojourn into the admission policy's sliding
+  /// window. Caller holds jobs_mutex_.
+  void record_sojourn_locked(std::int64_t sojourn_us);
+  /// True when the policy is on and the window's p99 exceeds the target
+  /// (also publishes the p99 gauge). Caller holds jobs_mutex_.
+  bool sojourn_over_target_locked();
+  /// Store-fault recovery (worker threads): if `faulted` is still the
+  /// serving store, force a refresh from disk, falling back to the
+  /// last-good snapshot. Never throws; the daemon keeps running even
+  /// when no good store is reachable (requests keep failing INTERNAL
+  /// until a SIGHUP or a successful refresh).
+  void handle_store_fault(const std::shared_ptr<const ModelStore>& faulted);
+
   std::shared_ptr<const ModelStore> store_;  // guarded by store_mutex_
+  /// Previous store kept across reload() (unless it faulted) — the
+  /// fallback snapshot store-fault recovery swaps back in when the
+  /// refresh callback cannot produce a good store.
+  std::shared_ptr<const ModelStore> last_good_;  // guarded by store_mutex_
+  bool store_faulted_ = false;                   // guarded by store_mutex_
+  std::function<std::shared_ptr<const ModelStore>()> refresh_;  // set before start()
   mutable std::mutex store_mutex_;
   const ServerOptions options_;
   std::size_t worker_count_ = 0;
@@ -189,6 +228,11 @@ class Server {
   std::deque<PredictJob> job_queue_;
   bool jobs_draining_ = false;
   std::size_t jobs_inflight_ = 0;  ///< popped but not yet completed (guarded by jobs_mutex_)
+  /// Sliding window of recent queue sojourns feeding the p99 admission
+  /// policy (guarded by jobs_mutex_; plain ring, no allocation on the
+  /// hot path).
+  std::array<std::uint32_t, 128> sojourn_ring_{};
+  std::size_t sojourn_count_ = 0;
 
   // Compute plane → reactor: finished responses.
   std::mutex done_mutex_;

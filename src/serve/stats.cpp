@@ -34,6 +34,15 @@ ServeStats::ServeStats()
                           "CA-matrix rows pushed through the forests while serving")),
       reloads_(reg().counter("caml_serve_reloads_total",
                              "Successful SIGHUP store reloads")),
+      shed_expired_(reg().counter("caml_serve_shed_expired_total",
+                                  "Queued PREDICTs dropped with DEADLINE_EXCEEDED because "
+                                  "their client deadline expired before compute")),
+      shed_overload_(reg().counter("caml_serve_shed_overload_total",
+                                   "PREDICTs shed at admission by the sojourn-p99 latency "
+                                   "policy")),
+      store_faults_(reg().counter("caml_serve_store_faults_total",
+                                  "Mapped-store faults (SIGBUS / size change under the "
+                                  "mapping) converted to INTERNAL answers plus recovery")),
       queue_depth_gauge_(reg().gauge("caml_serve_queue_depth",
                                      "Connections queued beyond serving capacity right "
                                      "now (0 when drained)")),
@@ -42,11 +51,17 @@ ServeStats::ServeStats()
       predict_backlog_gauge_(reg().gauge("caml_serve_predict_backlog",
                                          "Decoded PREDICT requests waiting for the compute "
                                          "plane right now (0 when drained)")),
+      sojourn_p99_gauge_(reg().gauge("caml_serve_sojourn_p99_us",
+                                     "Sliding-window p99 queue sojourn the admission policy "
+                                     "sees (microseconds)")),
       latency_(reg().histogram("caml_serve_request_latency_us",
                                "Per-request decode-to-response-written latency in "
                                "microseconds")),
       batch_size_(reg().histogram("caml_serve_batch_size",
                                   "Requests per coalesced cross-connection predict batch")),
+      sojourn_(reg().histogram("caml_serve_queue_sojourn_us",
+                               "Queue sojourn (decode to compute-plane pop) per PREDICT in "
+                               "microseconds")),
       base_connections_(connections_.value()),
       base_ok_(ok_.value()),
       base_errors_(errors_.value()),
@@ -57,8 +72,12 @@ ServeStats::ServeStats()
       base_cells_(cells_.value()),
       base_rows_(rows_.value()),
       base_reloads_(reloads_.value()),
+      base_shed_expired_(shed_expired_.value()),
+      base_shed_overload_(shed_overload_.value()),
+      base_store_faults_(store_faults_.value()),
       base_latency_(latency_.snapshot()),
-      base_batch_size_(batch_size_.snapshot()) {}
+      base_batch_size_(batch_size_.snapshot()),
+      base_sojourn_(sojourn_.snapshot()) {}
 
 void ServeStats::record_latency_us(std::int64_t us) {
   const std::uint64_t v = us < 0 ? 0 : static_cast<std::uint64_t>(us);
@@ -95,6 +114,11 @@ StatsSnapshot ServeStats::snapshot() const {
   s.queue_depth = depth < 0 ? 0 : static_cast<std::uint64_t>(depth);
   s.queue_high_water = queue_high_water_.load(std::memory_order_relaxed);
   s.reloads = reloads_.value() - base_reloads_;
+  s.shed_expired = shed_expired_.value() - base_shed_expired_;
+  s.shed_overload = shed_overload_.value() - base_shed_overload_;
+  s.store_faults = store_faults_.value() - base_store_faults_;
+  const obs::HistogramSnapshot sojourn = sojourn_.snapshot().diff(base_sojourn_);
+  if (sojourn.count > 0) s.sojourn_p99_ms = sojourn.percentile(0.99) / 1000.0;
   const obs::HistogramSnapshot batches = batch_size_.snapshot().diff(base_batch_size_);
   s.batches = batches.count;
   if (batches.count > 0) {
@@ -130,6 +154,10 @@ std::string format_stats(const StatsSnapshot& s) {
      << "  batches              " << s.batches << '\n'
      << "  batch_mean           " << format_fixed(s.batch_mean, 2) << '\n'
      << "  reloads              " << s.reloads << '\n'
+     << "  shed_expired         " << s.shed_expired << '\n'
+     << "  shed_overload        " << s.shed_overload << '\n'
+     << "  store_faults         " << s.store_faults << '\n'
+     << "  sojourn_p99_ms       " << format_fixed(s.sojourn_p99_ms, 3) << '\n'
      << "  latency_p50_ms       " << format_fixed(s.latency_p50_ms, 3) << '\n'
      << "  latency_p99_ms       " << format_fixed(s.latency_p99_ms, 3) << '\n'
      << "  latency_max_ms       " << format_fixed(s.latency_max_ms, 3) << '\n';

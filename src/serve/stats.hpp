@@ -24,13 +24,20 @@ struct StatsSnapshot {
   std::uint64_t batches = 0;           ///< coalesced predict batches computed
   double batch_mean = 0.0;             ///< mean requests per coalesced batch
   std::uint64_t reloads = 0;           ///< successful SIGHUP store reloads
+  std::uint64_t shed_expired = 0;      ///< DEADLINE_EXCEEDED sheds (client deadline ran out in queue)
+  std::uint64_t shed_overload = 0;     ///< PREDICTs shed by the sojourn-p99 admission policy
+  std::uint64_t store_faults = 0;      ///< mapping faults converted to INTERNAL + recovery
+  double sojourn_p99_ms = 0.0;         ///< p99 queue sojourn of computed requests
   std::uint64_t latency_count = 0;
   double latency_p50_ms = 0.0;
   double latency_p99_ms = 0.0;
   double latency_max_ms = 0.0;
 
   std::uint64_t requests_served() const {
-    return requests_ok + requests_error + no_group + pings + stats_requests;
+    // shed_expired requests receive a structured DEADLINE_EXCEEDED answer,
+    // so they count as served; shed_overload parallels rejected_overload
+    // (the request never entered the plane) and stays out.
+    return requests_ok + requests_error + no_group + pings + stats_requests + shed_expired;
   }
 };
 
@@ -66,6 +73,23 @@ class ServeStats {
     rows_.add(rows);
   }
   void record_reload() { reloads_.add(); }
+  /// A queued PREDICT dropped with DEADLINE_EXCEEDED because its client
+  /// deadline expired before the compute plane reached it.
+  void record_shed_expired() { shed_expired_.add(); }
+  /// A PREDICT shed at admission by the latency-signal policy (queue
+  /// sojourn p99 above target).
+  void record_shed_overload() { shed_overload_.add(); }
+  /// A fault on the mapped store (SIGBUS / size change) converted into
+  /// structured INTERNAL responses plus a forced reload.
+  void record_store_fault() { store_faults_.add(); }
+  /// Queue sojourn (decode → compute-plane pop) of one PREDICT.
+  void record_sojourn_us(std::int64_t us) {
+    sojourn_.record(us < 0 ? 0 : static_cast<std::uint64_t>(us));
+  }
+  /// Publishes the sliding-window sojourn p99 the admission policy sees.
+  void update_sojourn_p99(std::uint64_t us) {
+    sojourn_p99_gauge_.set(static_cast<std::int64_t>(us));
+  }
   void record_latency_us(std::int64_t us);
   /// One coalesced predict batch of `requests` requests handed to the
   /// compute plane.
@@ -93,11 +117,16 @@ class ServeStats {
   obs::Counter& cells_;
   obs::Counter& rows_;
   obs::Counter& reloads_;
+  obs::Counter& shed_expired_;
+  obs::Counter& shed_overload_;
+  obs::Counter& store_faults_;
   obs::Gauge& queue_depth_gauge_;
   obs::Gauge& queue_high_water_gauge_;
   obs::Gauge& predict_backlog_gauge_;
+  obs::Gauge& sojourn_p99_gauge_;
   obs::Histogram& latency_;
   obs::Histogram& batch_size_;
+  obs::Histogram& sojourn_;
 
   // Registry values at construction: snapshot() reports deltas.
   std::uint64_t base_connections_;
@@ -110,8 +139,12 @@ class ServeStats {
   std::uint64_t base_cells_;
   std::uint64_t base_rows_;
   std::uint64_t base_reloads_;
+  std::uint64_t base_shed_expired_;
+  std::uint64_t base_shed_overload_;
+  std::uint64_t base_store_faults_;
   obs::HistogramSnapshot base_latency_;
   obs::HistogramSnapshot base_batch_size_;
+  obs::HistogramSnapshot base_sojourn_;
 
   // Maxima are per-instance (they do not subtract); the global gauge
   // still tracks the process-wide high water.

@@ -103,6 +103,13 @@ class MappedModelStore final : public ModelStore {
   const MatrixOptions& matrix_options() const override { return matrix_; }
   const Classifier* classifier_for(const GroupKey& key) const override;
 
+  /// Size revalidation against the pinned fd: false once the backing
+  /// file was truncated or rewritten in place (its on-disk size differs
+  /// from the mapped size) — accesses past the new EOF would SIGBUS.
+  /// The serve plane checks this before every batch and treats false as
+  /// a store fault.
+  bool healthy() const override { return !file_.size_changed(); }
+
   /// Per-group section facts for `caml store --info`.
   struct GroupInfo {
     GroupKey key;

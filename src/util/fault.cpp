@@ -5,6 +5,8 @@
 #include <signal.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <cstdlib>
 #include <mutex>
@@ -35,8 +37,14 @@ Kind parse_kind(const std::string& name) {
   if (name == "torn-rename") return Kind::kTornRename;
   if (name == "kill") return Kind::kKill;
   if (name == "slow-io") return Kind::kSlowIo;
+  if (name == "short-read") return Kind::kShortRead;
+  if (name == "econnreset") return Kind::kConnReset;
+  if (name == "eagain") return Kind::kEagain;
+  if (name == "eintr") return Kind::kEintr;
+  if (name == "stall") return Kind::kStall;
   throw Error("CAML_FAULT: unknown fault kind '" + name +
-              "' (want fail-write | short-write | torn-rename | kill | slow-io)");
+              "' (want fail-write | short-write | torn-rename | kill | slow-io | "
+              "short-read | econnreset | eagain | eintr | stall)");
 }
 
 /// Parses CAML_FAULT once per process; an unset/empty variable leaves
@@ -69,23 +77,56 @@ bool point_matches(const std::string& pattern, const char* point) {
   return pattern == "*" || pattern == point;
 }
 
+/// The class of operation a hook reports, deciding which kinds apply.
+enum class Op { kFileWrite, kFileRename, kNetRead, kNetWrite, kNetPoll };
+
+bool kind_applies(Kind kind, Op op) {
+  // kill and slow-io treat every matching op as a crash/delay candidate.
+  if (kind == Kind::kKill || kind == Kind::kSlowIo) return true;
+  switch (op) {
+    case Op::kFileWrite:
+      return kind == Kind::kFailWrite || kind == Kind::kShortWrite;
+    case Op::kFileRename:
+      return kind == Kind::kTornRename;
+    case Op::kNetRead:
+      return kind == Kind::kShortRead || kind == Kind::kConnReset || kind == Kind::kEagain ||
+             kind == Kind::kEintr || kind == Kind::kStall;
+    case Op::kNetWrite:
+      return kind == Kind::kShortWrite || kind == Kind::kConnReset || kind == Kind::kEagain ||
+             kind == Kind::kEintr || kind == Kind::kStall;
+    case Op::kNetPoll:
+      return kind == Kind::kEintr;
+  }
+  return false;
+}
+
+/// How many consecutive ops a storm kind covers starting at nth.
+std::size_t storm_span(const Spec& spec) {
+  if (spec.kind == Kind::kEagain) return spec.param > 0 ? spec.param : 64;
+  if (spec.kind == Kind::kEintr) return spec.param > 0 ? spec.param : 8;
+  return 1;
+}
+
 /// Counts the operation and decides whether the armed spec fires on it.
 /// Must be called with g_mutex held.
-bool op_fires_locked(const char* point, bool is_rename) {
+bool op_fires_locked(const char* point, Op op) {
   std::call_once(g_env_once, [] { arm_from_env_locked(); });
   if (!g_state.armed || !point_matches(g_state.spec.point, point)) return false;
-  // Kind/op-type compatibility: write kinds skip renames and vice versa,
-  // but kill and slow-io treat every persistence op as a crash/delay
-  // candidate.
   const Kind kind = g_state.spec.kind;
-  const bool applicable = kind == Kind::kKill || kind == Kind::kSlowIo ||
-                          (is_rename ? kind == Kind::kTornRename
-                                     : kind == Kind::kFailWrite || kind == Kind::kShortWrite);
-  if (!applicable) return false;
+  if (!kind_applies(kind, op)) return false;
   ++g_state.hits;
-  // slow-io fires from the nth op on; the crash kinds fire exactly once.
-  if (kind == Kind::kSlowIo) return g_state.hits >= g_state.spec.nth;
-  return g_state.hits == g_state.spec.nth;
+  const std::size_t nth = g_state.spec.nth;
+  // slow-io and the socket trickle kinds fire from the nth op on; the
+  // EAGAIN/EINTR storms fire for a bounded run of consecutive ops; the
+  // one-shot kinds fire exactly once.
+  if (kind == Kind::kSlowIo || kind == Kind::kShortRead ||
+      (kind == Kind::kShortWrite && (op == Op::kNetWrite))) {
+    return g_state.hits >= nth;
+  }
+  if (kind == Kind::kEagain || kind == Kind::kEintr) {
+    return g_state.hits >= nth && g_state.hits < nth + storm_span(g_state.spec);
+  }
+  return g_state.hits == nth;
 }
 
 [[noreturn]] void kill_self() {
@@ -125,7 +166,7 @@ std::size_t times_hit() {
 
 WriteDecision before_write(const char* point, std::size_t n) {
   std::unique_lock<std::mutex> lock(g_mutex);
-  if (!op_fires_locked(point, /*is_rename=*/false)) return {n, false};
+  if (!op_fires_locked(point, Op::kFileWrite)) return {n, false};
   ++g_state.triggered;
   const Spec spec = g_state.spec;
   lock.unlock();
@@ -149,7 +190,7 @@ WriteDecision before_write(const char* point, std::size_t n) {
 
 void before_rename(const char* point) {
   std::unique_lock<std::mutex> lock(g_mutex);
-  if (!op_fires_locked(point, /*is_rename=*/true)) return;
+  if (!op_fires_locked(point, Op::kFileRename)) return;
   ++g_state.triggered;
   const Spec spec = g_state.spec;
   lock.unlock();
@@ -165,6 +206,66 @@ void before_rename(const char* point) {
     default:
       return;
   }
+}
+
+namespace {
+
+/// Shared body of the socket read/write hooks: the only difference
+/// between the two is the Op class (which controls kind applicability).
+NetDecision net_io_decision(const char* point, std::size_t n, Op op) {
+  std::unique_lock<std::mutex> lock(g_mutex);
+  if (!op_fires_locked(point, op)) return {n, 0};
+  ++g_state.triggered;
+  const Spec spec = g_state.spec;
+  lock.unlock();
+  switch (spec.kind) {
+    case Kind::kShortRead:
+    case Kind::kShortWrite: {
+      // Trickle: never deliver more than `param` bytes per syscall.
+      const std::size_t cap = spec.param > 0 ? spec.param : 1;
+      return {std::min(n, std::max<std::size_t>(cap, 1)), 0};
+    }
+    case Kind::kConnReset:
+      return {0, ECONNRESET};
+    case Kind::kEagain:
+      return {0, EAGAIN};
+    case Kind::kEintr:
+      return {0, EINTR};
+    case Kind::kStall:
+      std::this_thread::sleep_for(std::chrono::milliseconds(spec.param > 0 ? spec.param : 200));
+      return {n, 0};
+    case Kind::kKill:
+      kill_self();
+    case Kind::kSlowIo:
+      std::this_thread::sleep_for(std::chrono::milliseconds(spec.param > 0 ? spec.param : 50));
+      return {n, 0};
+    default:
+      return {n, 0};
+  }
+}
+
+}  // namespace
+
+NetDecision before_net_read(const char* point, std::size_t n) {
+  return net_io_decision(point, n, Op::kNetRead);
+}
+
+NetDecision before_net_write(const char* point, std::size_t n) {
+  return net_io_decision(point, n, Op::kNetWrite);
+}
+
+bool before_net_poll(const char* point) {
+  std::unique_lock<std::mutex> lock(g_mutex);
+  if (!op_fires_locked(point, Op::kNetPoll)) return false;
+  ++g_state.triggered;
+  const Spec spec = g_state.spec;
+  lock.unlock();
+  if (spec.kind == Kind::kKill) kill_self();
+  if (spec.kind == Kind::kSlowIo) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(spec.param > 0 ? spec.param : 50));
+    return false;
+  }
+  return spec.kind == Kind::kEintr;
 }
 
 }  // namespace caml::fault

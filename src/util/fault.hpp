@@ -5,7 +5,8 @@
 
 namespace caml::fault {
 
-/// Deterministic fault-injection harness for the persistence paths.
+/// Deterministic fault-injection harness for the persistence and
+/// network paths.
 ///
 /// Compiled in only under -DCAML_FAULT_INJECTION=ON; the default build
 /// gets inline no-op hooks (zero overhead, nothing to misconfigure in
@@ -15,21 +16,37 @@ namespace caml::fault {
 ///
 ///   CAML_FAULT=<point>:<kind>:<nth>[:<param>]
 ///
-/// where <point> is an injection-point name ("checkpoint", "store", ...)
-/// or "*" for any point, <kind> is one of
+/// where <point> is an injection-point name ("checkpoint", "store",
+/// "net-read", "net-write", "net-poll", ...) or "*" for any point,
+/// <kind> is one of
 ///
 ///   fail-write   throw caml::Error instead of performing the nth write
-///   short-write  write only <param> bytes (default: half) then throw
+///   short-write  file writes: write only <param> bytes (default: half)
+///                then throw. Socket writes: cap every send from the
+///                nth on at <param> bytes (default 1) — a trickle that
+///                stress-tests incremental frame transmission
 ///   torn-rename  throw right before the nth rename (temp file written,
 ///                target untouched — the classic torn-commit window)
-///   kill         raise SIGKILL at the nth write/rename (real crash;
+///   kill         raise SIGKILL at the nth matching op (real crash;
 ///                no destructors, no cleanup)
 ///   slow-io      sleep <param> ms (default 50) at every matching
 ///                operation from the nth on
+///   short-read   cap every socket read from the nth on at <param>
+///                bytes (default 1) — the kernel-side short read
+///   econnreset   fail the nth socket read/write with ECONNRESET
+///   eagain       fail <param> consecutive socket ops (default 64)
+///                starting at the nth with EAGAIN — a spurious-
+///                readiness storm the retry loops must absorb
+///   eintr        fail <param> consecutive socket/poll ops (default 8)
+///                starting at the nth with EINTR — signal-interruption
+///                storm; correct code retries, buggy code surfaces a
+///                spurious error
+///   stall        sleep <param> ms (default 200) once at the nth
+///                socket op — a mid-frame stall
 ///
-/// and <nth> is the 1-based ordinal of the matching operation. Writes
-/// and renames share one operation counter per armed spec, so
-/// "*:kill:7" kills at the 7th persistence operation of the process —
+/// and <nth> is the 1-based ordinal of the matching operation. All
+/// matching operations share one counter per armed spec, so
+/// "*:kill:7" kills at the 7th matching operation of the process —
 /// the knob the crash-safety harness sweeps.
 enum class Kind {
   kNone,
@@ -38,6 +55,11 @@ enum class Kind {
   kTornRename,
   kKill,
   kSlowIo,
+  kShortRead,
+  kConnReset,
+  kEagain,
+  kEintr,
+  kStall,
 };
 
 struct Spec {
@@ -53,6 +75,16 @@ struct Spec {
 struct WriteDecision {
   std::size_t allow_bytes;
   bool fail_after;
+};
+
+/// What a socket read/write must do. When `force_errno` is nonzero the
+/// caller skips the real syscall and behaves exactly as if it failed
+/// with that errno (EINTR/EAGAIN/ECONNRESET take their normal handling
+/// paths — injection proves those paths, it does not bypass them).
+/// Otherwise the caller passes at most `allow_bytes` to the syscall.
+struct NetDecision {
+  std::size_t allow_bytes;
+  int force_errno;
 };
 
 /// True when the harness is compiled in.
@@ -84,6 +116,16 @@ WriteDecision before_write(const char* point, std::size_t n);
 /// sleep or SIGKILL.
 void before_rename(const char* point);
 
+/// Hook before reading up to `n` bytes from a socket at `point`
+/// ("net-read"). May cap the read, force an errno, sleep or SIGKILL.
+NetDecision before_net_read(const char* point, std::size_t n);
+/// Hook before writing up to `n` bytes to a socket at `point`
+/// ("net-write"). Same contract as before_net_read.
+NetDecision before_net_write(const char* point, std::size_t n);
+/// Hook before a poll()-style wait at `point` ("net-poll"). Returns
+/// true when the caller must behave as if poll failed with EINTR.
+bool before_net_poll(const char* point);
+
 #else
 
 inline void arm(const Spec&) {}
@@ -92,6 +134,9 @@ inline std::size_t times_triggered() { return 0; }
 inline std::size_t times_hit() { return 0; }
 inline WriteDecision before_write(const char*, std::size_t n) { return {n, false}; }
 inline void before_rename(const char*) {}
+inline NetDecision before_net_read(const char*, std::size_t n) { return {n, 0}; }
+inline NetDecision before_net_write(const char*, std::size_t n) { return {n, 0}; }
+inline bool before_net_poll(const char*) { return false; }
 
 #endif
 

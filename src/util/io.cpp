@@ -109,13 +109,16 @@ MappedFile::MappedFile(const std::string& path) {
     return;
   }
   void* base = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
-  const std::string detail = base == MAP_FAILED ? errno_text() : "";
-  ::close(fd);
   if (base == MAP_FAILED) {
+    const std::string detail = errno_text();
+    ::close(fd);
     size_ = 0;
     throw Error("cannot mmap " + path + ": " + detail);
   }
   data_ = static_cast<const unsigned char*>(base);
+  // Keep the fd: it pins the inode for the mapping's lifetime and feeds
+  // size_changed() revalidation.
+  fd_ = fd;
 }
 
 MappedFile::~MappedFile() { reset(); }
@@ -124,14 +127,24 @@ void MappedFile::reset() noexcept {
   if (data_ != nullptr) {
     ::munmap(const_cast<unsigned char*>(data_), size_);
   }
+  if (fd_ >= 0) ::close(fd_);
   data_ = nullptr;
   size_ = 0;
+  fd_ = -1;
+}
+
+bool MappedFile::size_changed() const {
+  if (fd_ < 0) return false;
+  struct stat st{};
+  if (::fstat(fd_, &st) != 0) return true;
+  return static_cast<std::size_t>(st.st_size) != size_;
 }
 
 MappedFile::MappedFile(MappedFile&& other) noexcept
-    : data_(other.data_), size_(other.size_) {
+    : data_(other.data_), size_(other.size_), fd_(other.fd_) {
   other.data_ = nullptr;
   other.size_ = 0;
+  other.fd_ = -1;
 }
 
 MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
@@ -139,8 +152,10 @@ MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
     reset();
     data_ = other.data_;
     size_ = other.size_;
+    fd_ = other.fd_;
     other.data_ = nullptr;
     other.size_ = 0;
+    other.fd_ = -1;
   }
   return *this;
 }

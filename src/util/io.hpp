@@ -74,6 +74,12 @@ void write_file_atomic(const std::string& path, std::string_view payload,
 /// private and never written through; bytes() stays valid until the
 /// object (or the object it was moved into) is destroyed. Throws
 /// caml::Error when the file cannot be opened, stat'ed or mapped.
+///
+/// The file descriptor is kept open for the mapping's lifetime: it pins
+/// the inode (an unlink or atomic-rename replacement can never reclaim
+/// the backing pages while we serve from them) and lets size_changed()
+/// revalidate the on-disk size, catching in-place truncation — the one
+/// mutation that makes accesses beyond the new EOF raise SIGBUS.
 class MappedFile {
  public:
   MappedFile() = default;
@@ -92,10 +98,17 @@ class MappedFile {
   }
   bool mapped() const { return data_ != nullptr; }
 
+  /// True when the mapped file's current on-disk size no longer matches
+  /// the mapped size — someone truncated or rewrote it in place, and
+  /// pages beyond the new EOF would SIGBUS on access. Best-effort: an
+  /// fstat failure reports "changed" (assume the worst).
+  bool size_changed() const;
+
  private:
   void reset() noexcept;
   const unsigned char* data_ = nullptr;
   std::size_t size_ = 0;
+  int fd_ = -1;  ///< pins the inode; -1 for empty/unmapped files
 };
 
 /// Checksummed container framing for durable artifacts. The on-disk

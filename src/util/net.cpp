@@ -9,10 +9,12 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
 #include "util/error.hpp"
+#include "util/fault.hpp"
 #include "util/timing.hpp"
 
 namespace caml {
@@ -52,12 +54,39 @@ bool poll_one(int fd, short events, int timeout_ms) {
   p.events = events;
   p.revents = 0;
   for (;;) {
+    // Injected EINTR takes the identical retry path a real signal would.
+    if (fault::before_net_poll("net-poll")) {
+      errno = EINTR;
+      continue;
+    }
     const int rc = ::poll(&p, 1, timeout_ms);
     if (rc > 0) return true;
     if (rc == 0) return false;
     if (errno == EINTR) continue;
     net_fail("poll");
   }
+}
+
+/// recv()/send() issued through the fault harness. An injected errno
+/// returns -1 with errno set, so callers exercise exactly the handling
+/// path a real kernel failure would take; a byte cap simulates kernel
+/// short reads/writes without touching the caller's retry logic.
+ssize_t recv_injected(int fd, void* buf, std::size_t n) {
+  const fault::NetDecision d = fault::before_net_read("net-read", n);
+  if (d.force_errno != 0) {
+    errno = d.force_errno;
+    return -1;
+  }
+  return ::recv(fd, buf, std::max<std::size_t>(1, std::min(n, d.allow_bytes)), 0);
+}
+
+ssize_t send_injected(int fd, const void* buf, std::size_t n) {
+  const fault::NetDecision d = fault::before_net_write("net-write", n);
+  if (d.force_errno != 0) {
+    errno = d.force_errno;
+    return -1;
+  }
+  return ::send(fd, buf, std::max<std::size_t>(1, std::min(n, d.allow_bytes)), MSG_NOSIGNAL);
 }
 
 }  // namespace
@@ -213,7 +242,7 @@ bool read_exact(int fd, void* buf, std::size_t n, int timeout_ms) {
     if (!poll_one(fd, POLLIN, remaining_ms(deadline))) {
       throw Error("read: timeout after " + std::to_string(timeout_ms) + " ms");
     }
-    const ssize_t rc = ::recv(fd, out + done, n - done, 0);
+    const ssize_t rc = recv_injected(fd, out + done, n - done);
     if (rc > 0) {
       done += static_cast<std::size_t>(rc);
       continue;
@@ -238,7 +267,7 @@ void write_all(int fd, const void* buf, std::size_t n, int timeout_ms) {
     if (!poll_one(fd, POLLOUT, remaining_ms(deadline))) {
       throw Error("write: timeout after " + std::to_string(timeout_ms) + " ms");
     }
-    const ssize_t rc = ::send(fd, in + done, n - done, MSG_NOSIGNAL);
+    const ssize_t rc = send_injected(fd, in + done, n - done);
     if (rc >= 0) {
       done += static_cast<std::size_t>(rc);
       continue;
@@ -251,7 +280,7 @@ void write_all(int fd, const void* buf, std::size_t n, int timeout_ms) {
 
 IoResult read_some(int fd, void* buf, std::size_t n) {
   for (;;) {
-    const ssize_t rc = ::recv(fd, buf, n, 0);
+    const ssize_t rc = recv_injected(fd, buf, n);
     if (rc > 0) return {static_cast<std::size_t>(rc), false, false};
     if (rc == 0) return {0, true, false};
     if (errno == EINTR) continue;
@@ -263,7 +292,7 @@ IoResult read_some(int fd, void* buf, std::size_t n) {
 
 IoResult write_some(int fd, const void* buf, std::size_t n) {
   for (;;) {
-    const ssize_t rc = ::send(fd, buf, n, MSG_NOSIGNAL);
+    const ssize_t rc = send_injected(fd, buf, n);
     if (rc >= 0) return {static_cast<std::size_t>(rc), false, false};
     if (errno == EINTR) continue;
     if (errno == EAGAIN || errno == EWOULDBLOCK) return {0, false, true};

@@ -1,0 +1,47 @@
+#include "util/sigguard.hpp"
+
+#include <signal.h>
+
+#include <mutex>
+
+namespace caml::io {
+
+namespace detail {
+
+thread_local SigbusJump* t_sigbus_jump = nullptr;
+
+namespace {
+
+void sigbus_handler(int sig) {
+  SigbusJump* jump = t_sigbus_jump;
+  if (jump != nullptr) {
+    // Async-signal-safe by construction: siglongjmp back into the armed
+    // with_sigbus_guard frame, which then throws from normal context.
+    siglongjmp(jump->buf, 1);
+  }
+  // No guard armed on this thread: a genuine bug, not a mapping fault.
+  // Restore the default disposition and re-raise so the process dies
+  // with the honest signal (core dump and all).
+  struct sigaction dfl {};
+  dfl.sa_handler = SIG_DFL;
+  sigemptyset(&dfl.sa_mask);
+  ::sigaction(sig, &dfl, nullptr);
+  ::raise(sig);
+}
+
+}  // namespace
+
+void install_sigbus_handler() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    struct sigaction sa {};
+    sa.sa_handler = &sigbus_handler;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;
+    ::sigaction(SIGBUS, &sa, nullptr);
+  });
+}
+
+}  // namespace detail
+
+}  // namespace caml::io

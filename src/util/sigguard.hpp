@@ -1,0 +1,61 @@
+#pragma once
+
+#include <csetjmp>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace caml::io {
+
+/// Thrown when a SIGBUS landed inside a with_sigbus_guard region — in
+/// practice: a memory-mapped file was truncated or rewritten in place
+/// under an active mapping, and a page beyond the new EOF was touched.
+/// The throw happens from normal (post-longjmp) context, so ordinary
+/// catch/unwind semantics apply to the caller.
+class MappingFault : public Error {
+ public:
+  explicit MappingFault(const std::string& what) : Error("mapping fault: " + what) {}
+};
+
+namespace detail {
+
+/// Thread-local jump target armed by with_sigbus_guard. The process-wide
+/// SIGBUS handler siglongjmps to it when armed; when no guard is armed
+/// on the faulting thread it restores the default disposition and
+/// re-raises, so a genuine wild-pointer SIGBUS still crashes honestly.
+struct SigbusJump {
+  sigjmp_buf buf;
+};
+
+extern thread_local SigbusJump* t_sigbus_jump;
+
+/// Installs the process-wide SIGBUS handler exactly once (thread-safe).
+void install_sigbus_handler();
+
+}  // namespace detail
+
+/// Runs `fn` with SIGBUS on this thread converted into a MappingFault
+/// carrying `what`. On a fault, every stack frame `fn` had open is
+/// abandoned without unwinding — so the guarded region must be
+/// longjmp-safe: plain reads and arithmetic over the mapping and
+/// caller-owned buffers only. No allocation, no locks, no RAII
+/// resources inside `fn`. Guards nest (per thread); an exception thrown
+/// by `fn` itself propagates normally and disarms the guard.
+template <typename Fn>
+void with_sigbus_guard(const char* what, Fn&& fn) {
+  detail::install_sigbus_handler();
+  detail::SigbusJump jump;
+  struct Restore {
+    detail::SigbusJump* prev;
+    ~Restore() { detail::t_sigbus_jump = prev; }
+  } restore{detail::t_sigbus_jump};
+  if (sigsetjmp(jump.buf, 1) != 0) {
+    // Arrived via siglongjmp from the handler: this frame is intact,
+    // the signal mask is restored, and throwing is safe again.
+    throw MappingFault(what);
+  }
+  detail::t_sigbus_jump = &jump;
+  fn();
+}
+
+}  // namespace caml::io

@@ -3,11 +3,13 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <filesystem>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "camatrix/canonical.hpp"
 #include "camodel/model_io.hpp"
@@ -462,13 +464,16 @@ TEST(ServeClient, OverloadRetriesHonorHintAndBudgetCap) {
   const Fd queued = connect_unix(options.socket_path, 2000);
   std::this_thread::sleep_for(std::chrono::milliseconds(100));
 
-  // Budget of 100 ms with a 40 ms hint: the client sleeps 40+40, and the
-  // third wait would exceed the budget — the OVERLOADED error (carried
-  // on a request-id-0 frame, since the server never read the request)
-  // surfaces as a RemoteError with the hint attached.
+  // Budget of 250 ms with a 40 ms hint: backoff attempt 0 waits in
+  // [40, 80), attempt 1 in [80, 160) (exponential from the hint, jitter
+  // factor < 2), so both sleeps always fit (< 240 ms spent) and the
+  // third wait (>= 160 ms) always busts the budget — the OVERLOADED
+  // error (carried on a request-id-0 frame, since the server never read
+  // the request) surfaces as a RemoteError with the hint attached.
   ClientOptions copts;
   copts.socket_path = options.socket_path;
-  copts.overload_retry_budget_ms = 100;
+  copts.overload_retry_budget_ms = 250;
+  copts.backoff_ms = 1;  // below the hint, so the server's 40 ms is the floor
   Client client(copts);
   const auto t0 = std::chrono::steady_clock::now();
   try {
@@ -481,7 +486,7 @@ TEST(ServeClient, OverloadRetriesHonorHintAndBudgetCap) {
   const auto waited = std::chrono::duration_cast<std::chrono::milliseconds>(
                           std::chrono::steady_clock::now() - t0)
                           .count();
-  EXPECT_GE(waited, 80) << "client must honor the server's retry-after hint";
+  EXPECT_GE(waited, 120) << "client must honor the server's retry-after hint as a floor";
   EXPECT_GE(server.stats().rejected_overload, 3u);
 
   // A zero budget disables overload retries: the reject surfaces
@@ -726,6 +731,167 @@ TEST(ServeServer, PipelinedBatchIsOrderedAndByteIdentical) {
   EXPECT_LE(stats.batches, 4u) << "each request computed at most once";
   // The compute backlog gauge drains back to 0 (fed on both sides).
   EXPECT_EQ(obs::Registry::global().gauge("caml_serve_predict_backlog").value(), 0);
+  server.stop();
+}
+
+TEST(ServeProtocol, PredictPayloadVersionSplit) {
+  // v1: the payload IS the netlist, untouched.
+  const serve::PredictPayload v1 =
+      serve::split_predict_payload(serve::kProtocolVersion, "* bare netlist");
+  EXPECT_EQ(v1.deadline_ms, 0u);
+  EXPECT_EQ(v1.netlist, "* bare netlist");
+
+  // v2: deadline prefix + netlist round-trips through encode/split.
+  const std::string wire = serve::encode_predict_payload(1500, "* v2 netlist");
+  const serve::PredictPayload v2 =
+      serve::split_predict_payload(serve::kProtocolVersionDeadline, wire);
+  EXPECT_EQ(v2.deadline_ms, 1500u);
+  EXPECT_EQ(v2.netlist, "* v2 netlist");
+
+  // A v2 payload shorter than its fixed field is malformed, not a
+  // zero-deadline request.
+  EXPECT_THROW(serve::split_predict_payload(serve::kProtocolVersionDeadline, "abc"),
+               ProtocolError);
+}
+
+TEST(ServeClient, BackoffDecorrelatesAcrossSeeds) {
+  // The jittered overload backoff is a pure function: reproducible per
+  // seed, floored by the server hint, bounded by 2x the capped
+  // exponential, and decorrelated across seeds so a fleet of restarted
+  // clients does not re-stampede the server in lockstep.
+  const int hint = 40, base = 100, cap = 2000;
+  std::vector<std::vector<int>> schedules;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    std::vector<int> waits;
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      const int w = serve::overload_backoff_ms(seed, attempt, hint, base, cap);
+      // Deterministic: same (seed, attempt) -> same wait.
+      EXPECT_EQ(w, serve::overload_backoff_ms(seed, attempt, hint, base, cap));
+      // Floor: never earlier than the server asked; jitter only stretches.
+      EXPECT_GE(w, std::max(hint, base)) << "seed " << seed << " attempt " << attempt;
+      // Bound: capped exponential, at most doubled by jitter.
+      EXPECT_LT(w, 2 * cap) << "seed " << seed << " attempt " << attempt;
+      waits.push_back(w);
+    }
+    // Exponential shape survives the jitter: attempt k+1's pre-jitter
+    // wait doubles, and jitter is < 2x, so the schedule grows until cap.
+    EXPECT_GT(waits[1], waits[0] / 2);
+    schedules.push_back(std::move(waits));
+  }
+  // Decorrelation: 8 seeds must not all produce the identical schedule.
+  int distinct_from_first = 0;
+  for (std::size_t i = 1; i < schedules.size(); ++i) {
+    if (schedules[i] != schedules[0]) ++distinct_from_first;
+  }
+  EXPECT_GE(distinct_from_first, 6) << "jitter failed to spread the fleet";
+}
+
+TEST(ServeServer, DeadlineExpiredIsShedWithoutCompute) {
+  // A v2 request whose 1 ms deadline expires while queued behind a slow
+  // batch is answered DEADLINE_EXCEEDED and never reaches the compute
+  // plane — the shed counters prove no forest work was spent on it.
+  ServerOptions options;
+  options.socket_path = temp_socket("deadline");
+  options.jobs = 1;       // one worker: FIFO drain order is deterministic
+  options.max_batch = 1;  // blocker and deadline job in separate batches
+  Server server(shared_store(), options);
+  server.start();
+
+  const std::string netlist = SpiceWriter().to_string(make_target_nand2());
+  const Fd conn = connect_unix(options.socket_path, 2000);
+
+  // Pipeline five frames on one connection: four v1 blockers (their
+  // serial compute keeps the single worker busy far past 1 ms) and a v2
+  // request carrying a 1 ms deadline. The reactor decodes in order, so
+  // the deadline job waits in the queue while every blocker computes.
+  constexpr std::uint64_t kBlockers = 4;
+  for (std::uint64_t id = 1; id <= kBlockers; ++id) {
+    Frame blocker;
+    blocker.type = MsgType::kPredictCell;
+    blocker.request_id = id;
+    blocker.payload = netlist;
+    serve::write_frame(conn.get(), blocker, 2000);
+  }
+  Frame doomed;
+  doomed.version = serve::kProtocolVersionDeadline;
+  doomed.type = MsgType::kPredictCell;
+  doomed.request_id = kBlockers + 1;
+  doomed.payload = serve::encode_predict_payload(1, netlist);
+  serve::write_frame(conn.get(), doomed, 2000);
+
+  for (std::uint64_t id = 1; id <= kBlockers; ++id) {
+    const std::optional<Frame> response = serve::read_frame(conn.get(), 30000);
+    ASSERT_TRUE(response.has_value());
+    EXPECT_EQ(response->type, MsgType::kPredictOk);
+    EXPECT_EQ(response->request_id, id);
+  }
+  const std::optional<Frame> shed = serve::read_frame(conn.get(), 30000);
+  ASSERT_TRUE(shed.has_value());
+  EXPECT_EQ(shed->request_id, kBlockers + 1);
+  ASSERT_EQ(shed->type, MsgType::kError);
+  EXPECT_EQ(decode_error(shed->payload).code, ErrorCode::kDeadlineExceeded);
+
+  const serve::StatsSnapshot stats = server.stats();
+  EXPECT_EQ(stats.shed_expired, 1u);
+  EXPECT_EQ(stats.requests_ok, kBlockers);
+  EXPECT_EQ(stats.cells_predicted, kBlockers)
+      << "the shed request must not consume compute";
+  server.stop();
+}
+
+TEST(ServeServer, SojournOverTargetShedsBeforeQueueing) {
+  // Latency-signal admission: with a 1 ms sojourn target and a queue
+  // backed up behind one worker, the measured p99 sojourn blows past the
+  // target and later arrivals are shed kOverloaded before queueing.
+  ServerOptions options;
+  options.socket_path = temp_socket("sojourn");
+  options.jobs = 1;
+  options.max_batch = 1;          // every job is its own batch -> sojourns pile up
+  options.sojourn_target_ms = 1;  // any real backlog exceeds this
+  Server server(shared_store(), options);
+  server.start();
+
+  const std::string netlist = SpiceWriter().to_string(make_target_nand2());
+  const Fd conn = connect_unix(options.socket_path, 2000);
+  // 12 pipelined predicts: jobs queue behind the single worker, so the
+  // sojourn window (needs >= 8 samples) fills with multi-ms sojourns.
+  for (std::uint64_t id = 1; id <= 12; ++id) {
+    Frame request;
+    request.type = MsgType::kPredictCell;
+    request.request_id = id;
+    request.payload = netlist;
+    serve::write_frame(conn.get(), request, 2000);
+  }
+  std::uint64_t sheds_inline = 0;
+  for (std::uint64_t id = 1; id <= 12; ++id) {
+    const std::optional<Frame> response = serve::read_frame(conn.get(), 30000);
+    ASSERT_TRUE(response.has_value());
+    EXPECT_EQ(response->request_id, id);
+    if (response->type == MsgType::kError) {
+      // Later arrivals in the pipeline may already be shed by the
+      // policy once the window has its 8 samples — also a pass.
+      EXPECT_EQ(decode_error(response->payload).code, ErrorCode::kOverloaded);
+      ++sheds_inline;
+    } else {
+      EXPECT_EQ(response->type, MsgType::kPredictOk);
+    }
+  }
+
+  if (sheds_inline == 0) {
+    // The window is full of over-target sojourns: the next arrival must
+    // be shed at admission. A zero retry budget surfaces it immediately.
+    ClientOptions copts;
+    copts.socket_path = options.socket_path;
+    copts.overload_retry_budget_ms = 0;
+    Client client(copts);
+    try {
+      client.predict_cell(netlist);
+      FAIL() << "expected the sojourn policy to shed this request";
+    } catch (const RemoteError& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kOverloaded);
+    }
+  }
+  EXPECT_GE(server.stats().shed_overload, 1u);
   server.stop();
 }
 

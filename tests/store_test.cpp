@@ -9,12 +9,15 @@
 
 #include <unistd.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "camatrix/canonical.hpp"
 #include "camodel/model_io.hpp"
@@ -28,6 +31,7 @@
 #include "test_support.hpp"
 #include "util/error.hpp"
 #include "util/io.hpp"
+#include "util/sigguard.hpp"
 #include "util/thread_pool.hpp"
 
 namespace caml {
@@ -472,6 +476,158 @@ TEST(BinaryStore, ServeAnswersIdenticallyFromMappedStore) {
   EXPECT_EQ(client.predict_cell(netlist), expected)
       << "failed reload must leave the serving store untouched";
 
+  server.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Mapping faults: truncation under an active mapping
+
+TEST(BinaryStore, TruncationUnderMappingFaultsStructurally) {
+  // The store file shrinks under an active mapping (rotation gone wrong,
+  // a partial copy over the live file): healthy() flags the size change,
+  // and touching the vanished pages raises SIGBUS which the guard
+  // converts into a structured io::MappingFault — never a dead process.
+  const std::string dir = temp_dir("sigbus");
+  const std::string victim = dir + "/live.bin.caml";
+  const std::string pristine = slurp(shared_binary_path());
+  ASSERT_GT(pristine.size(), std::size_t{100 * 4096})
+      << "store file too small to guarantee pages past the truncation point";
+  spit(victim, pristine);
+
+  const MappedModelStore mapped =
+      MappedModelStore::open(victim, MappedModelStore::Verify::kMapOnly);
+  EXPECT_TRUE(mapped.healthy());
+
+  const GroupKey key = shared_store().group_keys().front();
+  const RandomForest* trained = shared_store().forest_for(key);
+  ASSERT_NE(trained, nullptr);
+  const std::size_t features = trained->num_features();
+  const std::vector<std::int8_t> rows = make_rows(64, features);
+  const auto* view = dynamic_cast<const MappedForest*>(mapped.classifier_for(key));
+  ASSERT_NE(view, nullptr);
+  // Baseline: the mapping answers normally before the truncation.
+  EXPECT_EQ(view->predict_proba_batch(rows.data(), 64, features).size(), 64u);
+
+  // Shrink the backing file to one page: the node arrays live far past
+  // the new EOF, so traversal faults on first touch.
+  ASSERT_EQ(::truncate(victim.c_str(), 4096), 0);
+  EXPECT_FALSE(mapped.healthy()) << "size revalidation must flag the truncation";
+  EXPECT_THROW(view->predict_proba_batch(rows.data(), 64, features), io::MappingFault)
+      << "SIGBUS must surface as a structured fault, not kill the process";
+}
+
+TEST(BinaryStore, ServerRecoversFromStoreFaultViaRefresh) {
+  // End to end: the serving store's backing file is truncated in place.
+  // The in-flight request fails INTERNAL (not silently garbage), the
+  // server's refresh callback restores + re-opens the file, and the very
+  // next request is answered byte-identically — the daemon never dies.
+  const std::string dir = temp_dir("refresh");
+  const std::string victim = dir + "/live.bin.caml";
+  const std::string pristine = slurp(shared_binary_path());
+  spit(victim, pristine);
+
+  const Technology tech = technology_28soi();
+  const Cell target = build_function("NAND2", tech, {1, StructureVariant::kWide}, 9).cell;
+  const std::string netlist = SpiceWriter().to_string(target);
+  const std::vector<Cell> parsed = SpiceParser().parse_string(netlist);
+  const std::string expected = ca_model_to_string(
+      shared_store().predict(parsed.front(), canonicalize(parsed.front()),
+                             PolicyProfile{}.policy_for(parsed.front().num_inputs()),
+                             SimConfig{}),
+      parsed.front());
+
+  serve::ServerOptions options;
+  options.socket_path = temp_socket("refresh");
+  options.jobs = 1;  // one worker: fault -> recovery -> next batch is serial
+  serve::Server server(open_model_store(victim), options);
+  server.set_store_refresh([victim, pristine]() -> std::shared_ptr<const ModelStore> {
+    // Source-of-truth repair: put the pristine bytes back, then re-open.
+    std::ofstream os(victim, std::ios::binary | std::ios::trunc);
+    os.write(pristine.data(), static_cast<std::streamsize>(pristine.size()));
+    os.flush();
+    return open_model_store(victim);
+  });
+  server.start();
+
+  serve::ClientOptions copts;
+  copts.socket_path = options.socket_path;
+  serve::Client client(copts);
+  EXPECT_EQ(client.predict_cell(netlist), expected);
+
+  // Pull the rug: shrink the live file under the serving mapping.
+  ASSERT_EQ(::truncate(victim.c_str(), 4096), 0);
+  try {
+    client.predict_cell(netlist);
+    FAIL() << "predict against a faulted mapping must fail INTERNAL";
+  } catch (const serve::RemoteError& e) {
+    EXPECT_EQ(e.code(), serve::ErrorCode::kInternal) << e.what();
+  }
+
+  // Recovery already ran (the worker repairs before publishing the
+  // INTERNAL answer): the next request must be answered correctly.
+  EXPECT_EQ(client.predict_cell(netlist), expected)
+      << "refresh callback must restore byte-identical serving";
+  const serve::StatsSnapshot stats = server.stats();
+  EXPECT_GE(stats.store_faults, 1u);
+  EXPECT_GE(stats.reloads, 1u) << "recovery swaps the fresh store in via reload";
+  server.stop();
+}
+
+TEST(BinaryStore, ReloadRacesInflightBatchesOnMappedStore) {
+  // SIGHUP reload storms while pipelined batches are in flight on a
+  // mapped store: every in-flight batch finishes on the snapshot it
+  // started with (the old mapping stays alive until its last batch
+  // drops the shared_ptr), so every answer stays byte-identical.
+  const Technology tech = technology_28soi();
+  std::vector<std::string> netlists;
+  std::vector<std::string> expected;
+  for (unsigned seed : {31u, 32u, 33u, 34u}) {
+    const Cell cell = build_function("NAND2", tech, {1, StructureVariant::kWide}, seed).cell;
+    const std::string netlist = SpiceWriter().to_string(cell);
+    const std::vector<Cell> parsed = SpiceParser().parse_string(netlist);
+    expected.push_back(ca_model_to_string(
+        shared_store().predict(parsed.front(), canonicalize(parsed.front()),
+                               PolicyProfile{}.policy_for(parsed.front().num_inputs()),
+                               SimConfig{}),
+        parsed.front()));
+    netlists.push_back(netlist);
+  }
+  // 12 requests total, pipelined 8-deep against 2 workers.
+  std::vector<std::string> batch;
+  std::vector<std::string> want;
+  for (int rep = 0; rep < 3; ++rep) {
+    batch.insert(batch.end(), netlists.begin(), netlists.end());
+    want.insert(want.end(), expected.begin(), expected.end());
+  }
+
+  serve::ServerOptions options;
+  options.socket_path = temp_socket("reloadrace");
+  options.jobs = 2;
+  serve::Server server(open_model_store(shared_binary_path()), options);
+  server.start();
+
+  // Reload storm: fresh mappings of the same file swap in mid-batch.
+  std::atomic<bool> done{false};
+  std::thread reloader([&] {
+    while (!done.load()) {
+      server.reload(open_model_store(shared_binary_path()));
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  serve::ClientOptions copts;
+  copts.socket_path = options.socket_path;
+  serve::Client client(copts);
+  const std::vector<serve::BatchResult> results = client.predict_cells(batch, 8);
+  done.store(true);
+  reloader.join();
+
+  ASSERT_EQ(results.size(), want.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].ok()) << "request " << i;
+    EXPECT_EQ(results[i].payload, want[i]) << "request " << i;
+  }
+  EXPECT_GE(server.stats().reloads, 1u);
   server.stop();
 }
 

@@ -70,6 +70,12 @@ struct Args {
   std::uint16_t port = 0;
   std::size_t max_queue = 64;
   std::size_t max_batch = 32;
+  /// serve: shed new PREDICTs when queue-sojourn p99 exceeds this
+  /// (daemon default on at 1000 ms; 0 disables).
+  std::size_t shed_target_ms = 1000;
+  /// query: per-request compute deadline shipped to the daemon
+  /// (protocol v2); 0 sends v1 frames.
+  std::size_t deadline_ms = 0;
   bool ping = false;
   bool stats = false;
   // store conversions
@@ -93,8 +99,9 @@ struct Args {
       "  caml patterns <lib.sp> <camodel-dir>\n"
       "  caml store <models> (--to-binary <out> | --to-text <out> | --info)\n"
       "  caml serve <models> --socket PATH [--port N] [--jobs N] [--max-queue N]\n"
-      "            [--max-batch N]\n"
+      "            [--max-batch N] [--shed-target-ms N]\n"
       "  caml query <cell.sp> --socket PATH [--port N] [-o <dir>] [--ping] [--stats]\n"
+      "            [--deadline-ms N]\n"
       "policies: static | single | exhaustive (default: exhaustive for\n"
       "cells with <= 4 inputs, single-input-change above)\n"
       "--jobs N: worker threads (default: one per hardware thread;\n"
@@ -120,10 +127,17 @@ struct Args {
       "--max-batch caps how many decoded PREDICT requests one compute\n"
       "worker coalesces (across connections) into a single\n"
       "predict_batch sweep (default 32; 1 = per-request compute).\n"
+      "--shed-target-ms: latency-aware load shedding — when the queue's\n"
+      "recent p99 sojourn exceeds the target, new PREDICTs are rejected\n"
+      "OVERLOADED before queueing (default 1000; 0 disables). Requests\n"
+      "whose client deadline expires while queued are answered\n"
+      "DEADLINE_EXCEEDED without consuming compute.\n"
       "query: sends each cell of <cell.sp> to a running daemon; writes\n"
       "predicted .camodel files to -o (or stdout). --ping just probes;\n"
       "--stats dumps the daemon's unified metrics snapshot (Prometheus\n"
-      "text exposition) and exits.\n"
+      "text exposition) and exits. --deadline-ms N ships a per-request\n"
+      "compute deadline (protocol v2); the daemon sheds requests whose\n"
+      "deadline expired in queue instead of computing stale answers.\n"
       "--trace FILE records every instrumented stage as a Chrome-trace\n"
       "JSON (open in chrome://tracing or Perfetto). --profile prints a\n"
       "per-stage wall/CPU/throughput table on exit. Both only observe:\n"
@@ -163,6 +177,11 @@ Args parse_args(int argc, char** argv) {
     else if (a == "--max-batch") {
       args.max_batch = count_value();
       if (args.max_batch == 0) usage("--max-batch needs a value >= 1");
+    }
+    else if (a == "--shed-target-ms") args.shed_target_ms = count_value();
+    else if (a == "--deadline-ms") {
+      args.deadline_ms = count_value();
+      if (args.deadline_ms > 0xFFFFFFFFull) usage("--deadline-ms is too large");
     }
     else if (a == "--ping") args.ping = true;
     else if (a == "--stats") args.stats = true;
@@ -495,7 +514,13 @@ int cmd_serve(const Args& args) {
   options.jobs = args.jobs;
   options.max_queue = args.max_queue;
   options.max_batch = args.max_batch;
+  options.sojourn_target_ms = static_cast<int>(args.shed_target_ms);
   serve::Server server(std::move(store), options);
+  // Store-fault recovery: when a serving mmap snapshot faults (backing
+  // file truncated/rewritten in place), the server re-opens from disk
+  // through the same validated path SIGHUP uses; on failure it falls
+  // back to the last-good snapshot. Either way the daemon stays up.
+  server.set_store_refresh([store_path] { return open_store_timed(store_path); });
 
   Pipe signal_pipe = make_pipe();
   g_signal_pipe_wr = signal_pipe.wr.get();
@@ -551,6 +576,7 @@ int cmd_query(const Args& args) {
   serve::ClientOptions copts;
   copts.socket_path = args.socket;
   copts.port = args.port;
+  copts.deadline_ms = static_cast<std::uint32_t>(args.deadline_ms);
   serve::Client client(copts);
   if (args.ping) {
     if (!args.positional.empty()) usage("--ping takes no netlist");
