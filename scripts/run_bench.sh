@@ -7,10 +7,14 @@
 #                             pipelined cross-connection coalescing),
 #   - bench_store_load       (model store: text parse vs. binary mmap
 #                             open, serve cold start per backend),
+#   - bench_active_budget     (active-learning routing: accuracy vs.
+#                             simulation budget against the structural
+#                             baseline),
 # then distills the numbers that matter — cells/s, defect-sims/s,
 # baseline-vs-kernel speedup, p50/p99 latencies, tail ratios, realized
-# batch sizes — into BENCH_PR6.json, and the store load/cold-start
-# numbers into BENCH_PR7.json.
+# batch sizes — into BENCH_PR6.json, the store load/cold-start
+# numbers into BENCH_PR7.json, and the accuracy-vs-budget curve into
+# BENCH_PR9.json.
 #
 # Every workload is seeded deterministically inside the benches
 # (cell builder Rng(7), forest dataset Rng(2024), stimulus enumeration
@@ -18,8 +22,9 @@
 #
 # Usage: scripts/run_bench.sh [--quick] [BUILD_DIR]
 #   --quick   seconds-scale smoke of the same pipeline (used by the
-#             cmake `verify` target); still emits both JSON reports.
-# The JSON lands in BUILD_DIR/BENCH_PR6.json and BUILD_DIR/BENCH_PR7.json.
+#             cmake `verify` target); still emits all three JSON reports.
+# The JSON lands in BUILD_DIR/BENCH_PR6.json, BUILD_DIR/BENCH_PR7.json
+# and BUILD_DIR/BENCH_PR9.json.
 set -eu
 
 QUICK=0
@@ -35,7 +40,8 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 
 cmake -B "$BUILD_DIR" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD_DIR" -j --target \
-  bench_simulator bench_parallel_scaling bench_serve_throughput bench_store_load >/dev/null
+  bench_simulator bench_parallel_scaling bench_serve_throughput bench_store_load \
+  bench_active_budget >/dev/null
 
 WORK="$(mktemp -d)"
 trap 'rm -rf "$WORK"' EXIT
@@ -45,11 +51,13 @@ if [ "$QUICK" -eq 1 ]; then
   SCALING_ARGS="--quick"
   SERVE_ARGS="--quick"
   STORE_ARGS="--quick"
+  ACTIVE_ARGS="--quick"
 else
   SIM_ARGS="--benchmark_min_time=1s"
   SCALING_ARGS=""
   SERVE_ARGS=""
   STORE_ARGS=""
+  ACTIVE_ARGS=""
 fi
 
 echo "== bench_simulator =="
@@ -72,6 +80,11 @@ echo
 echo "== bench_store_load =="
 # shellcheck disable=SC2086
 "$BUILD_DIR/bench/bench_store_load" $STORE_ARGS | tee "$WORK/store.txt"
+
+echo
+echo "== bench_active_budget =="
+# shellcheck disable=SC2086
+"$BUILD_DIR/bench/bench_active_budget" $ACTIVE_ARGS | tee "$WORK/active.txt"
 
 python3 - "$WORK" "$BUILD_DIR/BENCH_PR6.json" "$QUICK" <<'EOF'
 import json, re, sys
@@ -261,4 +274,57 @@ assert ratio < 5.0, \
 # And the mapped open must beat the text parse outright at scale.
 assert largest["bin_open_map_us"] * 10 < largest["text_load_us"], \
     "binary map-only open should be >=10x faster than text parse at scale"
+EOF
+
+python3 - "$WORK" "$BUILD_DIR/BENCH_PR9.json" "$QUICK" <<'EOF'
+import json, re, sys
+
+work, out_path, quick = sys.argv[1], sys.argv[2], sys.argv[3] == "1"
+active = open(f"{work}/active.txt").read()
+
+# --- bench_active_budget: RESULT active_budget key=value lines --------
+def kv(line):
+    return {k: v for k, v in re.findall(r"(\w+)=(\S+)", line)}
+
+report = {"quick_mode": quick, "structural": None, "active": {}}
+for line in active.splitlines():
+    if not line.startswith("RESULT active_budget "):
+        continue
+    row = kv(line)
+    point = {
+        "budget_s": float(row["budget_s"]),
+        "spent_s": float(row["spent_s"]),
+        "acquired": int(row["acquired"]),
+        "targets": int(row["targets"]),
+        "mean_acc": float(row["mean_acc"]),
+        "acc98": float(row["acc98"]),
+    }
+    if row["policy"] == "structural":
+        report["structural"] = point
+    else:
+        report["active"][f"budget_{row['budget_frac']}"] = point
+
+with open(out_path, "w") as f:
+    json.dump(report, f, indent=2)
+    f.write("\n")
+print(f"wrote {out_path}")
+
+# Gates for the active-learning design claims.
+assert report["structural"], "structural baseline line missing"
+assert len(report["active"]) >= 3, \
+    f"expected >=3 budget points, got {list(report['active'])}"
+full = report["active"]["budget_1.00"]
+base = report["structural"]
+# At equal spend the uncertainty-driven policy must match the
+# simulate-every-new-structure baseline.
+assert full["mean_acc"] + 0.002 >= base["mean_acc"], \
+    f"active@1.0S lost accuracy: {full['mean_acc']} vs {base['mean_acc']}"
+# The budget is a hard ceiling at every point of the curve.
+for name, point in report["active"].items():
+    assert point["spent_s"] <= point["budget_s"] + 1e-6, \
+        f"{name} overspent: {point}"
+# The curve is monotone in acquisitions: more budget never buys fewer
+# simulations.
+acquired = [p["acquired"] for _, p in sorted(report["active"].items())]
+assert acquired == sorted(acquired), f"acquisitions not monotone: {acquired}"
 EOF

@@ -90,6 +90,22 @@ std::optional<HybridCellOutcome> decode_outcome(const std::string& text) {
 
 }  // namespace
 
+const char* routing_policy_name(RoutingPolicy policy) {
+  switch (policy) {
+    case RoutingPolicy::kStructural: return "structural";
+    case RoutingPolicy::kActive: return "active";
+    case RoutingPolicy::kHybrid: return "hybrid";
+  }
+  return "?";
+}
+
+std::optional<RoutingPolicy> parse_routing_policy(std::string_view name) {
+  if (name == "structural") return RoutingPolicy::kStructural;
+  if (name == "active") return RoutingPolicy::kActive;
+  if (name == "hybrid") return RoutingPolicy::kHybrid;
+  return std::nullopt;
+}
+
 double CostModel::seconds_per_simulation(std::size_t num_transistors) const {
   const double ratio = static_cast<double>(num_transistors) / reference_transistors;
   return base_seconds * std::pow(std::max(ratio, 1e-3), size_exponent);
@@ -164,6 +180,11 @@ HybridReport run_hybrid_flow(const std::vector<CharacterizedCell>& training,
   using Clock = std::chrono::steady_clock;
 
   CAML_TRACE_SPAN_ITEMS("hybrid_flow", targets.size());
+  if (options.routing != RoutingPolicy::kStructural) {
+    throw Error(std::string("run_hybrid_flow implements the structural policy only; route '") +
+                routing_policy_name(options.routing) +
+                "' through active::run_active_flow (src/active)");
+  }
   HybridMetrics& metrics = HybridMetrics::get();
   StructureIndex index(training);
   // Training pool per group, extended by feedback.

@@ -1,10 +1,26 @@
 #pragma once
 
+#include <optional>
+#include <string_view>
+
 #include "flow/checkpoint.hpp"
 #include "flow/ml_flow.hpp"
 #include "flow/structural.hpp"
 
 namespace caml {
+
+/// How the generation flow decides which cells get real simulation.
+///   kStructural — the paper's Fig. 7 heuristic: simulate structurally
+///                 new cells, predict the rest (run_hybrid_flow).
+///   kActive     — budgeted uncertainty sampling: simulate the cells the
+///                 forest is least certain about, retrain, repeat
+///                 (active::run_active_flow in src/active).
+///   kHybrid     — kActive with a structural-similarity prior blended
+///                 into the acquisition score.
+enum class RoutingPolicy { kStructural, kActive, kHybrid };
+
+const char* routing_policy_name(RoutingPolicy policy);
+std::optional<RoutingPolicy> parse_routing_policy(std::string_view name);
 
 /// Analytic model of conventional (SPICE-based) CA generation cost —
 /// the stand-in for the paper's measured license-hours. Each electrical
@@ -65,6 +81,11 @@ struct HybridReport {
 struct HybridOptions {
   MlOptions ml;
   CostModel cost;
+  /// Routing policy. run_hybrid_flow implements kStructural only and
+  /// throws on the others — callers (CLI, bench) dispatch kActive /
+  /// kHybrid to active::run_active_flow, which layers above this
+  /// library.
+  RoutingPolicy routing = RoutingPolicy::kStructural;
   /// Fig. 7's feedback loop: cells routed to simulation join the
   /// training pool and the structure index for subsequent cells.
   bool feedback = true;

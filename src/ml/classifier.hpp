@@ -31,6 +31,15 @@ class Classifier {
 
   /// Predicted label for every row of a dataset.
   std::vector<std::uint8_t> predict_all(const Dataset& data) const;
+
+  /// Per-row confidence margin in [0, 1]: how decisively the classifier
+  /// commits to its label. Ensembles override this with the hard-vote
+  /// disagreement margin |2 * vote1 / trees - 1| (0 = evenly split,
+  /// 1 = unanimous); the default says 1.0 for every row — a
+  /// non-ensemble classifier exposes no internal disagreement, so
+  /// uncertainty-driven acquisition treats it as fully confident.
+  virtual std::vector<double> predict_margin_batch(const std::int8_t* rows, std::size_t n,
+                                                   std::size_t stride) const;
 };
 
 }  // namespace caml

@@ -35,12 +35,11 @@ struct ForestMetrics {
 
 }  // namespace
 
-void RandomForest::fit(const Dataset& data) {
-  CAML_TRACE_SPAN_ITEMS("forest_fit", params_.num_trees);
+void RandomForest::grow(const Dataset& data, std::size_t count, std::uint64_t seed) {
+  CAML_TRACE_SPAN_ITEMS("forest_fit", count);
   CAML_ASSERT(data.num_rows() > 0);
-  trees_.clear();
   num_features_ = data.num_features();
-  Rng rng(params_.seed);
+  Rng rng(seed);
 
   TreeParams tp = params_.tree;
   if (tp.max_features == 0) {
@@ -57,9 +56,10 @@ void RandomForest::fit(const Dataset& data) {
   // split-sampling seed) is drawn serially from the single Rng stream in
   // the exact order the serial loop used, so the fitted forest is
   // bit-identical for any thread count.
-  std::vector<std::vector<std::uint32_t>> draws(params_.num_trees);
-  trees_.reserve(params_.num_trees);
-  for (std::size_t t = 0; t < params_.num_trees; ++t) {
+  const std::size_t first = trees_.size();
+  std::vector<std::vector<std::uint32_t>> draws(count);
+  trees_.reserve(first + count);
+  for (std::size_t t = 0; t < count; ++t) {
     std::vector<std::uint32_t>& indices = draws[t];
     if (params_.bootstrap) {
       indices.resize(sample);
@@ -85,12 +85,29 @@ void RandomForest::fit(const Dataset& data) {
   const ColumnView columns(data);
   // Trees only read the shared dataset/columns and mutate their own
   // state, so the fits are independent.
-  parallel_for(params_.num_trees, params_.jobs, [&](std::size_t t) {
+  parallel_for(count, params_.jobs, [&](std::size_t t) {
     const Stopwatch watch;
-    trees_[t].fit_indices(data, columns, std::move(draws[t]));
+    trees_[first + t].fit_indices(data, columns, std::move(draws[t]));
     ForestMetrics::get().tree_fit_us.record(
         static_cast<std::uint64_t>(std::max<std::int64_t>(watch.elapsed_us(), 0)));
   });
+}
+
+void RandomForest::fit(const Dataset& data) {
+  trees_.clear();
+  grow(data, params_.num_trees, params_.seed);
+}
+
+void RandomForest::fit_more(const Dataset& data, std::size_t extra_trees) {
+  if (extra_trees == 0) return;
+  CAML_ASSERT(trees_.empty() || data.num_features() == num_features_);
+  // The increment seed folds the current ensemble size into the base
+  // seed (splitmix64-style odd multiplier), so each growth step draws a
+  // fresh stream yet any two runs growing through the same sizes draw
+  // identical trees.
+  const std::uint64_t seed =
+      params_.seed ^ (0x9E3779B97F4A7C15ull * static_cast<std::uint64_t>(trees_.size() + 1));
+  grow(data, extra_trees, seed);
 }
 
 RandomForest RandomForest::assemble(std::vector<DecisionTree> trees,
@@ -148,6 +165,28 @@ std::vector<std::uint8_t> RandomForest::predict_batch(const std::int8_t* rows, s
   std::vector<std::uint8_t> out(n);
   for (std::size_t r = 0; r < n; ++r) out[r] = proba[r] >= 0.5 ? 1 : 0;
   return out;
+}
+
+std::vector<double> RandomForest::predict_margin_batch(const std::int8_t* rows, std::size_t n,
+                                                       std::size_t stride) const {
+  CAML_ASSERT(!trees_.empty());
+  // Tree-major like predict_proba_batch, but each tree casts a hard vote
+  // for its majority leaf class (tie or empty leaf: half a vote each
+  // way). Accumulation stays in tree order per row so the margin is the
+  // same double no matter how rows are batched.
+  std::vector<double> vote1(n, 0.0);
+  for (const DecisionTree& tree : trees_) {
+    for (std::size_t r = 0; r < n; ++r) {
+      const auto [c0, c1] = tree.leaf_votes(rows + r * stride);
+      vote1[r] += c1 > c0 ? 1.0 : (c1 == c0 ? 0.5 : 0.0);
+    }
+  }
+  std::vector<double> margin(n);
+  const double trees = static_cast<double>(trees_.size());
+  for (std::size_t r = 0; r < n; ++r) {
+    margin[r] = std::abs(2.0 * vote1[r] / trees - 1.0);
+  }
+  return margin;
 }
 
 std::vector<double> RandomForest::feature_importance() const {

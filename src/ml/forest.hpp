@@ -38,6 +38,17 @@ class RandomForest : public Classifier {
   explicit RandomForest(ForestParams params = {}) : params_(params) {}
 
   void fit(const Dataset& data) override;
+
+  /// Warm-start growth: fits `extra_trees` additional trees on `data`
+  /// (typically the training pool enlarged since the last fit) and
+  /// appends them to the ensemble — the incremental-retrain primitive of
+  /// the active-learning loop. The increment's randomness comes from a
+  /// fresh stream derived deterministically from (params.seed, current
+  /// tree count), so repeated fit() + fit_more() sequences are
+  /// bit-identical for any jobs value, and two runs that grow the forest
+  /// through the same sizes draw the same trees.
+  void fit_more(const Dataset& data, std::size_t extra_trees);
+
   std::uint8_t predict(const std::int8_t* row) const override;
   std::string name() const override { return "RandomForest"; }
 
@@ -57,6 +68,15 @@ class RandomForest : public Classifier {
   std::vector<double> predict_proba_batch(const std::int8_t* rows, std::size_t n,
                                           std::size_t stride) const;
 
+  /// Hard-vote disagreement margin per row: each tree casts one vote for
+  /// its majority leaf class (ties split 0.5/0.5), and the margin is
+  /// |2 * vote1 / trees - 1| — 0 when the ensemble is evenly split,
+  /// 1 when unanimous. Votes accumulate in tree order so the margins are
+  /// bit-identical across batch sizes, job counts and store backends
+  /// (MappedForest mirrors the arithmetic exactly).
+  std::vector<double> predict_margin_batch(const std::int8_t* rows, std::size_t n,
+                                           std::size_t stride) const override;
+
   const std::vector<DecisionTree>& trees() const { return trees_; }
 
   /// Rebuilds a forest from already-constructed trees — the import path
@@ -74,6 +94,7 @@ class RandomForest : public Classifier {
 
  private:
   friend LoadedForest read_forest(std::istream& in);
+  void grow(const Dataset& data, std::size_t count, std::uint64_t seed);
   ForestParams params_;
   std::vector<DecisionTree> trees_;
   std::size_t num_features_ = 0;

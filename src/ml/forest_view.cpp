@@ -1,5 +1,7 @@
 #include "ml/forest_view.hpp"
 
+#include <cmath>
+
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/error.hpp"
@@ -101,6 +103,29 @@ std::vector<std::uint8_t> MappedForest::predict_batch(const std::int8_t* rows, s
   std::vector<std::uint8_t> out(n);
   for (std::size_t r = 0; r < n; ++r) out[r] = proba[r] >= 0.5 ? 1 : 0;
   return out;
+}
+
+std::vector<double> MappedForest::predict_margin_batch(const std::int8_t* rows, std::size_t n,
+                                                       std::size_t stride) const {
+  CAML_ASSERT(!trees_.empty());
+  // Mirrors RandomForest::predict_margin_batch expression for expression
+  // (hard vote per tree, tree-order accumulation), so margins from a
+  // mapped store are bit-identical to the text-loaded forest's.
+  std::vector<double> vote1(n, 0.0);
+  io::with_sigbus_guard(kForestFault, [&] {
+    for (const TreeRef& tree : trees_) {
+      for (std::size_t r = 0; r < n; ++r) {
+        const auto [c0, c1] = leaf_votes(tree, rows + r * stride);
+        vote1[r] += c1 > c0 ? 1.0 : (c1 == c0 ? 0.5 : 0.0);
+      }
+    }
+  });
+  std::vector<double> margin(n);
+  const double trees = static_cast<double>(trees_.size());
+  for (std::size_t r = 0; r < n; ++r) {
+    margin[r] = std::abs(2.0 * vote1[r] / trees - 1.0);
+  }
+  return margin;
 }
 
 }  // namespace caml

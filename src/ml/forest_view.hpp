@@ -81,6 +81,12 @@ class MappedForest final : public Classifier {
                                           std::size_t stride) const override;
   std::vector<double> predict_proba_batch(const std::int8_t* rows, std::size_t n,
                                           std::size_t stride) const;
+
+  /// Hard-vote disagreement margin, bit-identical to
+  /// RandomForest::predict_margin_batch over the same trees.
+  std::vector<double> predict_margin_batch(const std::int8_t* rows, std::size_t n,
+                                           std::size_t stride) const override;
+
   std::string name() const override { return "MappedForest"; }
 
   std::size_t num_trees() const { return trees_.size(); }

@@ -22,6 +22,11 @@ std::vector<std::uint8_t> Classifier::predict_all(const Dataset& data) const {
   return out;
 }
 
+std::vector<double> Classifier::predict_margin_batch(const std::int8_t*, std::size_t n,
+                                                     std::size_t) const {
+  return std::vector<double>(n, 1.0);
+}
+
 void DecisionTree::fit(const Dataset& data) {
   std::vector<std::uint32_t> indices(data.num_rows());
   std::iota(indices.begin(), indices.end(), 0u);

@@ -234,6 +234,37 @@ TEST(Hybrid, ReportArithmetic) {
   EXPECT_DOUBLE_EQ(report.ml_accuracy_above(0.97), 1.0);
 }
 
+TEST(Hybrid, ReportGuardsAgainstZeroMlRoutes) {
+  // A library where nothing routes to ML (every structure is new, e.g.
+  // an empty training set) must report 0.0 ratios, not NaN from 0/0.
+  HybridReport empty;
+  EXPECT_DOUBLE_EQ(empty.ml_portion_reduction(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.ml_accuracy_above(0.97), 0.0);
+  EXPECT_DOUBLE_EQ(empty.overall_reduction(), 0.0);
+
+  HybridCellOutcome sim;
+  sim.routed_to_ml = false;
+  sim.conventional_seconds = 50.0;
+  sim.match = StructureMatch::kNew;
+  HybridReport all_simulated;
+  all_simulated.outcomes = {sim, sim};
+  EXPECT_DOUBLE_EQ(all_simulated.ml_portion_reduction(), 0.0);
+  EXPECT_DOUBLE_EQ(all_simulated.ml_accuracy_above(0.97), 0.0);
+  EXPECT_DOUBLE_EQ(all_simulated.overall_reduction(), 0.0);
+
+  // End to end: an empty-route run (no training data, feedback off
+  // keeps later twins unmatched too) exercises the same guards.
+  const Technology c28 = technology_c28();
+  std::vector<CharacterizedCell> targets;
+  targets.push_back(characterize(build_function("XOR2", c28), c28));
+  HybridOptions options;
+  options.feedback = false;
+  const HybridReport report = run_hybrid_flow({}, targets, options);
+  EXPECT_EQ(report.count_routed_to_ml(), 0u);
+  EXPECT_DOUBLE_EQ(report.ml_portion_reduction(), 0.0);
+  EXPECT_DOUBLE_EQ(report.ml_accuracy_above(0.97), 0.0);
+}
+
 
 TEST(ModelStore, TrainSaveLoadPredictRoundTrip) {
   const Technology tech = technology_28soi();

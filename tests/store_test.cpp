@@ -188,6 +188,62 @@ TEST(BinaryStore, HexfloatProbasIdenticalAcrossAllStoreBackends) {
   }
 }
 
+TEST(BinaryStore, HexfloatProbaAndMarginParityAcrossJobCounts) {
+  // predict_proba_batch and predict_margin_batch must be bit-identical
+  // between the trained forest and the mapped view, for any sharding of
+  // the rows across worker threads — the property the active-learning
+  // scorer leans on for jobs-independent acquisition order.
+  const MappedModelStore mapped = MappedModelStore::open(shared_binary_path());
+  for (const GroupKey& key : shared_store().group_keys()) {
+    const RandomForest* trained = shared_store().forest_for(key);
+    ASSERT_NE(trained, nullptr);
+    const auto* view = dynamic_cast<const MappedForest*>(mapped.classifier_for(key));
+    ASSERT_NE(view, nullptr);
+    const std::size_t features = trained->num_features();
+    const std::vector<std::int8_t> rows = make_rows(64, features);
+    const std::size_t n = rows.size() / features;
+
+    // One row index per work item: jobs=4 classifies each row in its own
+    // batch on a pool worker, jobs=1 inline — both must reproduce the
+    // single 64-row batch byte for byte.
+    std::vector<std::size_t> indices(n);
+    for (std::size_t i = 0; i < n; ++i) indices[i] = i;
+    const auto sharded = [&](const Classifier& c, std::size_t jobs,
+                             auto member) -> std::string {
+      const std::vector<std::vector<double>> per_row =
+          parallel_map(indices, jobs, [&](const std::size_t& r) {
+            return member(c, rows.data() + r * features);
+          });
+      std::vector<double> flat;
+      for (const std::vector<double>& v : per_row) flat.push_back(v.at(0));
+      return hexfloat_probas(flat);
+    };
+    const auto proba_one = [](const Classifier& c, const std::int8_t* row) {
+      return dynamic_cast<const RandomForest*>(&c) != nullptr
+                 ? static_cast<const RandomForest&>(c).predict_proba_batch(row, 1, 0)
+                 : static_cast<const MappedForest&>(c).predict_proba_batch(row, 1, 0);
+    };
+    const auto margin_one = [](const Classifier& c, const std::int8_t* row) {
+      return c.predict_margin_batch(row, 1, 0);
+    };
+
+    const std::string probas =
+        hexfloat_probas(trained->predict_proba_batch(rows.data(), n, features));
+    const std::string margins =
+        hexfloat_probas(trained->predict_margin_batch(rows.data(), n, features));
+    EXPECT_EQ(hexfloat_probas(view->predict_proba_batch(rows.data(), n, features)), probas)
+        << "mapped probabilities must match the trained forest to the last bit";
+    EXPECT_EQ(hexfloat_probas(view->predict_margin_batch(rows.data(), n, features)), margins)
+        << "mapped vote margins must match the trained forest to the last bit";
+    for (const std::size_t jobs : {std::size_t{1}, std::size_t{4}}) {
+      EXPECT_EQ(sharded(*trained, jobs, proba_one), probas) << "jobs=" << jobs;
+      EXPECT_EQ(sharded(*view, jobs, proba_one), probas) << "jobs=" << jobs;
+      EXPECT_EQ(sharded(*trained, jobs, margin_one), margins) << "jobs=" << jobs;
+      EXPECT_EQ(sharded(*view, jobs, margin_one), margins) << "jobs=" << jobs;
+    }
+  }
+}
+
 TEST(BinaryStore, PredictedModelsIdenticalAcrossBackendsAndJobCounts) {
   const std::shared_ptr<const ModelStore> opened = open_model_store(shared_binary_path());
   ASSERT_NE(dynamic_cast<const MappedModelStore*>(opened.get()), nullptr)

@@ -5,6 +5,9 @@
 //   caml train <lib.sp> <camodel-dir> -o <models.caml>
 //   caml predict <lib.sp> -m <models.caml> -o <dir>
 //   caml patterns <lib.sp> <camodel-dir>     cell-aware test pattern report
+//   caml hybrid <train.sp> <train-camodels> <target.sp> <target-camodels>
+//               [--routing structural|active|hybrid] [--sim-budget B]
+//   caml active ...                          hybrid with --routing active
 //   caml store <models> --to-binary <out>    convert / inspect model stores
 //   caml serve <models.caml> --socket PATH   long-lived inference daemon
 //   caml query <cell.sp> --socket PATH       predict via a running daemon
@@ -22,6 +25,7 @@
 //   --profile                           print a per-stage timing table on exit
 #include <chrono>
 #include <csignal>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -31,9 +35,11 @@
 
 #include <unistd.h>
 
+#include "active/learner.hpp"
 #include "camodel/model_io.hpp"
 #include "camodel/pattern_selection.hpp"
 #include "flow/checkpoint.hpp"
+#include "flow/hybrid.hpp"
 #include "flow/model_store.hpp"
 #include "netlist/spice_parser.hpp"
 #include "netlist/spice_writer.hpp"
@@ -82,6 +88,15 @@ struct Args {
   std::string to_binary;
   std::string to_text;
   bool info = false;
+  // hybrid / active flow
+  std::string routing;
+  double sim_budget = 0.0;
+  std::string budget_unit = "seconds";
+  std::size_t rounds = 8;
+  std::size_t trees_per_round = 4;
+  std::size_t per_round = 0;
+  bool full_refit = false;
+  std::string checkpoint_dir;
   // observability
   std::string trace_path;
   bool profile = false;
@@ -97,6 +112,12 @@ struct Args {
       "  caml train <lib.sp> <camodel-dir> -o <models.caml> [--trees N] [--jobs N]\n"
       "  caml predict <lib.sp> -m <models.caml> -o <dir> [--policy P] [--jobs N]\n"
       "  caml patterns <lib.sp> <camodel-dir>\n"
+      "  caml hybrid <train.sp> <train-camodels> <target.sp> <target-camodels>\n"
+      "              [--routing structural|active|hybrid] [--sim-budget B]\n"
+      "              [--budget-unit seconds|count] [--rounds N] [--per-round N]\n"
+      "              [--trees-per-round N] [--full-refit] [-o <models.caml>]\n"
+      "              [--checkpoint DIR] [--resume] [--trees N] [--jobs N]\n"
+      "  caml active ...                       (hybrid with --routing active)\n"
       "  caml store <models> (--to-binary <out> | --to-text <out> | --info)\n"
       "  caml serve <models> --socket PATH [--port N] [--jobs N] [--max-queue N]\n"
       "            [--max-batch N] [--shed-target-ms N]\n"
@@ -110,6 +131,20 @@ struct Args {
       "(atomic flush every --checkpoint-every cells, default 16); after a\n"
       "crash, --resume skips the recorded cells and the final directory is\n"
       "byte-identical to an uninterrupted run.\n"
+      "hybrid: runs the generation flow of the paper's Fig. 7 over the\n"
+      "target library, with the training library as prior knowledge.\n"
+      "--routing structural simulates structurally new cells and predicts\n"
+      "the rest; --routing active runs the budgeted uncertainty loop\n"
+      "(simulate the cells the forest is least sure about, retrain with\n"
+      "--trees-per-round extra trees, repeat --rounds times or until\n"
+      "--sim-budget is spent / margins converge); --routing hybrid blends\n"
+      "a structural-similarity prior into the active score. --sim-budget\n"
+      "is modeled SPICE seconds (--budget-unit seconds, default) or a\n"
+      "cell count (--budget-unit count); 0 = unlimited. -o saves the\n"
+      "final per-group forests (active/hybrid only) — byte-identical for\n"
+      "any --jobs value and across kill+resume (--checkpoint DIR journals\n"
+      "acquisition rounds; --resume replays them). See\n"
+      "docs/ACTIVE_LEARNING.md.\n"
       "store: converts between the text interchange store and the binary\n"
       "mmap section (CAMLF1 models.bin): --to-binary writes the binary\n"
       "store, --to-text converts back (byte-identical round trip), --info\n"
@@ -161,6 +196,15 @@ Args parse_args(int argc, char** argv) {
       if (!parsed) usage(a + " needs a non-negative integer, got '" + text + "'");
       return static_cast<std::size_t>(*parsed);
     };
+    const auto real_value = [&]() -> double {
+      const std::string text = value();
+      char* end = nullptr;
+      const double parsed = std::strtod(text.c_str(), &end);
+      if (end == nullptr || *end != '\0' || end == text.c_str() || parsed < 0.0) {
+        usage(a + " needs a non-negative number, got '" + text + "'");
+      }
+      return parsed;
+    };
     if (a == "-o" || a == "--out") args.out = value();
     else if (a == "-m" || a == "--models") args.models = value();
     else if (a == "--policy") args.policy = value();
@@ -190,6 +234,14 @@ Args parse_args(int argc, char** argv) {
     else if (a == "--info") args.info = true;
     else if (a == "--checkpoint-every") args.checkpoint_every = count_value();
     else if (a == "--resume") args.resume = true;
+    else if (a == "--routing") args.routing = value();
+    else if (a == "--sim-budget") args.sim_budget = real_value();
+    else if (a == "--budget-unit") args.budget_unit = value();
+    else if (a == "--rounds") args.rounds = count_value();
+    else if (a == "--trees-per-round") args.trees_per_round = count_value();
+    else if (a == "--per-round") args.per_round = count_value();
+    else if (a == "--full-refit") args.full_refit = true;
+    else if (a == "--checkpoint") args.checkpoint_dir = value();
     else if (a == "--trace") args.trace_path = value();
     else if (a == "--profile") args.profile = true;
     else if (a.rfind('-', 0) == 0) usage("unknown option " + a);
@@ -626,6 +678,139 @@ int cmd_query(const Args& args) {
   return failed == 0 ? 0 : 1;
 }
 
+/// Loads a library's cells plus their (ground-truth) CA models — the
+/// CharacterizedCell inputs the hybrid/active flows consume.
+std::vector<CharacterizedCell> load_characterized(const std::string& netlist,
+                                                  const std::string& camodel_dir) {
+  std::vector<CharacterizedCell> out;
+  for (const Cell& cell : load_cells(netlist)) {
+    const std::string path = camodel_dir + "/" + cell.name() + ".camodel";
+    if (!std::filesystem::exists(path)) {
+      std::cerr << "skipping " << cell.name() << ": no model at " << path << '\n';
+      continue;
+    }
+    CharacterizedCell cc;
+    cc.source.cell = cell;
+    cc.model = read_ca_model_file(path, cell);
+    cc.canonical = canonicalize(cc.source.cell);
+    out.push_back(std::move(cc));
+  }
+  if (out.empty()) throw Error("no cells with CA models under " + camodel_dir);
+  return out;
+}
+
+/// One deterministic per-cell routing line. Everything on stdout is a
+/// pure function of the inputs (no wall-clock), so smoke scripts can
+/// byte-compare runs across --jobs values and kill+resume.
+void print_outcome_line(const CharacterizedCell& cell, const HybridCellOutcome& o,
+                        bool acquired) {
+  std::cout << cell.model.cell_name << " [" << structure_match_name(o.match) << "] -> "
+            << (o.routed_to_ml ? "ML" : (acquired ? "acquired" : "simulation"));
+  if (o.routed_to_ml) {
+    std::cout << ", accuracy " << format_fixed(100.0 * o.accuracy, 2) << "%";
+  }
+  if (o.degraded) std::cout << " (degraded)";
+  std::cout << '\n';
+}
+
+int cmd_hybrid(const Args& args, RoutingPolicy default_routing) {
+  if (args.positional.size() != 4) {
+    usage(args.command + " needs <train.sp> <train-camodels> <target.sp> <target-camodels>");
+  }
+  RoutingPolicy routing = default_routing;
+  if (!args.routing.empty()) {
+    const std::optional<RoutingPolicy> parsed = parse_routing_policy(args.routing);
+    if (!parsed) usage("unknown routing policy " + args.routing);
+    routing = *parsed;
+  }
+  const std::optional<active::BudgetUnit> unit = active::parse_budget_unit(args.budget_unit);
+  if (!unit) usage("unknown budget unit " + args.budget_unit + " (seconds | count)");
+
+  const std::vector<CharacterizedCell> training =
+      load_characterized(args.positional[0], args.positional[1]);
+  const std::vector<CharacterizedCell> targets =
+      load_characterized(args.positional[2], args.positional[3]);
+  std::cerr << "hybrid flow: " << training.size() << " training cells, " << targets.size()
+            << " targets, routing " << routing_policy_name(routing) << '\n';
+
+  HybridOptions base;
+  base.ml.forest.num_trees = args.trees;
+  base.ml.forest.jobs = args.jobs;
+  base.routing = routing;
+  base.checkpoint.dir = args.checkpoint_dir;
+  base.checkpoint.every = args.checkpoint_every;
+  base.checkpoint.resume = args.resume;
+  if (!base.checkpoint.dir.empty()) std::filesystem::create_directories(base.checkpoint.dir);
+
+  if (routing == RoutingPolicy::kStructural) {
+    if (!args.out.empty()) usage("-o (final model store) needs --routing active|hybrid");
+    const HybridReport report = run_hybrid_flow(training, targets, base);
+    for (const HybridCellOutcome& o : report.outcomes) {
+      print_outcome_line(targets[o.cell_index], o, false);
+    }
+    double acc_sum = 0.0;
+    for (const HybridCellOutcome& o : report.outcomes) {
+      if (o.routed_to_ml) acc_sum += o.accuracy;
+    }
+    const std::size_t routed = report.count_routed_to_ml();
+    std::cout << "routing=structural targets=" << report.outcomes.size() << " ml=" << routed
+              << " degraded=" << report.count_degraded() << " mean-ml-accuracy="
+              << format_fixed(routed == 0 ? 0.0 : acc_sum / static_cast<double>(routed), 4)
+              << " accuracy98=" << format_fixed(report.ml_accuracy_above(0.98), 4) << '\n';
+    // Wall-clock-derived accounting is inherently non-reproducible, so
+    // it goes to stderr only.
+    std::cerr << "modeled conventional-only: "
+              << format_fixed(report.conventional_only_seconds(), 1) << " s, hybrid: "
+              << format_fixed(report.hybrid_seconds(), 1) << " s, overall reduction "
+              << format_fixed(100.0 * report.overall_reduction(), 2) << "%\n";
+    return 0;
+  }
+
+  active::ActiveOptions options;
+  options.base = base;
+  options.sim_budget = args.sim_budget;
+  options.budget_unit = *unit;
+  options.max_rounds = args.rounds;
+  options.acquisitions_per_round = args.per_round;
+  options.trees_per_round = args.trees_per_round;
+  options.full_refit = args.full_refit;
+  options.jobs = args.jobs;
+
+  const active::ActiveReport report = active::run_active_flow(training, targets, options);
+  for (const HybridCellOutcome& o : report.hybrid.outcomes) {
+    print_outcome_line(targets[o.cell_index], o, report.acquired_mask[o.cell_index] != 0);
+  }
+  for (const active::RoundStats& r : report.rounds) {
+    std::cout << "round " << r.round << ": acquired=" << r.acquired
+              << " spent=" << format_fixed(r.spent_after, 3)
+              << " min-conf=" << format_fixed(r.min_confidence, 4)
+              << " mean-conf=" << format_fixed(r.mean_confidence, 4) << '\n';
+  }
+  double acc_sum = 0.0;
+  std::size_t predicted = 0;
+  for (const HybridCellOutcome& o : report.hybrid.outcomes) {
+    if (!o.routed_to_ml) continue;
+    ++predicted;
+    acc_sum += o.accuracy;
+  }
+  std::cout << "routing=" << routing_policy_name(report.policy)
+            << " targets=" << report.hybrid.outcomes.size() << " acquired=" << report.acquired
+            << " predicted=" << predicted << " forced=" << report.forced_conventional
+            << " degraded=" << report.hybrid.count_degraded()
+            << " budget=" << format_fixed(report.budget, 3)
+            << " spent=" << format_fixed(report.spent, 3)
+            << " unit=" << active::budget_unit_name(*unit) << " mean-ml-accuracy="
+            << format_fixed(predicted == 0 ? 0.0 : acc_sum / static_cast<double>(predicted), 4)
+            << " accuracy98=" << format_fixed(report.hybrid.ml_accuracy_above(0.98), 4)
+            << '\n';
+  if (!args.out.empty()) {
+    report.models.save_file(args.out);
+    std::cerr << "wrote " << report.models.num_groups() << " group models to " << args.out
+              << '\n';
+  }
+  return 0;
+}
+
 int cmd_patterns(const Args& args) {
   if (args.positional.size() != 2) usage("patterns needs a netlist and a camodel directory");
   for (const Cell& cell : load_cells(args.positional[0])) {
@@ -657,6 +842,8 @@ int dispatch(const Args& args) {
   if (args.command == "train") return cmd_train(args);
   if (args.command == "predict") return cmd_predict(args);
   if (args.command == "patterns") return cmd_patterns(args);
+  if (args.command == "hybrid") return cmd_hybrid(args, RoutingPolicy::kStructural);
+  if (args.command == "active") return cmd_hybrid(args, RoutingPolicy::kActive);
   if (args.command == "store") return cmd_store(args);
   if (args.command == "serve") return cmd_serve(args);
   if (args.command == "query") return cmd_query(args);
